@@ -1,0 +1,101 @@
+"""Micro-benchmarks of the simulator's hot paths.
+
+Not paper artefacts — these watch the *infrastructure's* cost so sweeps
+stay fast as the repository grows: the event loop, the estimator lookup
+(the strategy's innermost call), the dichotomy solver, and one full
+engine ping-pong.
+"""
+
+import pytest
+
+from repro.bench.runners import build_paper_cluster, default_profiles, measure_oneway
+from repro.core.packets import TransferMode
+from repro.core.split import dichotomy_split, waterfill_split
+from repro.simtime import Simulator, Timeout
+from repro.util.units import MiB
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    return default_profiles()
+
+
+def test_event_loop_throughput(benchmark):
+    """Schedule-and-run 10k chained events."""
+
+    def run_chain():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 10_000:
+                sim.schedule(1.0, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run_chain) == 10_000
+
+
+def test_process_spawn_throughput(benchmark):
+    """Spawn 1k coroutine processes, each sleeping twice."""
+
+    def run_processes():
+        sim = Simulator()
+
+        def proc():
+            yield Timeout(1.0)
+            yield Timeout(1.0)
+
+        for _ in range(1_000):
+            sim.spawn(proc())
+        sim.run()
+        return sim.now
+
+    assert benchmark(run_processes) == 2.0
+
+
+def test_estimator_lookup(benchmark, profiles):
+    """The innermost strategy call: log-indexed interpolation."""
+    est = profiles["myri10g"]
+    sizes = [3 * 2 ** k for k in range(4, 20)]
+
+    def lookups():
+        total = 0.0
+        for s in sizes:
+            total += est.transfer_time(s, TransferMode.RENDEZVOUS)
+        return total
+
+    assert benchmark(lookups) > 0
+
+
+def test_dichotomy_solver(benchmark, profiles):
+    rails = [(profiles["myri10g"], 0.0), (profiles["quadrics"], 150.0)]
+
+    def solve():
+        return dichotomy_split(4 * MiB, rails, TransferMode.RENDEZVOUS)
+
+    result = benchmark(solve)
+    assert sum(result.sizes) == 4 * MiB
+
+
+def test_waterfill_solver(benchmark, profiles):
+    rails = [(profiles["myri10g"], 0.0), (profiles["quadrics"], 150.0)]
+
+    def solve():
+        return waterfill_split(4 * MiB, rails, TransferMode.RENDEZVOUS)
+
+    result = benchmark(solve)
+    assert sum(result.sizes) == 4 * MiB
+
+
+def test_full_engine_oneway(benchmark, profiles):
+    """Cluster build + sampled 1 MiB hetero transfer, end to end."""
+
+    def transfer():
+        cluster = build_paper_cluster("hetero_split", profiles=profiles)
+        return measure_oneway(cluster, 1 * MiB).latency
+
+    assert benchmark(transfer) > 0

@@ -1,0 +1,21 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``bench_*.py`` regenerates one paper artefact (figure or in-text
+table), times the regeneration with pytest-benchmark, and asserts the
+validation contract of DESIGN.md §6 — shape and ratios, not absolute
+numbers.
+"""
+
+import pytest
+
+from repro.bench.runners import default_profiles
+
+
+@pytest.fixture(scope="session", autouse=True)
+def warm_profiles():
+    """Sample the default rails once so per-bench timings exclude the
+    one-off §III-C sampling pass (exactly like the real system, which
+    samples at install time)."""
+    default_profiles()
+    default_profiles(("myri10g",))
+    yield

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Writing a custom strategy plug-in.
+
+NewMadeleine's optimizer invokes a strategy at three moments (paper
+§III-B); subclassing :class:`repro.core.Strategy` lets you experiment
+with your own policies.  This example implements *latency-biased
+dispatch*: tiny messages ride the lowest-latency rail, everything else
+the highest-bandwidth rail — a policy an application with mixed
+control/data traffic might want — and races it against the built-ins on
+exactly such a mixed workload.
+
+Run:  python examples/custom_strategy.py
+"""
+
+from repro.api import ClusterBuilder
+from repro.core import TransferMode
+from repro.core.strategies import Strategy
+from repro.util.units import KiB, MiB, format_size
+
+
+class LatencyBiasedStrategy(Strategy):
+    """Small packets on the low-latency rail, bulk on the fat rail."""
+
+    name = "latency_biased"
+    needs_sampling = True
+
+    def __init__(self, small_cutoff: int = 1 * KiB, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.small_cutoff = small_cutoff
+
+    def _rail_for(self, msg):
+        rails = self.rails_to(msg.dest)
+        est = {n: self.predictor.estimator_for(n) for n in rails}
+        if msg.size <= self.small_cutoff:
+            # lowest sampled zero-byte latency
+            return min(rails, key=lambda n: est[n].eager(4))
+        return max(rails, key=lambda n: est[n].plateau_bandwidth())
+
+    def schedule_outlist(self):
+        scheduler = self.engine.scheduler
+        while (msg := scheduler.pop_ready()) is not None:
+            nic = self._rail_for(msg)
+            if msg.mode is TransferMode.RENDEZVOUS:
+                self.engine.start_rendezvous(msg, control_nic=nic)
+            else:
+                self.submit_whole_eager(msg, nic)
+
+    def plan_rdv_data(self, msg):
+        from repro.core.prediction import RailPlan
+        from repro.core.split import SplitResult
+
+        nic = self._rail_for(msg)
+        return RailPlan(
+            nics=[nic],
+            sizes=[msg.size],
+            predicted_completion=0.0,
+            split=SplitResult(sizes=[msg.size], predicted_times=[0.0], iterations=0),
+        )
+
+
+def run_workload(strategy_spec) -> float:
+    """A mixed workload: alternating 64 B control and 256 KiB data."""
+    cluster = ClusterBuilder.paper_testbed(strategy=strategy_spec).build()
+    a, b = cluster.session("node0"), cluster.session("node1")
+    total = 0.0
+    for i in range(6):
+        size = 64 if i % 2 == 0 else 256 * KiB
+        b.irecv(tag=i)
+        msg = a.isend("node1", size, tag=i)
+        cluster.run()
+        total += msg.latency
+    return total
+
+
+def main() -> None:
+    print("mixed control/data workload, summed one-way latency:")
+    for label, spec in (
+        ("single_rail (fastest)", "single_rail"),
+        ("hetero_split (paper)", "hetero_split"),
+        ("latency_biased (custom)", LatencyBiasedStrategy()),
+    ):
+        print(f"  {label:<26} {run_workload(spec):9.1f} us")
+    print()
+    print("the custom plug-in needed ~40 lines: override schedule_outlist")
+    print("and plan_rdv_data, and the engine does the rest")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Quickstart: send messages over a simulated two-rail cluster.
+
+Builds the paper's testbed (two dual dual-core Opteron nodes joined by
+Myri-10G and Quadrics rails), samples both networks, and sends a few
+messages under the paper's hetero-split strategy — printing what the
+strategy decided and what it achieved.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.api import ClusterBuilder
+from repro.util.units import KiB, MiB, bytes_per_us_to_mbps, format_size
+
+
+def main() -> None:
+    # One call wires machines, NICs, sampling and engines.
+    cluster = ClusterBuilder.paper_testbed(strategy="hetero_split").build()
+    node0 = cluster.session("node0")
+    node1 = cluster.session("node1")
+
+    print("rails on node0:")
+    for nic in cluster.machines["node0"].nics:
+        est = cluster.profiles[nic.profile.name]
+        print(
+            f"  {nic.name:<10} sampled rdv threshold {format_size(est.rdv_threshold())}, "
+            f"plateau {bytes_per_us_to_mbps(est.plateau_bandwidth()):.0f} MB/s"
+        )
+    print()
+
+    header = f"{'size':>6} {'mode':>11} {'rails':>2} {'chunks':>22} {'latency':>11} {'bandwidth':>12}"
+    print(header)
+    print("-" * len(header))
+    for size in (256, 4 * KiB, 64 * KiB, 1 * MiB, 4 * MiB):
+        node1.irecv(source="node0")          # post the receive buffer
+        msg = node0.isend("node1", size)     # enqueue and return
+        cluster.run()                        # advance virtual time
+        chunks = "+".join(format_size(c) for c in msg.chunk_sizes)
+        print(
+            f"{format_size(size):>6} {msg.mode.value:>11} {len(msg.rails_used):>2} "
+            f"{chunks:>22} {msg.latency:>9.1f}us "
+            f"{bytes_per_us_to_mbps(size / msg.latency):>9.1f} MB/s"
+        )
+
+    print()
+    print("the 4 MiB message was split so both chunks finish together —")
+    print("compare with the paper's SIV-A: 2437 KiB/1999 us vs 1757 KiB/2001 us")
+
+
+if __name__ == "__main__":
+    main()

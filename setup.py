@@ -1,0 +1,11 @@
+"""Thin shim so `pip install -e . --no-build-isolation` works offline.
+
+The environment has setuptools 65 but no `wheel` package, so the PEP-660
+editable path (which builds a wheel) is unavailable; this file enables the
+legacy `setup.py develop` editable install. All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,29 @@
+"""User-facing API: build clusters, open sessions, exchange messages.
+
+The mpi4py-flavoured entry point::
+
+    from repro.api import ClusterBuilder
+
+    cluster = ClusterBuilder.paper_testbed(strategy="hetero_split").build()
+    a, b = cluster.session("node0"), cluster.session("node1")
+
+    recv = b.irecv(source="node0")
+    msg = a.isend("node1", size=4 * 1024 * 1024)
+    cluster.run()
+    print(msg.latency, "us one-way")
+"""
+
+from repro.api.cluster import Cluster, ClusterBuilder
+from repro.api.session import Session
+from repro.api.config import builder_from_config, load_cluster
+from repro.api.mpi import Communicator, MpiWorld
+
+__all__ = [
+    "Cluster",
+    "ClusterBuilder",
+    "Session",
+    "builder_from_config",
+    "load_cluster",
+    "Communicator",
+    "MpiWorld",
+]

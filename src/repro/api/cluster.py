@@ -1,0 +1,288 @@
+"""Cluster assembly: nodes, rails, sampling, engines — one builder call.
+
+:class:`ClusterBuilder` wires the whole stack in the right order:
+machines → NICs/wires → sampling (once per technology) → engines with the
+chosen strategy.  :meth:`ClusterBuilder.paper_testbed` reproduces the
+paper's evaluation platform: two dual dual-core Opteron nodes joined by a
+Myri-10G rail and a Quadrics rail (§IV).
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.core.engine import NmadEngine
+from repro.core.sampling import NetworkSampler, ProfileStore  # noqa: F401 (re-export)
+from repro.core.strategies import Strategy, make_strategy
+from repro.hardware.machine import Machine
+from repro.hardware.topology import CpuTopology
+from repro.networks.drivers.base import Driver
+from repro.networks.drivers import make_driver
+from repro.networks.nic import Nic
+from repro.networks.wire import Wire
+from repro.simtime import Simulator
+from repro.util.errors import ConfigurationError
+
+StrategySpec = Union[str, Strategy, Callable[[], Strategy]]
+
+
+def _resolve_strategy(spec: StrategySpec) -> Strategy:
+    if isinstance(spec, Strategy):
+        # A strategy instance may be given once but serve several nodes;
+        # every engine needs its own (strategies hold per-engine state),
+        # so hand out detached shallow copies.
+        clone = copy.copy(spec)
+        clone.engine = None
+        return clone
+    if isinstance(spec, str):
+        return make_strategy(spec)
+    return spec()
+
+
+class Cluster:
+    """A built cluster: simulator + machines + one engine per node."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        machines: Dict[str, Machine],
+        engines: Dict[str, NmadEngine],
+        profiles: Optional[ProfileStore],
+    ) -> None:
+        self.sim = sim
+        self.machines = machines
+        self.engines = engines
+        self.profiles = profiles
+
+    def __repr__(self) -> str:
+        return f"<Cluster nodes={sorted(self.machines)}>"
+
+    def engine(self, node: str) -> NmadEngine:
+        try:
+            return self.engines[node]
+        except KeyError:
+            raise ConfigurationError(
+                f"no node {node!r}; have {sorted(self.engines)}"
+            ) from None
+
+    def session(self, node: str) -> "Session":
+        from repro.api.session import Session
+
+        return Session(self.engine(node))
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Advance the simulation (drain, or up to ``until`` µs)."""
+        return self.sim.run(until=until)
+
+    def resample(self, sampler: Optional["NetworkSampler"] = None) -> ProfileStore:
+        """Re-run the §III-C sampling pass against the cluster's *current*
+        drivers and swap the fresh estimators into every engine.
+
+        The paper samples once at launch; ablation A8 shows how much a
+        silently degraded rail costs under stale profiles.  Call this
+        after changing rail characteristics (driver profile overrides) to
+        restore equal-completion splits.
+        """
+        from repro.core.prediction import CompletionPredictor
+
+        drivers = {
+            nic.driver.technology: nic.driver
+            for machine in self.machines.values()
+            for nic in machine.nics
+        }
+        fresh = ProfileStore.sample_drivers(drivers.values(), sampler=sampler)
+        self.profiles = fresh
+        for engine in self.engines.values():
+            engine.predictor = CompletionPredictor(fresh.estimators)
+        return fresh
+
+
+class ClusterBuilder:
+    """Fluent builder for simulated multirail clusters."""
+
+    def __init__(self, strategy: StrategySpec = "hetero_split") -> None:
+        self.sim = Simulator()
+        self._strategy = strategy
+        self._per_node_strategy: Dict[str, StrategySpec] = {}
+        self._machines: Dict[str, Machine] = {}
+        self._rails: List[Tuple[str, str, Driver]] = []
+        self._switches: List[Tuple[Tuple[str, ...], Driver, float]] = []
+        self._sample = True
+        self._sampler: Optional[NetworkSampler] = None
+        self._profiles: Optional[ProfileStore] = None
+        self._app_core_id = 0
+        self._multicore_rx = False
+
+    # ------------------------------------------------------------------ #
+    # configuration
+    # ------------------------------------------------------------------ #
+
+    def add_node(
+        self,
+        name: str,
+        topology: Optional[CpuTopology] = None,
+        memcpy_rate: float = 3000.0,
+    ) -> "ClusterBuilder":
+        if name in self._machines:
+            raise ConfigurationError(f"duplicate node {name!r}")
+        self._machines[name] = Machine(
+            self.sim, name, topology=topology, memcpy_rate=memcpy_rate
+        )
+        return self
+
+    def add_rail(
+        self,
+        driver: Union[str, Driver],
+        node_a: str,
+        node_b: str,
+        **driver_overrides,
+    ) -> "ClusterBuilder":
+        """Join two nodes with one rail of the given technology."""
+        if isinstance(driver, str):
+            driver = make_driver(driver, **driver_overrides)
+        elif driver_overrides:
+            raise ConfigurationError(
+                "driver overrides only apply to registry-name rails"
+            )
+        for node in (node_a, node_b):
+            if node not in self._machines:
+                raise ConfigurationError(f"unknown node {node!r}; add_node first")
+        self._rails.append((node_a, node_b, driver))
+        return self
+
+    def add_switch(
+        self,
+        driver: Union[str, Driver],
+        nodes: List[str],
+        switch_latency: float = 0.3,
+        **driver_overrides,
+    ) -> "ClusterBuilder":
+        """Join several nodes through one shared switch (one NIC each).
+
+        Unlike :meth:`add_rail`'s dedicated point-to-point links, flows
+        through a switch contend for the destination's port — the incast
+        behaviour of real (e.g. T2K-style) fabrics.
+        """
+        if isinstance(driver, str):
+            driver = make_driver(driver, **driver_overrides)
+        elif driver_overrides:
+            raise ConfigurationError(
+                "driver overrides only apply to registry-name fabrics"
+            )
+        if len(set(nodes)) < 2:
+            raise ConfigurationError("a switch needs at least two distinct nodes")
+        for node in nodes:
+            if node not in self._machines:
+                raise ConfigurationError(f"unknown node {node!r}; add_node first")
+        self._switches.append((tuple(nodes), driver, switch_latency))
+        return self
+
+    def strategy_for(self, node: str, strategy: StrategySpec) -> "ClusterBuilder":
+        """Override the strategy for one node (defaults apply elsewhere)."""
+        self._per_node_strategy[node] = strategy
+        return self
+
+    def sampling(
+        self,
+        enabled: bool = True,
+        sampler: Optional[NetworkSampler] = None,
+        profiles: Optional[ProfileStore] = None,
+    ) -> "ClusterBuilder":
+        """Control the §III-C sampling pass.
+
+        ``profiles`` short-circuits measurement with pre-recorded tables
+        (the real system loads its sampling files at launch, too).
+        """
+        self._sample = enabled
+        self._sampler = sampler
+        self._profiles = profiles
+        return self
+
+    def app_core(self, core_id: int) -> "ClusterBuilder":
+        self._app_core_id = core_id
+        return self
+
+    def multicore_rx(self, enabled: bool = True) -> "ClusterBuilder":
+        """Let receive-side progression spill to idle cores (paper's
+        future-work improvement; ablation A7 quantifies it)."""
+        self._multicore_rx = enabled
+        return self
+
+    # ------------------------------------------------------------------ #
+    # build
+    # ------------------------------------------------------------------ #
+
+    def build(self) -> Cluster:
+        from repro.networks.switch import Switch
+
+        if not self._machines:
+            raise ConfigurationError("cluster has no nodes")
+        if not self._rails and not self._switches:
+            raise ConfigurationError("cluster has no rails")
+        rail_count: Dict[str, int] = {name: 0 for name in self._machines}
+        for node_a, node_b, driver in self._rails:
+            idx_a, idx_b = rail_count[node_a], rail_count[node_b]
+            nic_a = Nic(
+                self._machines[node_a], driver, name=f"{driver.technology}{idx_a}"
+            )
+            nic_b = Nic(
+                self._machines[node_b], driver, name=f"{driver.technology}{idx_b}"
+            )
+            Wire(nic_a, nic_b)
+            rail_count[node_a] += 1
+            rail_count[node_b] += 1
+        for s_idx, (nodes, driver, latency) in enumerate(self._switches):
+            switch = Switch(name=f"switch{s_idx}", switch_latency=latency)
+            for node in nodes:
+                idx = rail_count[node]
+                switch.attach(
+                    Nic(
+                        self._machines[node],
+                        driver,
+                        name=f"{driver.technology}{idx}",
+                    )
+                )
+                rail_count[node] += 1
+
+        profiles = self._profiles
+        if profiles is None and self._sample:
+            drivers = [d for _, _, d in self._rails]
+            drivers += [d for _, d, _ in self._switches]
+            profiles = ProfileStore.sample_drivers(drivers, sampler=self._sampler)
+
+        engines: Dict[str, NmadEngine] = {}
+        for name, machine in self._machines.items():
+            spec = self._per_node_strategy.get(name, self._strategy)
+            engines[name] = NmadEngine(
+                machine,
+                strategy=_resolve_strategy(spec),
+                estimators=profiles.estimators if profiles else None,
+                app_core_id=self._app_core_id,
+                multicore_rx=self._multicore_rx,
+            )
+        return Cluster(self.sim, self._machines, engines, profiles)
+
+    # ------------------------------------------------------------------ #
+    # canned testbeds
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def paper_testbed(
+        cls,
+        strategy: StrategySpec = "hetero_split",
+        rails: Tuple[str, ...] = ("myri10g", "quadrics"),
+        sample: bool = True,
+    ) -> "ClusterBuilder":
+        """The §IV platform: two dual dual-core nodes, Myri-10G + Quadrics.
+
+        ``rails`` can be widened (e.g. ``("myri10g", "quadrics",
+        "infiniband")``) for the n-rail ablations.
+        """
+        builder = cls(strategy=strategy)
+        builder.add_node("node0", topology=CpuTopology.paper_testbed())
+        builder.add_node("node1", topology=CpuTopology.paper_testbed())
+        for rail in rails:
+            builder.add_rail(rail, "node0", "node1")
+        builder.sampling(enabled=sample)
+        return builder

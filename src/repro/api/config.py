@@ -1,0 +1,128 @@
+"""Declarative cluster construction from dicts / JSON files.
+
+Downstream users describe a testbed once and rebuild it everywhere::
+
+    {
+      "strategy": "hetero_split",
+      "nodes": [
+        {"name": "node0", "sockets": 2, "cores_per_socket": 2},
+        {"name": "node1", "sockets": 2, "cores_per_socket": 2}
+      ],
+      "rails": [
+        {"driver": "myri10g",  "between": ["node0", "node1"]},
+        {"driver": "quadrics", "between": ["node0", "node1"],
+         "overrides": {"wire_latency": 1.5}}
+      ],
+      "options": {"multicore_rx": true, "app_core": 0},
+      "per_node_strategy": {"node1": "greedy"},
+      "sampling": {"profile_file": "profiles.json"}
+    }
+
+``load_cluster(path_or_dict)`` returns a built :class:`Cluster`;
+``builder_from_config`` stops one step earlier for callers that want to
+tweak the builder programmatically.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.api.cluster import Cluster, ClusterBuilder
+from repro.core.sampling import ProfileStore
+from repro.hardware.topology import CpuTopology
+from repro.util.errors import ConfigurationError
+
+ConfigSource = Union[str, Path, Dict[str, Any]]
+
+_TOP_LEVEL_KEYS = {
+    "strategy",
+    "nodes",
+    "rails",
+    "options",
+    "per_node_strategy",
+    "sampling",
+}
+
+
+def _load_dict(source: ConfigSource) -> Dict[str, Any]:
+    if isinstance(source, dict):
+        return source
+    path = Path(source)
+    try:
+        return json.loads(path.read_text())
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read cluster config {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"{path} is not valid JSON: {exc}") from exc
+
+
+def builder_from_config(source: ConfigSource) -> ClusterBuilder:
+    """Build a :class:`ClusterBuilder` from a config dict or JSON file."""
+    config = _load_dict(source)
+    unknown = set(config) - _TOP_LEVEL_KEYS
+    if unknown:
+        raise ConfigurationError(
+            f"unknown config keys {sorted(unknown)}; known: {sorted(_TOP_LEVEL_KEYS)}"
+        )
+    builder = ClusterBuilder(strategy=config.get("strategy", "hetero_split"))
+
+    nodes = config.get("nodes")
+    if not nodes:
+        raise ConfigurationError("config needs a non-empty 'nodes' list")
+    for node in nodes:
+        if "name" not in node:
+            raise ConfigurationError(f"node entry without a name: {node}")
+        topology = None
+        if "sockets" in node or "cores_per_socket" in node:
+            topology = CpuTopology(
+                sockets=int(node.get("sockets", 2)),
+                cores_per_socket=int(node.get("cores_per_socket", 2)),
+                signal_cost_us=float(node.get("signal_cost_us", 3.0)),
+                preempt_cost_us=float(node.get("preempt_cost_us", 6.0)),
+            )
+        builder.add_node(
+            node["name"],
+            topology=topology,
+            memcpy_rate=float(node.get("memcpy_rate", 3000.0)),
+        )
+
+    rails = config.get("rails")
+    if not rails:
+        raise ConfigurationError("config needs a non-empty 'rails' list")
+    for rail in rails:
+        try:
+            driver = rail["driver"]
+            node_a, node_b = rail["between"]
+        except (KeyError, ValueError) as exc:
+            raise ConfigurationError(
+                f"rail entry needs 'driver' and a 2-node 'between': {rail}"
+            ) from exc
+        builder.add_rail(driver, node_a, node_b, **rail.get("overrides", {}))
+
+    for node_name, strategy in config.get("per_node_strategy", {}).items():
+        builder.strategy_for(node_name, strategy)
+
+    options = config.get("options", {})
+    if options.get("multicore_rx"):
+        builder.multicore_rx(True)
+    if "app_core" in options:
+        builder.app_core(int(options["app_core"]))
+
+    sampling = config.get("sampling", True)
+    if sampling is False:
+        builder.sampling(enabled=False)
+    elif isinstance(sampling, dict) and "profile_file" in sampling:
+        builder.sampling(profiles=ProfileStore.load(sampling["profile_file"]))
+    elif sampling is not True:
+        raise ConfigurationError(
+            f"'sampling' must be true, false, or {{'profile_file': ...}}; "
+            f"got {sampling!r}"
+        )
+    return builder
+
+
+def load_cluster(source: ConfigSource) -> Cluster:
+    """One-call variant: config → built cluster."""
+    return builder_from_config(source).build()

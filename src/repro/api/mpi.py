@@ -1,0 +1,349 @@
+"""MPI-flavoured layer over the multirail engine (the paper's future work).
+
+The paper's conclusion plans to "integrate NewMadeleine in the
+MPICH2-Nemesis software stack so as to use the multirail capabilities ...
+within the widespread MPI implementation".  This module provides that
+integration's *shape*: a rank-addressed :class:`Communicator` whose
+point-to-point calls ride the engine (and therefore the strategies), plus
+timing-faithful collectives (barrier, bcast, gather, alltoall).
+
+The API follows mpi4py's lower-case convention.  Because this is a
+timing simulator, messages carry *sizes*, not payloads; a collective's
+result is when it completes.  Blocking calls are generator coroutines to
+``yield from`` inside simulation processes::
+
+    world = MpiWorld.create(4, strategy="hetero_split")
+
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(1, "1M")
+        elif comm.rank == 1:
+            yield from comm.recv(0)
+        yield from comm.barrier()
+
+    world.spawn_all(program)
+    world.run()
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Sequence
+
+from repro.api.cluster import Cluster, ClusterBuilder, StrategySpec
+from repro.api.session import Session
+from repro.core.packets import Message, RecvHandle
+from repro.util.errors import ConfigurationError
+from repro.util.units import parse_size
+
+#: tag space reserved for collectives (user tags must stay below)
+_COLLECTIVE_TAG_BASE = 1 << 20
+
+
+def _rank_name(rank: int) -> str:
+    return f"rank{rank}"
+
+
+class Communicator:
+    """One rank's handle on the world (MPI_COMM_WORLD equivalent)."""
+
+    def __init__(self, world: "MpiWorld", rank: int) -> None:
+        self.world = world
+        self.rank = rank
+        self.session: Session = world.cluster.session(_rank_name(rank))
+        self._collective_seq = 0
+
+    def __repr__(self) -> str:
+        return f"<Communicator rank {self.rank}/{self.size}>"
+
+    @property
+    def size(self) -> int:
+        return self.world.size
+
+    def _check_peer(self, peer: int) -> None:
+        if not 0 <= peer < self.size:
+            raise ConfigurationError(
+                f"rank {peer} outside 0..{self.size - 1}"
+            )
+        if peer == self.rank:
+            raise ConfigurationError("self-sends are not modelled")
+
+    # ------------------------------------------------------------------ #
+    # point to point
+    # ------------------------------------------------------------------ #
+
+    def isend(self, dest: int, size: "int | str", tag: int = 0) -> Message:
+        """Non-blocking send; completion via the message's ``done`` event."""
+        self._check_peer(dest)
+        if tag >= _COLLECTIVE_TAG_BASE or tag < 0:
+            raise ConfigurationError(f"user tag {tag} outside [0, {_COLLECTIVE_TAG_BASE})")
+        return self.session.isend(_rank_name(dest), size, tag=tag)
+
+    def irecv(self, source: Optional[int] = None, tag: Optional[int] = None) -> RecvHandle:
+        """Non-blocking receive (None = wildcard, as in MPI_ANY_SOURCE)."""
+        if source is not None:
+            self._check_peer(source)
+        return self.session.irecv(
+            source=_rank_name(source) if source is not None else None, tag=tag
+        )
+
+    def send(self, dest: int, size: "int | str", tag: int = 0) -> Iterator:
+        """Blocking send: returns when the receiver has the message."""
+        msg = self.isend(dest, size, tag=tag)
+        result = yield from self.session.wait(msg)
+        return result
+
+    def recv(self, source: Optional[int] = None, tag: Optional[int] = None) -> Iterator:
+        """Blocking receive: returns the matched message."""
+        handle = self.irecv(source=source, tag=tag)
+        result = yield from self.session.wait(handle)
+        return result
+
+    def sendrecv(
+        self, dest: int, size: "int | str", source: Optional[int] = None, tag: int = 0
+    ) -> Iterator:
+        """Concurrent send + receive (the ping-pong building block)."""
+        handle = self.irecv(source=source, tag=tag)
+        self.isend(dest, size, tag=tag)
+        result = yield from self.session.wait(handle)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # collectives (timing-faithful classic algorithms)
+    # ------------------------------------------------------------------ #
+
+    #: tag slots reserved per collective call (bounds the round count)
+    _TAGS_PER_COLLECTIVE = 64
+
+    def _next_collective_tag(self) -> int:
+        # Every rank calls collectives in the same order (MPI semantics),
+        # so a per-rank counter yields matching tag blocks across ranks.
+        tag = (
+            _COLLECTIVE_TAG_BASE
+            + self._collective_seq * self._TAGS_PER_COLLECTIVE
+        )
+        self._collective_seq += 1
+        return tag
+
+    def barrier(self) -> Iterator:
+        """Dissemination barrier: ceil(log2(n)) rounds of 1-byte tokens.
+
+        In round ``k`` every rank sends to ``rank + 2^k`` and waits for a
+        token from ``rank - 2^k`` (mod n); after the last round all ranks
+        are transitively synchronized.
+        """
+        n = self.size
+        if n == 1:
+            return
+        base_tag = self._next_collective_tag()
+        round_no = 0
+        dist = 1
+        while dist < n:
+            peer_to = (self.rank + dist) % n
+            peer_from = (self.rank - dist) % n
+            self.session.isend(_rank_name(peer_to), 1, tag=base_tag + round_no)
+            handle = self.session.irecv(
+                source=_rank_name(peer_from), tag=base_tag + round_no
+            )
+            yield from self.session.wait(handle)
+            dist *= 2
+            round_no += 1
+
+    def bcast(self, size: "int | str", root: int = 0) -> Iterator:
+        """Binomial-tree broadcast of ``size`` bytes from ``root``.
+
+        The classic MPICH algorithm on virtual ranks (root mapped to 0):
+        receive from the parent (clear the lowest set bit), then forward
+        to children at decreasing strides.
+        """
+        n = self.size
+        self._check_root(root)
+        nbytes = parse_size(size)
+        if n == 1:
+            return
+        tag = self._next_collective_tag()
+        vrank = (self.rank - root) % n
+        mask = 1
+        while mask < n:
+            if vrank & mask:
+                parent = ((vrank ^ mask) + root) % n
+                handle = self.session.irecv(source=_rank_name(parent), tag=tag)
+                yield from self.session.wait(handle)
+                break
+            mask <<= 1
+        # The loop leaves ``mask`` at the stride above this rank's highest
+        # forwarding distance (root: past the top); descend and forward.
+        mask >>= 1
+        while mask > 0:
+            if vrank + mask < n:
+                child = ((vrank + mask) + root) % n
+                self.session.isend(_rank_name(child), nbytes, tag=tag)
+            mask >>= 1
+
+    def _check_root(self, root: int) -> None:
+        if not 0 <= root < self.size:
+            raise ConfigurationError(f"root {root} outside 0..{self.size - 1}")
+
+    def gather(self, size: "int | str", root: int = 0) -> Iterator:
+        """Linear gather: every rank sends ``size`` bytes to ``root``."""
+        self._check_root(root)
+        nbytes = parse_size(size)
+        tag = self._next_collective_tag()
+        if self.rank == root:
+            handles = [
+                self.session.irecv(source=_rank_name(r), tag=tag)
+                for r in range(self.size)
+                if r != root
+            ]
+            for h in handles:
+                yield from self.session.wait(h)
+        else:
+            msg = self.session.isend(_rank_name(root), nbytes, tag=tag)
+            yield from self.session.wait(msg)
+
+    def alltoall(self, size: "int | str") -> Iterator:
+        """Each rank sends ``size`` bytes to every other rank."""
+        nbytes = parse_size(size)
+        tag = self._next_collective_tag()
+        handles = [
+            self.session.irecv(source=_rank_name(r), tag=tag)
+            for r in range(self.size)
+            if r != self.rank
+        ]
+        for r in range(self.size):
+            if r != self.rank:
+                self.session.isend(_rank_name(r), nbytes, tag=tag)
+        for h in handles:
+            yield from self.session.wait(h)
+
+    def scatter(self, size: "int | str", root: int = 0) -> Iterator:
+        """Root sends a distinct ``size``-byte block to every other rank.
+
+        Linear (the root owns all the data, so the tree variants only
+        move *more* bytes; linear matches MPICH's default for scatter of
+        large blocks).
+        """
+        self._check_root(root)
+        nbytes = parse_size(size)
+        tag = self._next_collective_tag()
+        if self.rank == root:
+            last: Optional[Message] = None
+            for r in range(self.size):
+                if r != root:
+                    last = self.session.isend(_rank_name(r), nbytes, tag=tag)
+            if last is not None:
+                yield from self.session.wait(last)
+        else:
+            handle = self.session.irecv(source=_rank_name(root), tag=tag)
+            yield from self.session.wait(handle)
+
+    def allgather(self, size: "int | str") -> Iterator:
+        """Every rank ends up with every rank's ``size``-byte block.
+
+        Bruck/dissemination style: ceil(log2(n)) rounds; in round ``k``
+        rank ``r`` sends its accumulated blocks (``2^k`` of them) to
+        ``r - 2^k`` and receives as many from ``r + 2^k``.
+        """
+        n = self.size
+        nbytes = parse_size(size)
+        if n == 1:
+            return
+        base_tag = self._next_collective_tag()
+        round_no = 0
+        dist = 1
+        accumulated = 1
+        while dist < n:
+            peer_to = (self.rank - dist) % n
+            peer_from = (self.rank + dist) % n
+            block = min(accumulated, n - accumulated) * nbytes
+            self.session.isend(
+                _rank_name(peer_to), max(1, block), tag=base_tag + round_no
+            )
+            handle = self.session.irecv(
+                source=_rank_name(peer_from), tag=base_tag + round_no
+            )
+            yield from self.session.wait(handle)
+            accumulated = min(n, accumulated * 2)
+            dist *= 2
+            round_no += 1
+
+    def reduce(self, size: "int | str", root: int = 0) -> Iterator:
+        """Binomial-tree reduction of ``size``-byte contributions to root.
+
+        The mirror image of :meth:`bcast`: leaves send first, inner nodes
+        combine (combination cost is the receive itself here — payloads
+        are sizes, not values) and forward up.
+        """
+        n = self.size
+        self._check_root(root)
+        nbytes = parse_size(size)
+        if n == 1:
+            return
+        tag = self._next_collective_tag()
+        vrank = (self.rank - root) % n
+        # Receive from children: strides below our lowest set bit.
+        mask = 1
+        while mask < n:
+            if vrank & mask:
+                break
+            child_v = vrank + mask
+            if child_v < n:
+                child = (child_v + root) % n
+                handle = self.session.irecv(source=_rank_name(child), tag=tag)
+                yield from self.session.wait(handle)
+            mask <<= 1
+        # Then send our combined contribution to the parent (root: none).
+        if vrank != 0:
+            parent = ((vrank ^ mask) + root) % n
+            msg = self.session.isend(_rank_name(parent), nbytes, tag=tag)
+            yield from self.session.wait(msg)
+
+
+class MpiWorld:
+    """A fully-connected set of ranks over multirail point-to-point links."""
+
+    def __init__(self, cluster: Cluster, size: int) -> None:
+        self.cluster = cluster
+        self.size = size
+        self.comms: List[Communicator] = [Communicator(self, r) for r in range(size)]
+
+    def __repr__(self) -> str:
+        return f"<MpiWorld size={self.size}>"
+
+    @classmethod
+    def create(
+        cls,
+        n_ranks: int,
+        strategy: StrategySpec = "hetero_split",
+        rails: Sequence[str] = ("myri10g", "quadrics"),
+        profiles=None,
+    ) -> "MpiWorld":
+        """Build a full mesh: every rank pair joined by one rail per
+        technology (point-to-point wires, as on the paper's testbed)."""
+        if n_ranks < 2:
+            raise ConfigurationError(f"an MPI world needs >= 2 ranks, got {n_ranks}")
+        builder = ClusterBuilder(strategy=strategy)
+        for r in range(n_ranks):
+            builder.add_node(_rank_name(r))
+        for a in range(n_ranks):
+            for b in range(a + 1, n_ranks):
+                for rail in rails:
+                    builder.add_rail(rail, _rank_name(a), _rank_name(b))
+        if profiles is not None:
+            builder.sampling(profiles=profiles)
+        return cls(builder.build(), n_ranks)
+
+    def comm(self, rank: int) -> Communicator:
+        try:
+            return self.comms[rank]
+        except IndexError:
+            raise ConfigurationError(f"no rank {rank}; world size {self.size}") from None
+
+    def spawn_all(self, program: Callable[[Communicator], Iterator]) -> List:
+        """Start ``program(comm)`` as one simulation process per rank."""
+        return [
+            self.cluster.sim.spawn(program(comm), name=f"rank{comm.rank}")
+            for comm in self.comms
+        ]
+
+    def run(self, until: Optional[float] = None) -> float:
+        return self.cluster.run(until=until)

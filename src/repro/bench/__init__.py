@@ -1,0 +1,29 @@
+"""Benchmark harness: runners, series formatting, experiment registry.
+
+Every figure and in-text table of the paper's evaluation (§IV) has a
+regenerator in :mod:`repro.bench.experiments`; the pytest-benchmark
+wrappers in ``benchmarks/`` call into those and assert the validation
+contract from DESIGN.md §6 (shape, not absolute numbers).
+"""
+
+from repro.bench.series import Series, SweepResult, format_table
+from repro.bench.charts import ascii_chart
+from repro.bench.runners import (
+    default_profiles,
+    build_paper_cluster,
+    measure_oneway,
+    measure_pair_completion,
+    sweep_oneway,
+)
+
+__all__ = [
+    "Series",
+    "SweepResult",
+    "format_table",
+    "ascii_chart",
+    "default_profiles",
+    "build_paper_cluster",
+    "measure_oneway",
+    "measure_pair_completion",
+    "sweep_oneway",
+]

@@ -1,0 +1,84 @@
+"""Terminal charts for sweep results.
+
+Renders a :class:`~repro.bench.series.SweepResult` as a fixed-size ASCII
+scatter chart (one marker per series), so the paper's figures can be
+*looked at*, not just tabulated, without any plotting dependency::
+
+    from repro.bench.experiments import fig8
+    from repro.bench.charts import ascii_chart
+    print(ascii_chart(fig8.run(), log_x=True))
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.bench.series import SweepResult
+from repro.util.errors import ConfigurationError
+from repro.util.units import format_size
+
+#: series markers, assigned in order
+MARKERS = "*o+x#@%&"
+
+
+def _scale(value: float, lo: float, hi: float, steps: int, log: bool) -> int:
+    """Map value∈[lo,hi] to 0..steps-1 (optionally log-scaled)."""
+    if hi <= lo:
+        return 0
+    if log:
+        value, lo, hi = math.log(max(value, 1e-12)), math.log(max(lo, 1e-12)), math.log(hi)
+        if hi <= lo:
+            return 0
+    frac = (value - lo) / (hi - lo)
+    return max(0, min(steps - 1, int(round(frac * (steps - 1)))))
+
+
+def ascii_chart(
+    result: SweepResult,
+    width: int = 64,
+    height: int = 16,
+    log_x: bool = True,
+    log_y: bool = False,
+) -> str:
+    """Render the sweep as an ASCII chart with a legend.
+
+    ``log_x`` suits the power-of-two size axes of the paper's figures;
+    ``log_y`` helps when series span decades (e.g. FIG3/FIG9 latencies).
+    """
+    if width < 16 or height < 4:
+        raise ConfigurationError(f"chart too small: {width}x{height}")
+    if len(result.series) > len(MARKERS):
+        raise ConfigurationError(
+            f"at most {len(MARKERS)} series, got {len(result.series)}"
+        )
+    xs = result.x_sizes
+    all_values = [v for s in result.series for v in s.values]
+    y_lo, y_hi = min(all_values), max(all_values)
+    x_lo, x_hi = min(xs), max(xs)
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for marker, series in zip(MARKERS, result.series):
+        for x, y in zip(xs, series.values):
+            col = _scale(x, x_lo, x_hi, width, log_x)
+            row = height - 1 - _scale(y, y_lo, y_hi, height, log_y)
+            grid[row][col] = marker
+
+    y_label_w = max(len(f"{y_hi:.4g}"), len(f"{y_lo:.4g}"))
+    lines = [result.title, f"({result.y_label})"]
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = f"{y_hi:.4g}"
+        elif i == height - 1:
+            label = f"{y_lo:.4g}"
+        else:
+            label = ""
+        lines.append(f"{label:>{y_label_w}} |{''.join(row)}|")
+    x_left, x_right = format_size(x_lo), format_size(x_hi)
+    pad = width - len(x_left) - len(x_right)
+    lines.append(f"{'':>{y_label_w}}  {x_left}{'':{max(1, pad)}}{x_right}")
+    scales = f"[x: {'log' if log_x else 'lin'}, y: {'log' if log_y else 'lin'}]"
+    lines.append(f"{'':>{y_label_w}}  {scales}")
+    for marker, series in zip(MARKERS, result.series):
+        lines.append(f"{'':>{y_label_w}}  {marker} = {series.label}")
+    return "\n".join(lines)

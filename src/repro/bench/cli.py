@@ -1,0 +1,158 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.bench.cli list
+    python -m repro.bench.cli run FIG8
+    python -m repro.bench.cli run all
+    python -m repro.bench.cli sweep --sizes 64K,1M,8M --strategies hetero_split,iso_split
+
+``run`` regenerates a registered paper artefact and prints its table;
+``sweep`` is a free-form bandwidth sweep for ad-hoc exploration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench",
+        description="Regenerate the paper's experiments from the simulator.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered experiments")
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", help="experiment id (see 'list'), or 'all'")
+    run.add_argument(
+        "--csv",
+        metavar="PATH",
+        help="also dump the result as CSV (sweep-shaped experiments only)",
+    )
+    run.add_argument(
+        "--chart",
+        action="store_true",
+        help="also render an ASCII chart (sweep-shaped experiments only)",
+    )
+
+    sweep = sub.add_parser("sweep", help="ad-hoc bandwidth/latency sweep")
+    sweep.add_argument(
+        "--sizes", default="64K,1M,8M", help="comma-separated sizes (4K, 8M, ...)"
+    )
+    sweep.add_argument(
+        "--strategies",
+        default="single_rail,iso_split,hetero_split",
+        help="comma-separated strategy names",
+    )
+    sweep.add_argument(
+        "--metric", choices=("latency", "bandwidth"), default="bandwidth"
+    )
+    sweep.add_argument(
+        "--rails",
+        default="myri10g,quadrics",
+        help="comma-separated rail technologies",
+    )
+    return parser
+
+
+def _cmd_list() -> int:
+    from repro.bench.experiments import experiment_registry
+
+    width = max(len(k) for k in experiment_registry)
+    for key, runner in experiment_registry.items():
+        doc = (runner.__doc__ or "").strip().splitlines()
+        summary = doc[0] if doc else ""
+        print(f"{key:<{width}}  {summary}")
+    return 0
+
+
+def _cmd_run(
+    experiment: str, csv_path: Optional[str] = None, chart: bool = False
+) -> int:
+    from repro.bench.experiments import experiment_registry
+
+    if experiment.lower() == "all":
+        keys: Sequence[str] = list(experiment_registry)
+        if csv_path:
+            print("--csv requires a single experiment", file=sys.stderr)
+            return 2
+    else:
+        key = experiment.upper()
+        if key not in experiment_registry:
+            known = ", ".join(experiment_registry)
+            print(f"unknown experiment {experiment!r}; known: {known}", file=sys.stderr)
+            return 2
+        keys = [key]
+    for i, key in enumerate(keys):
+        if i:
+            print()
+        result = experiment_registry[key]()
+        print(result.render())
+        if chart:
+            from repro.bench.charts import ascii_chart
+            from repro.bench.series import SweepResult
+
+            if isinstance(result, SweepResult):
+                print()
+                print(ascii_chart(result))
+            else:
+                print(f"{key} is not sweep-shaped; no chart", file=sys.stderr)
+        if csv_path:
+            if not hasattr(result, "to_csv"):
+                print(
+                    f"{key} is not sweep-shaped; no CSV written", file=sys.stderr
+                )
+                return 2
+            result.to_csv(csv_path)
+            print(f"csv written to {csv_path}")
+    return 0
+
+
+def _cmd_sweep(sizes: str, strategies: str, metric: str, rails: str) -> int:
+    from repro.bench.runners import sweep_oneway
+    from repro.util.units import parse_size
+
+    try:
+        size_list = [parse_size(s) for s in sizes.split(",") if s]
+    except ValueError as exc:
+        print(f"bad --sizes: {exc}", file=sys.stderr)
+        return 2
+    strategy_names = [s.strip() for s in strategies.split(",") if s.strip()]
+    rail_tuple = tuple(r.strip() for r in rails.split(",") if r.strip())
+    try:
+        result = sweep_oneway(
+            title=f"ad-hoc sweep over {rail_tuple}",
+            sizes=size_list,
+            strategies={name: name for name in strategy_names},
+            metric=metric,
+            rails=rail_tuple,
+        )
+    except KeyError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(result.render())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code (0 ok, 2 usage error)."""
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "run":
+            return _cmd_run(args.experiment, csv_path=args.csv, chart=args.chart)
+        if args.command == "sweep":
+            return _cmd_sweep(args.sizes, args.strategies, args.metric, args.rails)
+    except BrokenPipeError:  # e.g. `... | head` closed the pipe; not an error
+        return 0
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,62 @@
+"""FIG8 — message splitting bandwidth (paper Fig. 8).
+
+Workload: one-way transfers, 32 KiB – 8 MiB.  Series:
+
+* *Myri-10G* / *Quadrics* — single-rail references;
+* *Iso-split over both networks* — equal-size chunks;
+* *Hetero-split over both networks* — the sampling-based strategy.
+
+All strategies force the rendezvous threshold to 32 KiB so the splitting
+machinery is active across the whole sweep, as on the real MX/Elan stacks.
+
+Paper reference points (plateaus at 8 MiB): Myri-10G 1170 MB/s, Quadrics
+837 MB/s, iso-split 1670 MB/s, hetero-split 1987 MB/s (theoretical
+aggregate ≈ 2 GB/s).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bench.runners import default_profiles, sweep_oneway
+from repro.bench.series import SweepResult
+from repro.core.strategies import (
+    HeteroSplitStrategy,
+    IsoSplitStrategy,
+    SingleRailStrategy,
+)
+from repro.util.units import KiB, MiB, pow2_sizes
+
+#: Fig. 8 x axis.
+SIZES: Sequence[int] = tuple(pow2_sizes(32 * KiB, 8 * MiB))
+
+MYRI = "Myri-10G"
+QUAD = "Quadrics"
+ISO = "Iso-split over both networks"
+HETERO = "Hetero-split over both networks"
+
+#: paper's reported plateaus (MB/s) for EXPERIMENTS.md comparisons
+PAPER_PLATEAUS = {MYRI: 1170.0, QUAD: 837.0, ISO: 1670.0, HETERO: 1987.0}
+
+_THRESHOLD = 32 * KiB
+
+
+def run(sizes: Sequence[int] = SIZES) -> SweepResult:
+    """Fig. 8: one-way bandwidth, single rails vs iso vs hetero split."""
+    strategies = {
+        MYRI: lambda: SingleRailStrategy(rail="myri10g", rdv_threshold=_THRESHOLD),
+        QUAD: lambda: SingleRailStrategy(rail="quadrics", rdv_threshold=_THRESHOLD),
+        ISO: lambda: IsoSplitStrategy(rdv_threshold=_THRESHOLD),
+        HETERO: lambda: HeteroSplitStrategy(rdv_threshold=_THRESHOLD),
+    }
+    result = sweep_oneway(
+        title="FIG8: message splitting - bandwidth",
+        sizes=sizes,
+        strategies=strategies,
+        metric="bandwidth",
+        profiles=default_profiles(),
+    )
+    result.notes.append(
+        "paper plateaus at 8M: Myri 1170, Quadrics 837, iso 1670, hetero 1987 MB/s"
+    )
+    return result

@@ -1,0 +1,121 @@
+"""Measurement runners: build testbeds, time one-way transfers, sweep sizes.
+
+Clusters are rebuilt per measurement (cheap — the simulator is pure
+Python objects) so every point starts from a quiescent system, and the
+sampling pass is computed once per rail set and memoized.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.api.cluster import Cluster, ClusterBuilder, StrategySpec
+from repro.bench.series import Series, SweepResult
+from repro.core.packets import Message
+from repro.core.sampling import ProfileStore
+from repro.networks.drivers import make_driver
+from repro.util.errors import ConfigurationError
+
+
+@lru_cache(maxsize=None)
+def default_profiles(rails: Tuple[str, ...] = ("myri10g", "quadrics")) -> ProfileStore:
+    """Sampled profiles for a rail set, computed once per process."""
+    return ProfileStore.sample_drivers([make_driver(r) for r in rails])
+
+
+def build_paper_cluster(
+    strategy: StrategySpec,
+    rails: Tuple[str, ...] = ("myri10g", "quadrics"),
+    profiles: Optional[ProfileStore] = None,
+) -> Cluster:
+    """The §IV testbed with memoized sampling."""
+    return (
+        ClusterBuilder.paper_testbed(strategy=strategy, rails=rails)
+        .sampling(profiles=profiles or default_profiles(rails))
+        .build()
+    )
+
+
+def measure_oneway(
+    cluster: Cluster,
+    size: int,
+    tag: int = 0,
+    warmup: int = 0,
+) -> Message:
+    """One one-way transfer node0 → node1; returns the completed message.
+
+    ``warmup`` sends (and completes) that many identical messages first —
+    a no-op for timing in the deterministic simulator, but it exercises
+    steady-state code paths exactly like the real benchmarks do.
+    """
+    a, b = cluster.session("node0"), cluster.session("node1")
+    for w in range(warmup):
+        b.irecv(tag=1000 + w)
+        a.isend("node1", size, tag=1000 + w)
+        cluster.run()
+    b.irecv(tag=tag)
+    msg = a.isend("node1", size, tag=tag)
+    cluster.run()
+    if msg.latency is None:
+        raise ConfigurationError(
+            f"{size}B transfer under {cluster.engine('node0').strategy.name} "
+            "never completed"
+        )
+    return msg
+
+
+def measure_pair_completion(
+    cluster: Cluster,
+    seg_size: int,
+) -> Tuple[float, Message, Message]:
+    """Two same-instant segments node0 → node1 (the Fig. 3 workload).
+
+    Returns (completion of the later segment, msg1, msg2).
+    """
+    a, b = cluster.session("node0"), cluster.session("node1")
+    b.irecv(tag=1)
+    b.irecv(tag=2)
+    m1 = a.isend("node1", seg_size, tag=1)
+    m2 = a.isend("node1", seg_size, tag=2)
+    cluster.run()
+    for m in (m1, m2):
+        if m.t_complete is None:
+            raise ConfigurationError(f"segment {m!r} never completed")
+    return max(m1.t_complete, m2.t_complete) - m1.t_post, m1, m2
+
+
+def sweep_oneway(
+    title: str,
+    sizes: Sequence[int],
+    strategies: Dict[str, Union[StrategySpec, Callable[[], StrategySpec]]],
+    metric: str = "latency",
+    rails: Tuple[str, ...] = ("myri10g", "quadrics"),
+    profiles: Optional[ProfileStore] = None,
+) -> SweepResult:
+    """Measure every (strategy, size) pair on a fresh cluster.
+
+    ``metric``: ``"latency"`` (µs one-way) or ``"bandwidth"`` (MB/s).
+    Strategy values may be specs or zero-arg factories (fresh per point).
+    """
+    from repro.util.units import bytes_per_us_to_mbps
+
+    if metric not in ("latency", "bandwidth"):
+        raise ConfigurationError(f"unknown metric {metric!r}")
+    store = profiles or default_profiles(rails)
+    series: List[Series] = []
+    for label, spec in strategies.items():
+        values: List[float] = []
+        for size in sizes:
+            resolved = spec() if callable(spec) and not isinstance(spec, type) else spec
+            cluster = build_paper_cluster(resolved, rails=rails, profiles=store)
+            msg = measure_oneway(cluster, size)
+            if metric == "latency":
+                values.append(msg.latency)
+            else:
+                values.append(bytes_per_us_to_mbps(size / msg.latency))
+        series.append(Series(label=label, values=values))
+    y_label = "one-way latency, us" if metric == "latency" else "bandwidth, MB/s"
+    return SweepResult(
+        title=title, x_sizes=list(sizes), series=series, y_label=y_label
+    )

@@ -1,0 +1,113 @@
+"""Result containers and ASCII table rendering for experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.util.errors import ConfigurationError
+from repro.util.units import format_size
+
+
+@dataclass
+class Series:
+    """One curve of an experiment: y(label) over the shared x sizes."""
+
+    label: str
+    values: List[float]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ConfigurationError(f"series {self.label!r} is empty")
+
+    def at(self, index: int) -> float:
+        return self.values[index]
+
+
+@dataclass
+class SweepResult:
+    """A figure-shaped result: x sizes (bytes) × several series."""
+
+    title: str
+    x_sizes: List[int]
+    series: List[Series]
+    y_label: str = "value"
+    notes: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for s in self.series:
+            if len(s.values) != len(self.x_sizes):
+                raise ConfigurationError(
+                    f"series {s.label!r} has {len(s.values)} points, "
+                    f"x axis has {len(self.x_sizes)}"
+                )
+
+    def __getitem__(self, label: str) -> Series:
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise ConfigurationError(
+            f"no series {label!r}; have {[s.label for s in self.series]}"
+        )
+
+    @property
+    def labels(self) -> List[str]:
+        return [s.label for s in self.series]
+
+    def column(self, size: int) -> Dict[str, float]:
+        """All series values at one x size."""
+        try:
+            i = self.x_sizes.index(size)
+        except ValueError:
+            raise ConfigurationError(
+                f"size {size} not in sweep; have {self.x_sizes}"
+            ) from None
+        return {s.label: s.values[i] for s in self.series}
+
+    def render(self, precision: int = 2) -> str:
+        return format_table(self, precision=precision)
+
+    def to_csv(self, target) -> int:
+        """Write ``size,<series...>`` rows to a path or text stream;
+        returns the data-row count."""
+        import csv
+        from pathlib import Path
+
+        stream = (
+            open(target, "w", newline="")
+            if isinstance(target, (str, Path))
+            else target
+        )
+        owned = stream is not target
+        try:
+            writer = csv.writer(stream)
+            writer.writerow(["size_bytes"] + [s.label for s in self.series])
+            for i, size in enumerate(self.x_sizes):
+                writer.writerow([size] + [s.values[i] for s in self.series])
+            return len(self.x_sizes)
+        finally:
+            if owned:
+                stream.close()
+
+
+def format_table(result: SweepResult, precision: int = 2) -> str:
+    """Fixed-width ASCII table, sizes down the side — the same rows the
+    paper's figures plot."""
+    size_w = max(len("size"), max(len(format_size(s)) for s in result.x_sizes))
+    col_ws = [
+        max(len(s.label), precision + 8) for s in result.series
+    ]
+    header = f"{'size':>{size_w}}  " + "  ".join(
+        f"{s.label:>{w}}" for s, w in zip(result.series, col_ws)
+    )
+    rule = "-" * len(header)
+    lines = [result.title, f"({result.y_label})", rule, header, rule]
+    for i, size in enumerate(result.x_sizes):
+        row = f"{format_size(size):>{size_w}}  " + "  ".join(
+            f"{s.values[i]:>{w}.{precision}f}" for s, w in zip(result.series, col_ws)
+        )
+        lines.append(row)
+    lines.append(rule)
+    for note in result.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)

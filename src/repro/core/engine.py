@@ -1,0 +1,353 @@
+"""NmadEngine: the NewMadeleine communication engine, all layers wired.
+
+One engine per node.  The application layer API is ``isend`` /
+``post_recv``; everything below (mode choice, aggregation, splitting,
+multicore offload, rendezvous) is delegated to the strategy plug-in and
+the substrates.
+
+Measurement semantics
+---------------------
+``Message.done`` triggers when the *receiver* finished processing the
+last chunk.  Sender and receiver live in one simulator, so this global
+observation is exact — it replaces the clock-synchronization/ping-pong-
+halving gymnastics of real-testbed measurements.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.estimator import NicEstimator
+from repro.core.packets import Message, MessageStatus, RecvHandle, TransferMode
+from repro.core.prediction import CompletionPredictor
+from repro.core.rendezvous import (
+    make_aggregated_eager,
+    make_eager_chunks,
+    make_rdv_ack,
+    make_rdv_chunks,
+    make_rdv_req,
+)
+from repro.core.scheduler import OptimizerScheduler
+from repro.core.strategies.base import Strategy
+from repro.hardware.core import Core
+from repro.hardware.machine import Machine
+from repro.networks.nic import Nic
+from repro.networks.transfer import Transfer, TransferKind
+from repro.pioman.progress import PiomanEngine
+from repro.pioman.requests import SendRequest
+from repro.simtime import SimEvent
+from repro.threading.marcel import MarcelScheduler
+from repro.util.errors import ConfigurationError, ProtocolError
+
+
+class NmadEngine:
+    """The multirail communication engine for one node.
+
+    Parameters
+    ----------
+    machine:
+        The node (cores + NICs must already be wired).
+    strategy:
+        The optimization strategy plug-in.
+    estimators:
+        Sampled per-technology profiles (from
+        :class:`~repro.core.sampling.ProfileStore`); required by the
+        sampling-based strategies.
+    app_core_id:
+        The core the application (and therefore the strategy and the
+        default submissions) runs on.
+    pioman:
+        Progress engine; built automatically when omitted.  Its poll core
+        defaults to the app core — the single-threaded configuration of
+        the paper's benchmarks.
+    multicore_rx:
+        Forwarded to the auto-built PIOMan engine: let receive-side
+        processing spill onto idle cores (the paper's future-work
+        improvement; see :class:`~repro.pioman.PiomanEngine`).
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        strategy: Strategy,
+        estimators: Optional[Dict[str, NicEstimator]] = None,
+        app_core_id: int = 0,
+        pioman: Optional[PiomanEngine] = None,
+        marcel: Optional[MarcelScheduler] = None,
+        multicore_rx: bool = False,
+    ) -> None:
+        if not machine.nics:
+            raise ConfigurationError(f"{machine.name} has no NICs")
+        for nic in machine.nics:
+            if nic.wire is None:
+                raise ConfigurationError(f"{nic.qualified_name} is not wired")
+        self.machine = machine
+        self.sim = machine.sim
+        self.app_core: Core = machine.cores[app_core_id]
+        self.marcel = marcel or MarcelScheduler(machine)
+        self.pioman = pioman or PiomanEngine(
+            machine,
+            marcel=self.marcel,
+            poll_core_id=app_core_id,
+            multicore_rx=multicore_rx,
+        )
+        self.pioman.bind()
+        self.pioman.rx_dispatch = self._on_transfer
+        self.predictor = (
+            CompletionPredictor(estimators) if estimators else None
+        )
+        self.scheduler = OptimizerScheduler(self)
+        self.strategy = strategy
+        strategy.attach(self)
+        self._routes: Dict[str, List[Nic]] = defaultdict(list)
+        for nic in machine.nics:
+            for peer in nic.wire.peers_of(nic):
+                if nic not in self._routes[peer.machine.name]:
+                    self._routes[peer.machine.name].append(nic)
+            nic.idle_listeners.append(self.scheduler.on_nic_idle)
+        # receive-side state
+        self._posted_recvs: List[RecvHandle] = []
+        self._unexpected: List[Message] = []
+        self._pending_rdv: List[Tuple[Message, Nic]] = []
+        # counters
+        self.messages_sent = 0
+        self.messages_completed = 0
+        self.bytes_sent = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<NmadEngine {self.machine.name} strategy={self.strategy.name} "
+            f"rails={[n.name for n in self.machine.nics]}>"
+        )
+
+    # ------------------------------------------------------------------ #
+    # application layer API
+    # ------------------------------------------------------------------ #
+
+    def isend(self, dest: str, size: int, tag: int = 0) -> Message:
+        """Enqueue a send and return immediately (the application keeps
+        computing; the scheduler activates at the end of the instant)."""
+        if dest not in self._routes:
+            raise ConfigurationError(
+                f"no rail from {self.machine.name} to {dest!r}; reachable: "
+                f"{sorted(self._routes)}"
+            )
+        msg = Message(src=self.machine.name, dest=dest, size=size, tag=tag)
+        msg.done = SimEvent(self.sim, name=f"msg{msg.msg_id}.done")
+        msg.t_post = self.sim.now
+        msg.mode = self.strategy.choose_mode(msg)
+        self.messages_sent += 1
+        self.bytes_sent += size
+        self.scheduler.enqueue(msg)
+        return msg
+
+    def post_recv(
+        self, source: Optional[str] = None, tag: Optional[int] = None
+    ) -> RecvHandle:
+        """Post a receive; its ``done`` event fires with the matched
+        message once that message fully arrived."""
+        handle = RecvHandle(node=self.machine.name, source=source, tag=tag)
+        handle.done = SimEvent(self.sim, name=f"recv@{self.machine.name}")
+        for msg in self._unexpected:
+            if handle.matches(msg):
+                self._unexpected.remove(msg)
+                handle.matched = msg
+                handle.done.trigger(msg)
+                return handle
+        self._posted_recvs.append(handle)
+        # A rendezvous may have been waiting for exactly this buffer.
+        for msg, nic in list(self._pending_rdv):
+            if handle.matches(msg):
+                self._pending_rdv.remove((msg, nic))
+                self._send_rdv_ack(msg, nic)
+                break
+        return handle
+
+    def cancel_recv(self, handle: RecvHandle) -> bool:
+        """Withdraw a posted receive that has not matched yet.
+
+        Returns True when the handle was pending and is now cancelled;
+        False when it already matched (the message is the caller's).
+        Rendezvous senders waiting on this buffer keep waiting for the
+        next matching post — exactly as if the receive had never been
+        posted.
+        """
+        if handle.matched is not None:
+            return False
+        try:
+            self._posted_recvs.remove(handle)
+        except ValueError:
+            raise ProtocolError(
+                f"receive handle was not posted on {self.machine.name}"
+            ) from None
+        return True
+
+    def rails_to(self, dest: str) -> List[Nic]:
+        """Local NICs wired towards ``dest`` (strategy-facing)."""
+        rails = self._routes.get(dest)
+        if not rails:
+            raise ConfigurationError(f"no rail towards {dest!r}")
+        return list(rails)
+
+    # ------------------------------------------------------------------ #
+    # submission helpers (called by strategies)
+    # ------------------------------------------------------------------ #
+
+    def submit_eager_chunks(
+        self,
+        msg: Message,
+        chunks: Sequence[Tuple[Nic, int]],
+        offload: bool = False,
+        allow_preempt: bool = True,
+    ) -> None:
+        """Send ``msg`` as eager chunks, one per (nic, size) pair.
+
+        ``offload=True`` routes the submissions through PIOMan's
+        to-be-sent list so idle cores perform the PIO copies in parallel
+        (§III-D); otherwise every chunk is posted from the app core.
+        """
+        self._check_ownership(msg)
+        sizes = [s for _, s in chunks]
+        transfers = make_eager_chunks(msg, sizes)
+        msg.mode = TransferMode.EAGER
+        msg.status = MessageStatus.IN_TRANSFER
+        msg.expect_chunks(len(chunks))
+        msg.rails_used = [nic.qualified_name for nic, _ in chunks]
+        msg.chunk_sizes = list(sizes)
+        msg.transfers.extend(transfers)
+        if offload and len(chunks) > 1:
+            requests = [
+                SendRequest(transfer=t, nic=nic)
+                for t, (nic, _) in zip(transfers, chunks)
+            ]
+            self.pioman.register_sends(
+                requests, issuing_core=self.app_core, allow_preempt=allow_preempt
+            )
+        else:
+            for t, (nic, _) in zip(transfers, chunks):
+                nic.submit(t, self.app_core)
+
+    def submit_aggregated_eager(self, msgs: Sequence[Message], nic: Nic) -> None:
+        """Pack several messages into one eager packet on one rail."""
+        for m in msgs:
+            self._check_ownership(m)
+        packet = make_aggregated_eager(msgs)
+        if packet.size > nic.profile.eager_limit:
+            raise ProtocolError(
+                f"aggregated packet of {packet.size}B exceeds "
+                f"{nic.profile.name} eager limit"
+            )
+        ids = [m.msg_id for m in msgs]
+        for m in msgs:
+            m.mode = TransferMode.EAGER
+            m.status = MessageStatus.IN_TRANSFER
+            m.expect_chunks(1)
+            m.rails_used = [nic.qualified_name]
+            m.chunk_sizes = [m.size]
+            m.aggregated_with = [i for i in ids if i != m.msg_id]
+        # Building the aggregate (iovec entries, or a staging copy without
+        # gather/scatter hardware) costs CPU before the post.
+        agg_cost = nic.driver.aggregation_cpu_cost(
+            [m.size for m in msgs], self.machine.memcpy_rate
+        )
+        if agg_cost > 0:
+            self.app_core.run(agg_cost, label="aggregate")
+        for m in msgs:
+            m.transfers.append(packet)
+        nic.submit(packet, self.app_core)
+
+    def start_rendezvous(self, msg: Message, control_nic: Nic) -> None:
+        """Send the RDV_REQ for ``msg`` on ``control_nic``."""
+        self._check_ownership(msg)
+        msg.mode = TransferMode.RENDEZVOUS
+        msg.status = MessageStatus.RDV_REQUESTED
+        req = make_rdv_req(msg)
+        msg.transfers.append(req)
+        control_nic.submit(req, self.app_core)
+
+    # ------------------------------------------------------------------ #
+    # receive path (rx_dispatch target; runs after PIOMan charged costs)
+    # ------------------------------------------------------------------ #
+
+    def _on_transfer(self, transfer: Transfer, nic: Nic) -> None:
+        if transfer.kind is TransferKind.EAGER:
+            self._on_eager(transfer)
+        elif transfer.kind is TransferKind.RDV_REQ:
+            self._on_rdv_req(transfer, nic)
+        elif transfer.kind is TransferKind.RDV_ACK:
+            self._on_rdv_ack(transfer)
+        elif transfer.kind is TransferKind.RDV_DATA:
+            self._on_rdv_data(transfer)
+        else:  # pragma: no cover - exhaustive over TransferKind
+            raise ProtocolError(f"unknown transfer kind {transfer.kind}")
+
+    def _on_eager(self, transfer: Transfer) -> None:
+        if transfer.aggregated_ids:
+            for msg in transfer.payload["messages"]:
+                if msg.account_chunk(msg.size):
+                    self._complete_message(msg)
+            return
+        msg: Message = transfer.payload["message"]
+        if msg.account_chunk(transfer.size):
+            self._complete_message(msg)
+
+    def _on_rdv_req(self, transfer: Transfer, nic: Nic) -> None:
+        msg: Message = transfer.payload["message"]
+        for handle in self._posted_recvs:
+            if handle.matches(msg):
+                self._send_rdv_ack(msg, nic)
+                return
+        # No buffer yet: the rendezvous waits for a matching post_recv.
+        self._pending_rdv.append((msg, nic))
+
+    def _send_rdv_ack(self, msg: Message, nic: Nic) -> None:
+        ack = make_rdv_ack(msg)
+        msg.transfers.append(ack)
+        nic.submit(ack, self.app_core)
+
+    def _on_rdv_ack(self, transfer: Transfer) -> None:
+        """Back on the sender: the receiver is ready — plan and push data."""
+        msg: Message = transfer.payload["message"]
+        if msg.src != self.machine.name:
+            raise ProtocolError(
+                f"RDV_ACK for msg {msg.msg_id} arrived at {self.machine.name}, "
+                f"but the sender is {msg.src}"
+            )
+        plan = self.strategy.plan_rdv_data(msg)
+        msg.status = MessageStatus.IN_TRANSFER
+        msg.expect_chunks(len(plan.nics))
+        msg.rails_used = [n.qualified_name for n in plan.nics]
+        msg.chunk_sizes = list(plan.sizes)
+        for t, nic in zip(make_rdv_chunks(msg, plan.sizes), plan.nics):
+            msg.transfers.append(t)
+            nic.submit(t, self.app_core)
+
+    def _on_rdv_data(self, transfer: Transfer) -> None:
+        msg: Message = transfer.payload["message"]
+        if msg.account_chunk(transfer.size):
+            self._complete_message(msg)
+
+    def _complete_message(self, msg: Message) -> None:
+        msg.status = MessageStatus.COMPLETE
+        msg.t_complete = self.sim.now
+        self.messages_completed += 1
+        assert msg.done is not None
+        msg.done.trigger(msg)
+        for handle in self._posted_recvs:
+            if handle.matched is None and handle.matches(msg):
+                handle.matched = msg
+                self._posted_recvs.remove(handle)
+                assert handle.done is not None
+                handle.done.trigger(msg)
+                return
+        self._unexpected.append(msg)
+
+    # ------------------------------------------------------------------ #
+
+    def _check_ownership(self, msg: Message) -> None:
+        if msg.src != self.machine.name:
+            raise ProtocolError(
+                f"engine {self.machine.name} asked to send msg {msg.msg_id} "
+                f"owned by {msg.src}"
+            )

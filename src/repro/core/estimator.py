@@ -1,0 +1,249 @@
+"""Transfer-time estimation from sampled measurements.
+
+Paper §III-C, verbatim: *"First, the strategy accesses the results of the
+sampling measurements through structures initialized at the launch of
+NewMadeleine.  Second, the sampled sizes that are the closest to the
+message size are retrieved, for instance using a logarithm in the case of
+power of 2 samples.  Finally, the estimated transfer time is computed by
+the mean of a linear interpolation."*
+
+:class:`SampleTable` implements exactly that: log2-indexed bracket lookup
+plus linear interpolation, with linear extrapolation beyond the sampled
+range.  :class:`NicEstimator` bundles the per-NIC tables (eager curve,
+DMA curve, control-packet cost) and derives the rendezvous threshold from
+their crossover — the paper notes sampling "can also be used to determine
+other parameters such as rendezvous threshold".
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.packets import TransferMode
+from repro.util.errors import SamplingError
+
+
+class SampleTable:
+    """A sampled (size → time) curve with log-indexed interpolation.
+
+    Sizes must be strictly increasing; powers of two enable the O(1)
+    logarithm lookup of the paper, but any strictly increasing grid works
+    (binary search fallback).
+    """
+
+    def __init__(self, sizes: Sequence[int], times: Sequence[float]) -> None:
+        if len(sizes) != len(times):
+            raise SamplingError(
+                f"{len(sizes)} sizes vs {len(times)} times"
+            )
+        if len(sizes) < 2:
+            raise SamplingError("a sample table needs at least two points")
+        self.sizes = np.asarray(sizes, dtype=np.float64)
+        self.times = np.asarray(times, dtype=np.float64)
+        if np.any(np.diff(self.sizes) <= 0):
+            raise SamplingError(f"sizes not strictly increasing: {sizes}")
+        if np.any(self.times < 0):
+            raise SamplingError("negative sampled time")
+        # Detect the pure power-of-two grid for the O(1) log path.
+        logs = np.log2(self.sizes)
+        self._pow2 = bool(
+            np.allclose(logs, np.round(logs)) and np.all(np.diff(np.round(logs)) == 1)
+        )
+        self._log0 = int(round(logs[0])) if self._pow2 else 0
+
+    def __len__(self) -> int:
+        return len(self.sizes)
+
+    @property
+    def min_size(self) -> int:
+        return int(self.sizes[0])
+
+    @property
+    def max_size(self) -> int:
+        return int(self.sizes[-1])
+
+    def _bracket(self, size: float) -> int:
+        """Index ``i`` such that sizes[i] <= size < sizes[i+1] (clamped)."""
+        if self._pow2:
+            i = int(math.floor(math.log2(size))) - self._log0 if size > 0 else 0
+        else:
+            i = int(np.searchsorted(self.sizes, size, side="right")) - 1
+        return max(0, min(i, len(self.sizes) - 2))
+
+    def __call__(self, size: float) -> float:
+        """Estimated time for ``size`` bytes (linear inter-/extrapolation).
+
+        Results are clamped to be non-negative (extrapolating the first
+        segment below the smallest sample could otherwise go negative).
+        """
+        if size < 0:
+            raise SamplingError(f"negative size: {size}")
+        i = self._bracket(max(size, 1.0))
+        s0, s1 = self.sizes[i], self.sizes[i + 1]
+        t0, t1 = self.times[i], self.times[i + 1]
+        t = t0 + (t1 - t0) * (size - s0) / (s1 - s0)
+        return max(0.0, float(t))
+
+    def inverse(self, time: float) -> float:
+        """Largest size transferable within ``time`` (for waterfilling).
+
+        Requires a non-decreasing curve.  Returns 0 when even the
+        extrapolated zero-size transfer exceeds ``time``, and extrapolates
+        past the largest sample using the final segment's rate.
+        """
+        if time <= self(0):
+            return 0.0
+        if time >= float(self.times[-1]):
+            # extrapolate along the last segment
+            s0, s1 = self.sizes[-2], self.sizes[-1]
+            t0, t1 = self.times[-2], self.times[-1]
+            slope = (t1 - t0) / (s1 - s0)
+            if slope <= 0:
+                return float(self.sizes[-1])
+            return float(s1 + (time - t1) / slope)
+        i = int(np.searchsorted(self.times, time, side="right")) - 1
+        i = max(0, min(i, len(self.times) - 2))
+        t0, t1 = self.times[i], self.times[i + 1]
+        s0, s1 = self.sizes[i], self.sizes[i + 1]
+        if t1 == t0:
+            return float(s1)
+        return float(s0 + (s1 - s0) * (time - t0) / (t1 - t0))
+
+    def as_dict(self) -> Dict[str, List[float]]:
+        return {"sizes": self.sizes.tolist(), "times": self.times.tolist()}
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, List[float]]) -> "SampleTable":
+        return cls([int(s) for s in d["sizes"]], d["times"])
+
+
+class NicEstimator:
+    """Everything the strategy knows about one NIC, learned by sampling.
+
+    Parameters
+    ----------
+    name:
+        Technology/NIC label (matches ``Nic.profile.name``).
+    eager:
+        Sampled one-way eager times (up to the driver's eager limit).
+    dma:
+        Sampled one-way rendezvous *data* times (handshake excluded).
+    control_oneway:
+        Measured one-way control-packet time.
+    eager_limit:
+        Driver capability bound on eager sizes.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        eager: SampleTable,
+        dma: SampleTable,
+        control_oneway: float,
+        eager_limit: int,
+    ) -> None:
+        if control_oneway < 0:
+            raise SamplingError(f"negative control time: {control_oneway}")
+        self.name = name
+        self.eager = eager
+        self.dma = dma
+        self.control_oneway = control_oneway
+        self.eager_limit = eager_limit
+
+    def __repr__(self) -> str:
+        return (
+            f"<NicEstimator {self.name}: eager {len(self.eager)} pts, "
+            f"dma {len(self.dma)} pts, rdv threshold {self.rdv_threshold()}B>"
+        )
+
+    # ------------------------------------------------------------------ #
+    # estimation
+    # ------------------------------------------------------------------ #
+
+    def transfer_time(self, size: int, mode: TransferMode) -> float:
+        """Predicted one-way time of a ``size``-byte chunk in ``mode``.
+
+        For rendezvous this is the *data* time — the per-message handshake
+        is accounted once by the caller, not per chunk.
+        """
+        if mode is TransferMode.EAGER:
+            return self.eager(size)
+        return self.dma(size)
+
+    def rdv_handshake(self) -> float:
+        """Predicted REQ+ACK cost (two control one-ways)."""
+        return 2.0 * self.control_oneway
+
+    def best_mode(self, size: int) -> TransferMode:
+        """Cheapest protocol for a full message of ``size`` bytes."""
+        if size > self.eager_limit:
+            return TransferMode.RENDEZVOUS
+        eager_t = self.eager(size)
+        rdv_t = self.rdv_handshake() + self.dma(size)
+        return TransferMode.EAGER if eager_t <= rdv_t else TransferMode.RENDEZVOUS
+
+    def rdv_threshold(self) -> int:
+        """Smallest size where rendezvous beats eager.
+
+        Derived from the sampled curves (paper §III-C's closing remark):
+        the grid locates the bracketing power-of-two interval, then an
+        integer bisection pins the crossover byte.  Falls back to the
+        eager limit when rendezvous never wins within the eager range.
+        """
+        prev = int(self.eager.sizes[0])
+        first_rdv: Optional[int] = None
+        for size in self.eager.sizes:
+            s = min(int(size), self.eager_limit)
+            if self.best_mode(s) is TransferMode.RENDEZVOUS:
+                first_rdv = s
+                break
+            prev = s
+            if s == self.eager_limit:
+                break
+        if first_rdv is None:
+            return self.eager_limit
+        if first_rdv == prev:
+            return first_rdv
+        lo, hi = prev, first_rdv  # eager wins at lo, rdv wins at hi
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if self.best_mode(mid) is TransferMode.RENDEZVOUS:
+                hi = mid
+            else:
+                lo = mid
+        return hi
+
+    def plateau_bandwidth(self) -> float:
+        """Sampled large-message bandwidth (B/µs) — what a static
+        OpenMPI-style ratio strategy uses as each rail's weight."""
+        size = self.dma.max_size
+        t = self.dma(size)
+        if t <= 0:
+            raise SamplingError(f"{self.name}: degenerate dma curve")
+        return size / t
+
+    # ------------------------------------------------------------------ #
+    # (de)serialization — the paper persists sampling results at launch
+    # ------------------------------------------------------------------ #
+
+    def as_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "eager": self.eager.as_dict(),
+            "dma": self.dma.as_dict(),
+            "control_oneway": self.control_oneway,
+            "eager_limit": self.eager_limit,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict) -> "NicEstimator":
+        return cls(
+            name=d["name"],
+            eager=SampleTable.from_dict(d["eager"]),
+            dma=SampleTable.from_dict(d["dma"]),
+            control_oneway=float(d["control_oneway"]),
+            eager_limit=int(d["eager_limit"]),
+        )

@@ -1,0 +1,142 @@
+"""Application-level messages and their lifecycle.
+
+A :class:`Message` is what the application hands to ``isend``: a byte
+count, a destination and a tag.  The engine decides the transfer mode
+(eager vs rendezvous), possibly splits the message into chunks over
+several rails, and possibly aggregates several messages into one packet;
+the :class:`Message` tracks how much of it has completed at the receiver.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.simtime import SimEvent
+from repro.util.errors import ProtocolError
+
+_msg_seq = itertools.count()
+
+
+class TransferMode(enum.Enum):
+    """Protocol a message travels under."""
+
+    EAGER = "eager"
+    RENDEZVOUS = "rendezvous"
+
+
+class MessageStatus(enum.Enum):
+    """Lifecycle of a message, from isend to receiver-side completion."""
+
+    CREATED = "created"          # isend called, not yet planned
+    QUEUED = "queued"            # waiting in the out-list (all rails busy)
+    RDV_REQUESTED = "rdv-req"    # rendezvous request in flight
+    IN_TRANSFER = "in-transfer"  # chunks submitted to NICs
+    COMPLETE = "complete"        # fully processed at the receiver
+
+
+@dataclass
+class Message:
+    """One application send.
+
+    ``done`` triggers (with the message) when the *receiver* finished
+    processing every chunk — the completion the ping-pong benchmarks time.
+    """
+
+    src: str
+    dest: str
+    size: int
+    tag: int = 0
+    msg_id: int = field(default_factory=lambda: next(_msg_seq))
+    mode: Optional[TransferMode] = None
+    status: MessageStatus = MessageStatus.CREATED
+    done: Optional[SimEvent] = None
+
+    # chunk bookkeeping (receiver side)
+    chunks_expected: Optional[int] = None
+    chunks_received: int = 0
+    bytes_received: int = 0
+
+    # timing (virtual µs)
+    t_post: Optional[float] = None       # isend instant
+    t_complete: Optional[float] = None   # receiver done instant
+
+    # how the engine transferred it (filled by strategies; read by tests)
+    rails_used: List[str] = field(default_factory=list)
+    chunk_sizes: List[int] = field(default_factory=list)
+    aggregated_with: List[int] = field(default_factory=list)
+    #: every NIC-level transfer that carried (part of) this message,
+    #: control packets included — the raw material for trace.explain()
+    transfers: List = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ProtocolError(f"negative message size: {self.size}")
+
+    def __repr__(self) -> str:
+        return (
+            f"<Message #{self.msg_id} {self.size}B {self.src}->{self.dest} "
+            f"tag={self.tag} {self.status.value}>"
+        )
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Post-to-receiver-completion time, once complete."""
+        if self.t_post is None or self.t_complete is None:
+            return None
+        return self.t_complete - self.t_post
+
+    # ------------------------------------------------------------------ #
+    # receiver-side accounting
+    # ------------------------------------------------------------------ #
+
+    def expect_chunks(self, count: int) -> None:
+        if count < 1:
+            raise ProtocolError(f"message needs >=1 chunk, got {count}")
+        if self.chunks_expected is not None and self.chunks_expected != count:
+            raise ProtocolError(
+                f"msg {self.msg_id}: chunk count changed "
+                f"{self.chunks_expected} -> {count}"
+            )
+        self.chunks_expected = count
+
+    def account_chunk(self, nbytes: int) -> bool:
+        """Record one received chunk; True when the message is complete."""
+        if self.chunks_expected is None:
+            raise ProtocolError(f"msg {self.msg_id}: chunk before expect_chunks")
+        if self.chunks_received >= self.chunks_expected:
+            raise ProtocolError(f"msg {self.msg_id}: more chunks than expected")
+        self.chunks_received += 1
+        self.bytes_received += nbytes
+        if self.chunks_received == self.chunks_expected:
+            if self.bytes_received != self.size:
+                raise ProtocolError(
+                    f"msg {self.msg_id}: received {self.bytes_received}B "
+                    f"of a {self.size}B message"
+                )
+            return True
+        return False
+
+
+@dataclass
+class RecvHandle:
+    """A posted receive: matches incoming messages by (source, tag).
+
+    ``source``/``tag`` of ``None`` match anything (wildcards).  ``done``
+    triggers with the matched :class:`Message`.
+    """
+
+    node: str
+    source: Optional[str] = None
+    tag: Optional[int] = None
+    done: Optional[SimEvent] = None
+    matched: Optional[Message] = None
+
+    def matches(self, msg: Message) -> bool:
+        if self.source is not None and msg.src != self.source:
+            return False
+        if self.tag is not None and msg.tag != self.tag:
+            return False
+        return True

@@ -1,0 +1,135 @@
+"""NIC idle prediction and rail-subset selection (paper §II-B, Fig. 2).
+
+The strategy must decide *which* NICs participate before computing the
+split ratio: "NIC1 is typically discarded provided that NIC2 is expected
+to become free before NIC1".  :class:`CompletionPredictor` combines each
+NIC's :attr:`busy_until` (exact, because every submitter declares its
+transmit cost) with the sampled estimator and picks the subset of rails
+whose predicted completion is smallest.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.estimator import NicEstimator
+from repro.core.packets import TransferMode
+from repro.core.split import SplitResult, dichotomy_split, waterfill_split
+from repro.networks.nic import Nic
+from repro.util.errors import ConfigurationError, SamplingError
+
+
+@dataclass
+class RailPlan:
+    """A concrete multirail transfer decision."""
+
+    nics: List[Nic]                  # rails actually used (chunk size > 0)
+    sizes: List[int]                 # bytes per rail, aligned with nics
+    predicted_completion: float
+    split: SplitResult               # full solver output (diagnostics)
+
+    def __post_init__(self) -> None:
+        if len(self.nics) != len(self.sizes):
+            raise ConfigurationError("plan rails/sizes length mismatch")
+
+    @property
+    def total(self) -> int:
+        return sum(self.sizes)
+
+
+class CompletionPredictor:
+    """Predicts transfer completions and selects rail subsets."""
+
+    def __init__(self, estimators: Dict[str, NicEstimator]) -> None:
+        if not estimators:
+            raise SamplingError("predictor needs at least one estimator")
+        self.estimators = dict(estimators)
+
+    def estimator_for(self, nic: Nic) -> NicEstimator:
+        """The estimator sampled for this NIC's technology."""
+        try:
+            return self.estimators[nic.profile.name]
+        except KeyError:
+            raise SamplingError(
+                f"no sampling profile for {nic.profile.name!r}; "
+                f"sampled: {sorted(self.estimators)}"
+            ) from None
+
+    # ------------------------------------------------------------------ #
+    # point predictions
+    # ------------------------------------------------------------------ #
+
+    def busy_offset(self, nic: Nic) -> float:
+        """µs until the NIC's transmit engine frees up (0 when idle)."""
+        return nic.busy_until - nic.sim.now
+
+    def predict(self, nic: Nic, size: int, mode: TransferMode) -> float:
+        """Predicted completion (µs from now) of a chunk on this NIC,
+        including the wait for the NIC to become idle (Fig. 2)."""
+        return self.busy_offset(nic) + self.estimator_for(nic).transfer_time(
+            size, mode
+        )
+
+    # ------------------------------------------------------------------ #
+    # rail-subset selection + split (the full §II-B decision)
+    # ------------------------------------------------------------------ #
+
+    def plan(
+        self,
+        nics: Sequence[Nic],
+        size: int,
+        mode: TransferMode,
+        max_rails: Optional[int] = None,
+        fixed_cost: float = 0.0,
+    ) -> RailPlan:
+        """Choose the rail subset and split that minimize completion.
+
+        Every non-empty subset of ``nics`` (capped at ``max_rails``) is
+        evaluated with an equal-completion split; ties favour fewer rails
+        (cheaper).  ``fixed_cost`` is added per *additional* rail beyond
+        the first — the offloading cost TO of equation (1), zero for
+        rendezvous DMA chunks.
+
+        For two-rail subsets the paper's dichotomy is used; larger subsets
+        fall back to waterfilling.
+        """
+        nics = list(nics)
+        if not nics:
+            raise ConfigurationError("plan over zero NICs")
+        limit = len(nics) if max_rails is None else max(1, min(max_rails, len(nics)))
+
+        best: Optional[Tuple[float, int, List[Nic], SplitResult]] = None
+        for k in range(1, limit + 1):
+            for subset in itertools.combinations(nics, k):
+                rails = [
+                    (self.estimator_for(n), self.busy_offset(n)) for n in subset
+                ]
+                if k == 1:
+                    est, off = rails[0]
+                    split = SplitResult(
+                        sizes=[size],
+                        predicted_times=[off + est.transfer_time(size, mode)],
+                        iterations=0,
+                    )
+                elif k == 2:
+                    split = dichotomy_split(size, rails, mode)
+                else:
+                    split = waterfill_split(size, rails, mode)
+                active = split.active_rails
+                completion = split.predicted_completion + (
+                    fixed_cost if active > 1 else 0.0
+                )
+                key = (completion, active)
+                if best is None or key < (best[0], best[1]):
+                    best = (completion, active, list(subset), split)
+        assert best is not None
+        completion, _, subset, split = best
+        used = [(n, s) for n, s in zip(subset, split.sizes) if s > 0]
+        return RailPlan(
+            nics=[n for n, _ in used],
+            sizes=[s for _, s in used],
+            predicted_completion=completion,
+            split=split,
+        )

@@ -1,0 +1,254 @@
+"""Network sampling: measure each driver at powers of two (paper §III-C).
+
+"Instead of simply relying on the usual bandwidth and latency parameters
+provided by the vendors, an accurate profile of each NIC is performed at
+the initialization of NewMadeleine.  Such a profile is measured with the
+help of a set of benchmarks that were designed for that purpose."
+
+The sampler builds a *private* two-node testbed per driver inside its own
+simulator and measures, for each power-of-two size:
+
+* the **eager** one-way time (PIO path, up to the driver's eager limit);
+* the **DMA** one-way time (rendezvous data, handshake excluded);
+* the **control** packet one-way time (from which the rendezvous
+  handshake is predicted).
+
+Because the strategy later drives the *same* simulated NIC models, the
+measure-then-predict feedback loop of the real system is preserved; the
+only estimator error left is interpolation between grid points — which
+ablation A2 quantifies.
+
+Profiles persist to JSON via :class:`ProfileStore`, mirroring the real
+``nmad`` sampling files written at install time.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.estimator import NicEstimator, SampleTable
+from repro.hardware.machine import Machine
+from repro.networks.drivers.base import Driver
+from repro.networks.nic import Nic
+from repro.networks.transfer import Transfer, TransferKind
+from repro.networks.wire import Wire
+from repro.pioman.progress import PiomanEngine
+from repro.simtime import Simulator
+from repro.util.errors import SamplingError
+from repro.util.stats import RunningStats
+from repro.util.units import KiB, MiB, pow2_sizes
+
+
+@dataclass
+class NicSample:
+    """Raw sampling output for one driver."""
+
+    name: str
+    eager_sizes: List[int]
+    eager_times: List[float]
+    dma_sizes: List[int]
+    dma_times: List[float]
+    control_oneway: float
+    eager_limit: int
+    repetitions: int = 1
+
+    def to_estimator(self) -> NicEstimator:
+        return NicEstimator(
+            name=self.name,
+            eager=SampleTable(self.eager_sizes, self.eager_times),
+            dma=SampleTable(self.dma_sizes, self.dma_times),
+            control_oneway=self.control_oneway,
+            eager_limit=self.eager_limit,
+        )
+
+
+class NetworkSampler:
+    """Runs the §III-C sampling benchmarks for a driver.
+
+    Parameters
+    ----------
+    eager_sizes / dma_sizes:
+        Measurement grids; default to powers of two (4 B up to the eager
+        limit, and 4 KiB – 16 MiB respectively).
+    repetitions:
+        Measurements per point, aggregated by median.  The simulator is
+        deterministic so the default of 1 is exact; higher values exist
+        for parity with the real benchmarks (and for subclasses that
+        inject noise).
+    """
+
+    def __init__(
+        self,
+        eager_sizes: Optional[Sequence[int]] = None,
+        dma_sizes: Optional[Sequence[int]] = None,
+        repetitions: int = 1,
+    ) -> None:
+        if repetitions < 1:
+            raise SamplingError(f"repetitions must be >= 1, got {repetitions}")
+        self._eager_sizes = list(eager_sizes) if eager_sizes is not None else None
+        self._dma_sizes = (
+            list(dma_sizes) if dma_sizes is not None else pow2_sizes(4 * KiB, 16 * MiB)
+        )
+        self.repetitions = repetitions
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+
+    def sample(self, driver: Driver) -> NicSample:
+        """Measure one driver on a fresh private testbed."""
+        eager_sizes = (
+            self._eager_sizes
+            if self._eager_sizes is not None
+            else pow2_sizes(4, driver.profile.eager_limit)
+        )
+        bad = [s for s in eager_sizes if s > driver.profile.eager_limit]
+        if bad:
+            raise SamplingError(
+                f"eager grid exceeds {driver.technology} limit: {bad}"
+            )
+        eager_times = [
+            self._measure(driver, TransferKind.EAGER, s) for s in eager_sizes
+        ]
+        dma_times = [
+            self._measure(driver, TransferKind.RDV_DATA, s) for s in self._dma_sizes
+        ]
+        control = self._measure(driver, TransferKind.RDV_REQ, 0)
+        return NicSample(
+            name=driver.technology,
+            eager_sizes=list(eager_sizes),
+            eager_times=eager_times,
+            dma_sizes=list(self._dma_sizes),
+            dma_times=dma_times,
+            control_oneway=control,
+            eager_limit=driver.profile.eager_limit,
+            repetitions=self.repetitions,
+        )
+
+    # ------------------------------------------------------------------ #
+    # one measurement point
+    # ------------------------------------------------------------------ #
+
+    def _measure(self, driver: Driver, kind: TransferKind, size: int) -> float:
+        stats = RunningStats()
+        for _ in range(self.repetitions):
+            stats.add(self._one_shot(driver, kind, size))
+        return stats.median()
+
+    def _one_shot(self, driver: Driver, kind: TransferKind, size: int) -> float:
+        sim = Simulator()
+        node_a = Machine(sim, "sampler0")
+        node_b = Machine(sim, "sampler1")
+        nic_a = Nic(node_a, driver, name="probe")
+        nic_b = Nic(node_b, driver, name="probe")
+        Wire(nic_a, nic_b)
+        PiomanEngine(node_a).bind()
+        PiomanEngine(node_b).bind()
+        transfer = Transfer(kind=kind, size=size, msg_id=0)
+        nic_a.submit(transfer, node_a.cores[0])
+        sim.run()
+        if transfer.t_complete is None:
+            raise SamplingError(
+                f"{driver.technology}: {kind.value} probe of {size}B never completed"
+            )
+        return transfer.t_complete - transfer.t_submit
+
+
+class NoisySampler(NetworkSampler):
+    """A sampler whose probes carry multiplicative measurement jitter.
+
+    The simulator itself is deterministic, but *real* sampling runs are
+    not — OS noise, cache state and timer granularity perturb every
+    ping-pong.  This subclass models that: each probe is scaled by a
+    deterministic pseudo-random factor drawn from
+    ``Normal(1, jitter_pct/100)`` (clamped to stay positive), so the
+    median over ``repetitions`` converges on the truth the way the real
+    benchmarks' aggregation does.  Ablation A9 measures how much jitter
+    the hetero-split strategy tolerates.
+    """
+
+    def __init__(
+        self,
+        jitter_pct: float,
+        seed: int = 0,
+        eager_sizes: Optional[Sequence[int]] = None,
+        dma_sizes: Optional[Sequence[int]] = None,
+        repetitions: int = 5,
+    ) -> None:
+        super().__init__(
+            eager_sizes=eager_sizes, dma_sizes=dma_sizes, repetitions=repetitions
+        )
+        if jitter_pct < 0:
+            raise SamplingError(f"negative jitter: {jitter_pct}")
+        self.jitter_pct = jitter_pct
+        self._seed = seed
+        import numpy as np
+
+        self._rng = np.random.default_rng(seed)
+
+    def _one_shot(self, driver: Driver, kind: TransferKind, size: int) -> float:
+        clean = super()._one_shot(driver, kind, size)
+        if self.jitter_pct == 0:
+            return clean
+        factor = max(0.01, 1.0 + self._rng.normal(0.0, self.jitter_pct / 100.0))
+        return clean * factor
+
+
+class ProfileStore:
+    """Named collection of :class:`NicEstimator`, persisted as JSON."""
+
+    def __init__(self, estimators: Optional[Dict[str, NicEstimator]] = None) -> None:
+        self.estimators: Dict[str, NicEstimator] = dict(estimators or {})
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.estimators
+
+    def __getitem__(self, name: str) -> NicEstimator:
+        try:
+            return self.estimators[name]
+        except KeyError:
+            raise SamplingError(
+                f"no profile for {name!r}; have {sorted(self.estimators)}"
+            ) from None
+
+    def add(self, estimator: NicEstimator) -> None:
+        self.estimators[estimator.name] = estimator
+
+    @classmethod
+    def sample_drivers(
+        cls,
+        drivers: Iterable[Driver],
+        sampler: Optional[NetworkSampler] = None,
+    ) -> "ProfileStore":
+        """Sample every driver once (deduplicated by technology)."""
+        sampler = sampler or NetworkSampler()
+        store = cls()
+        for driver in drivers:
+            if driver.technology not in store:
+                store.add(sampler.sample(driver).to_estimator())
+        return store
+
+    # -- persistence ------------------------------------------------------
+
+    def save(self, path: "str | Path") -> None:
+        data = {name: est.as_dict() for name, est in self.estimators.items()}
+        Path(path).write_text(json.dumps(data, indent=2, sort_keys=True))
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "ProfileStore":
+        try:
+            data = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SamplingError(f"cannot load profile store {path}: {exc}") from exc
+        store = cls()
+        for name, d in data.items():
+            est = NicEstimator.from_dict(d)
+            if est.name != name:
+                raise SamplingError(
+                    f"profile key {name!r} holds estimator {est.name!r}"
+                )
+            store.add(est)
+        return store

@@ -1,0 +1,134 @@
+"""Runtime statistics snapshots for engines and clusters.
+
+A downstream user tuning a strategy wants one call that answers: what
+moved, over which rails, how busy were the cores, how often did the
+runtime offload or preempt.  :func:`engine_stats` snapshots one node;
+:func:`cluster_report` renders every node side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, TYPE_CHECKING
+
+from repro.util.units import bytes_per_us_to_mbps, format_size
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.cluster import Cluster
+    from repro.core.engine import NmadEngine
+
+
+@dataclass(frozen=True)
+class NicStats:
+    name: str
+    technology: str
+    bytes_sent: int
+    transfers_sent: int
+    utilization: float
+
+
+@dataclass(frozen=True)
+class CoreStats:
+    core_id: int
+    busy_us: float
+    utilization: float
+
+
+@dataclass(frozen=True)
+class EngineStats:
+    """One node's communication activity since the simulation began."""
+
+    node: str
+    strategy: str
+    now_us: float
+    messages_sent: int
+    messages_completed: int
+    bytes_sent: int
+    scheduler_activations: int
+    pioman_events: int
+    pioman_offloads: int
+    pioman_rx_spills: int
+    marcel_tasklets: int
+    marcel_preemptions: int
+    nics: List[NicStats] = field(default_factory=list)
+    cores: List[CoreStats] = field(default_factory=list)
+
+    @property
+    def egress_mbps(self) -> float:
+        """Average egress bandwidth over the whole run window."""
+        if self.now_us <= 0:
+            return 0.0
+        return bytes_per_us_to_mbps(self.bytes_sent / self.now_us)
+
+    def render(self) -> str:
+        lines = [
+            f"{self.node} (strategy {self.strategy}) at t={self.now_us:.1f}us",
+            f"  messages: {self.messages_sent} sent, "
+            f"{self.messages_completed} completed, "
+            f"{format_size(self.bytes_sent)} out "
+            f"({self.egress_mbps:.1f} MB/s avg)",
+            f"  runtime: {self.scheduler_activations} activations, "
+            f"{self.pioman_events} rx events, {self.pioman_offloads} offloads, "
+            f"{self.pioman_rx_spills} rx spills, "
+            f"{self.marcel_tasklets} tasklets, "
+            f"{self.marcel_preemptions} preemptions",
+        ]
+        for nic in self.nics:
+            lines.append(
+                f"  nic {nic.name:<12} {format_size(nic.bytes_sent):>8} in "
+                f"{nic.transfers_sent:>4} transfers, "
+                f"{nic.utilization * 100:5.1f}% busy"
+            )
+        for core in self.cores:
+            lines.append(
+                f"  core{core.core_id}  {core.busy_us:10.1f}us busy "
+                f"({core.utilization * 100:5.1f}%)"
+            )
+        return "\n".join(lines)
+
+
+def engine_stats(engine: "NmadEngine") -> EngineStats:
+    """Snapshot one engine's counters and substrate utilization."""
+    machine = engine.machine
+    now = engine.sim.now
+    return EngineStats(
+        node=machine.name,
+        strategy=engine.strategy.name,
+        now_us=now,
+        messages_sent=engine.messages_sent,
+        messages_completed=engine.messages_completed,
+        bytes_sent=engine.bytes_sent,
+        scheduler_activations=engine.scheduler.activations,
+        pioman_events=engine.pioman.events_detected,
+        pioman_offloads=engine.pioman.offloads,
+        pioman_rx_spills=engine.pioman.rx_spills,
+        marcel_tasklets=engine.marcel.tasklets_run,
+        marcel_preemptions=engine.marcel.preemptions,
+        nics=[
+            NicStats(
+                name=nic.name,
+                technology=nic.profile.name,
+                bytes_sent=nic.bytes_sent,
+                transfers_sent=nic.transfers_sent,
+                utilization=nic.utilization(),
+            )
+            for nic in machine.nics
+        ],
+        cores=[
+            CoreStats(
+                core_id=core.core_id,
+                busy_us=core.busy_time,
+                utilization=core.utilization(),
+            )
+            for core in machine.cores
+        ],
+    )
+
+
+def cluster_report(cluster: "Cluster") -> str:
+    """Render every node's :class:`EngineStats`, one block per node."""
+    blocks = [
+        engine_stats(cluster.engines[name]).render()
+        for name in sorted(cluster.engines)
+    ]
+    return "\n\n".join(blocks)

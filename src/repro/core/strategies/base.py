@@ -1,0 +1,156 @@
+"""Strategy plug-in interface and shared helpers."""
+
+from __future__ import annotations
+
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.core.packets import Message, TransferMode
+from repro.networks.nic import Nic
+from repro.util.errors import ConfigurationError, SchedulingError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.engine import NmadEngine
+    from repro.core.prediction import CompletionPredictor, RailPlan
+
+
+class Strategy:
+    """Base class of every optimization strategy.
+
+    Subclasses override some of:
+
+    * :meth:`schedule_outlist` — REQUIRED: drain (part of) the engine's
+      out-list by submitting eager packets / starting rendezvous;
+    * :meth:`plan_rdv_data` — rails + chunk sizes for a rendezvous data
+      phase (default: everything on the fastest rail);
+    * :meth:`choose_mode` — eager vs rendezvous (default: sampled
+      threshold when a predictor exists, driver eager limit otherwise);
+    * :meth:`control_rail` — rail for REQ/ACK control packets.
+
+    Parameters
+    ----------
+    rdv_threshold:
+        Force the eager/rendezvous boundary (bytes).  ``None`` derives it
+        from sampling (or the driver limit without sampling).
+    """
+
+    name = "base"
+    #: does this strategy require sampled estimators (a predictor)?
+    needs_sampling = False
+
+    def __init__(self, rdv_threshold: Optional[int] = None) -> None:
+        if rdv_threshold is not None and rdv_threshold < 1:
+            raise ConfigurationError(f"bad rdv threshold: {rdv_threshold}")
+        self.rdv_threshold = rdv_threshold
+        self.engine: Optional["NmadEngine"] = None
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}>"
+
+    # ------------------------------------------------------------------ #
+    # wiring
+    # ------------------------------------------------------------------ #
+
+    def attach(self, engine: "NmadEngine") -> None:
+        self.engine = engine
+        if self.needs_sampling and engine.predictor is None:
+            raise ConfigurationError(
+                f"{type(self).__name__} needs sampling profiles; build the "
+                "engine with estimators (ClusterBuilder does this by default)"
+            )
+
+    @property
+    def predictor(self) -> "CompletionPredictor":
+        assert self.engine is not None, "strategy not attached"
+        if self.engine.predictor is None:
+            raise ConfigurationError(f"{type(self).__name__}: no predictor")
+        return self.engine.predictor
+
+    # -- rail helpers -------------------------------------------------------
+
+    def rails_to(self, dest: str) -> List[Nic]:
+        assert self.engine is not None, "strategy not attached"
+        return self.engine.rails_to(dest)
+
+    def fastest_rail(self, dest: str, size: int, mode: TransferMode) -> Nic:
+        """Rail with the smallest predicted completion for this transfer.
+
+        With sampling: busy offset + sampled curve.  Without: busy offset
+        + ground-truth profile (the naive knowledge a non-sampling
+        strategy would hard-code from vendor datasheets)."""
+        rails = self.rails_to(dest)
+        if self.engine is not None and self.engine.predictor is not None:
+            return min(
+                rails, key=lambda n: self.engine.predictor.predict(n, size, mode)
+            )
+
+        def naive(nic: Nic) -> float:
+            offset = nic.busy_until - nic.sim.now
+            if mode is TransferMode.EAGER:
+                return offset + nic.profile.eager_oneway(size)
+            return offset + nic.profile.rdv_data_oneway(size)
+
+        return min(rails, key=naive)
+
+    # ------------------------------------------------------------------ #
+    # decision points (the §III-B invocation moments)
+    # ------------------------------------------------------------------ #
+
+    def choose_mode(self, msg: Message) -> TransferMode:
+        """Eager or rendezvous for this message."""
+        rails = self.rails_to(msg.dest)
+        if self.rdv_threshold is not None:
+            if msg.size >= self.rdv_threshold:
+                return TransferMode.RENDEZVOUS
+            if any(msg.size <= n.profile.eager_limit for n in rails):
+                return TransferMode.EAGER
+            return TransferMode.RENDEZVOUS
+        if self.engine is not None and self.engine.predictor is not None:
+            # Sampled threshold of the rail that would carry the message.
+            nic = self.fastest_rail(msg.dest, msg.size, TransferMode.EAGER)
+            est = self.engine.predictor.estimator_for(nic)
+            if msg.size <= est.eager_limit:
+                return est.best_mode(msg.size)
+            return TransferMode.RENDEZVOUS
+        # No sampling: eager whenever some rail accepts the size.
+        if any(msg.size <= n.profile.eager_limit for n in rails):
+            return TransferMode.EAGER
+        return TransferMode.RENDEZVOUS
+
+    def schedule_outlist(self) -> None:
+        """Drain what can be drained from the engine's out-list.
+
+        Called on scheduler activation (new packets) and whenever a NIC
+        becomes idle.  Must be idempotent under spurious calls.
+        """
+        raise NotImplementedError
+
+    def plan_rdv_data(self, msg: Message) -> "RailPlan":
+        """Rails and chunk sizes for a rendezvous data phase."""
+        from repro.core.prediction import RailPlan, SplitResult
+
+        nic = self.fastest_rail(msg.dest, msg.size, TransferMode.RENDEZVOUS)
+        return RailPlan(
+            nics=[nic],
+            sizes=[msg.size],
+            predicted_completion=0.0,
+            split=SplitResult(sizes=[msg.size], predicted_times=[0.0], iterations=0),
+        )
+
+    def control_rail(self, msg: Message) -> Nic:
+        """Rail for REQ/ACK control packets (default: lowest predicted
+        control latency — in practice the lowest-latency idle rail)."""
+        return self.fastest_rail(msg.dest, 0, TransferMode.EAGER)
+
+    # ------------------------------------------------------------------ #
+    # shared submission helpers
+    # ------------------------------------------------------------------ #
+
+    def submit_whole_eager(self, msg: Message, nic: Nic) -> None:
+        """Send a message as one eager packet on one rail."""
+        assert self.engine is not None
+        if msg.size > nic.profile.eager_limit:
+            raise SchedulingError(
+                f"msg {msg.msg_id} ({msg.size}B) exceeds {nic.profile.name} "
+                f"eager limit"
+            )
+        self.engine.submit_eager_chunks(msg, [(nic, msg.size)])

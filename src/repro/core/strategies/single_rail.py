@@ -1,0 +1,121 @@
+"""Single-rail and round-robin baselines.
+
+``single_rail`` is the degenerate multirail usage most programming
+environments default to (paper §I: "most programming environments simply
+assign each communication flow to a single network link") and provides
+the Fig. 8 "Myri-10G" / "Quadrics" reference series.
+
+``round_robin`` alternates whole messages across rails — multiplexing
+without splitting, the simplest way to use several links at once.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.packets import Message, TransferMode
+from repro.core.strategies.base import Strategy
+from repro.networks.nic import Nic
+from repro.util.errors import ConfigurationError
+
+
+class SingleRailStrategy(Strategy):
+    """Everything travels on one rail.
+
+    Parameters
+    ----------
+    rail:
+        Technology name (``"myri10g"``) or NIC name; ``None`` picks the
+        rail with the best sampled large-message bandwidth at attach time
+        (or the best ground-truth DMA rate without sampling).
+    """
+
+    name = "single_rail"
+
+    def __init__(self, rail: Optional[str] = None, rdv_threshold: Optional[int] = None) -> None:
+        super().__init__(rdv_threshold=rdv_threshold)
+        self.rail = rail
+
+    def _rail_for(self, dest: str) -> Nic:
+        rails = self.rails_to(dest)
+        if self.rail is None:
+            return max(rails, key=lambda n: n.profile.dma_rate)
+        for nic in rails:
+            if self.rail in (nic.profile.name, nic.name):
+                return nic
+        raise ConfigurationError(
+            f"no rail {self.rail!r} towards {dest}; have "
+            f"{[n.name for n in rails]}"
+        )
+
+    def schedule_outlist(self) -> None:
+        assert self.engine is not None
+        scheduler = self.engine.scheduler
+        while (msg := scheduler.pop_ready()) is not None:
+            nic = self._rail_for(msg.dest)
+            if msg.mode is TransferMode.RENDEZVOUS:
+                self.engine.start_rendezvous(msg, control_nic=nic)
+            else:
+                self.submit_whole_eager(msg, nic)
+
+    def plan_rdv_data(self, msg: Message):
+        from repro.core.prediction import RailPlan
+        from repro.core.split import SplitResult
+
+        nic = self._rail_for(msg.dest)
+        return RailPlan(
+            nics=[nic],
+            sizes=[msg.size],
+            predicted_completion=0.0,
+            split=SplitResult(sizes=[msg.size], predicted_times=[0.0], iterations=0),
+        )
+
+    def control_rail(self, msg: Message) -> Nic:
+        return self._rail_for(msg.dest)
+
+
+class RoundRobinStrategy(Strategy):
+    """Whole messages alternate across rails, in NIC order."""
+
+    name = "round_robin"
+
+    def __init__(self, rdv_threshold: Optional[int] = None) -> None:
+        super().__init__(rdv_threshold=rdv_threshold)
+        self._next = 0
+
+    def _take_rail(self, dest: str) -> Nic:
+        rails = self.rails_to(dest)
+        nic = rails[self._next % len(rails)]
+        self._next += 1
+        return nic
+
+    def schedule_outlist(self) -> None:
+        assert self.engine is not None
+        scheduler = self.engine.scheduler
+        while (msg := scheduler.pop_ready()) is not None:
+            if msg.mode is TransferMode.RENDEZVOUS:
+                # Control packets ride the first rail; the rotation is
+                # reserved for the payloads (plan_rdv_data below).
+                self.engine.start_rendezvous(
+                    msg, control_nic=self.rails_to(msg.dest)[0]
+                )
+                continue
+            nic = self._take_rail(msg.dest)
+            if msg.size <= nic.profile.eager_limit:
+                self.submit_whole_eager(msg, nic)
+            else:  # this rail cannot take it eagerly; rendezvous instead
+                self.engine.start_rendezvous(
+                    msg, control_nic=self.rails_to(msg.dest)[0]
+                )
+
+    def plan_rdv_data(self, msg: Message):
+        from repro.core.prediction import RailPlan
+        from repro.core.split import SplitResult
+
+        nic = self._take_rail(msg.dest)
+        return RailPlan(
+            nics=[nic],
+            sizes=[msg.size],
+            predicted_completion=0.0,
+            split=SplitResult(sizes=[msg.size], predicted_times=[0.0], iterations=0),
+        )

@@ -1,0 +1,142 @@
+"""Rendezvous splitting strategies: iso, static-ratio, and hetero (sampled).
+
+These are the Fig. 8 series:
+
+* :class:`IsoSplitStrategy` — equal-size chunks over every rail
+  (Fig. 1b): optimal only for homogeneous rails; on Myri+Quadrics the
+  fast rail idles while the slow chunk drains (§IV-A: ≈670 µs at 4 MiB).
+* :class:`StaticRatioStrategy` — OpenMPI's approach (§II-A): one fixed
+  ratio from the rails' *maximum* bandwidths, whatever the message size —
+  "a split ratio for a 8 MB message may not fit a 256 KB message".
+* :class:`HeteroSplitStrategy` — the paper's contribution: per-message
+  equal-*time* split from sampled curves plus NIC idle prediction and
+  rail-subset selection (Figs. 1c/2, §II-B).
+
+Eager packets are not split by any of these (that needs idle cores — see
+:mod:`repro.core.strategies.multicore`); they ride the fastest rail.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.packets import Message, TransferMode
+from repro.core.strategies.base import Strategy
+from repro.networks.nic import Nic
+from repro.util.errors import ConfigurationError
+
+
+class _SplitBase(Strategy):
+    """Shared eager path: whole message on the fastest rail."""
+
+    def schedule_outlist(self) -> None:
+        assert self.engine is not None
+        scheduler = self.engine.scheduler
+        while (msg := scheduler.pop_ready()) is not None:
+            if msg.mode is TransferMode.RENDEZVOUS:
+                self.engine.start_rendezvous(msg, control_nic=self.control_rail(msg))
+            else:
+                nic = self.fastest_rail(msg.dest, msg.size, TransferMode.EAGER)
+                self.submit_whole_eager(msg, nic)
+
+
+class IsoSplitStrategy(_SplitBase):
+    """Equal-size chunks over all rails (Fig. 1b / Fig. 8 "Iso-split")."""
+
+    name = "iso_split"
+
+    def plan_rdv_data(self, msg: Message):
+        from repro.core.prediction import RailPlan
+        from repro.core.split import SplitResult, equal_split
+
+        rails = self.rails_to(msg.dest)
+        sizes = equal_split(msg.size, len(rails))
+        used = [(n, s) for n, s in zip(rails, sizes) if s > 0]
+        return RailPlan(
+            nics=[n for n, _ in used],
+            sizes=[s for _, s in used],
+            predicted_completion=0.0,
+            split=SplitResult(
+                sizes=[s for _, s in used],
+                predicted_times=[0.0] * len(used),
+                iterations=0,
+            ),
+        )
+
+
+class StaticRatioStrategy(_SplitBase):
+    """Fixed bandwidth-ratio split, computed once (OpenMPI-style, §II-A).
+
+    The weights come from the sampled large-message plateaus — the "maximum
+    available bandwidth of each network" — and never adapt to the actual
+    message size or to rail occupancy, which is precisely the imprecision
+    the paper criticizes.
+    """
+
+    name = "static_ratio"
+    needs_sampling = True
+
+    def plan_rdv_data(self, msg: Message):
+        from repro.core.prediction import RailPlan
+        from repro.core.split import SplitResult, ratio_split
+
+        rails = self.rails_to(msg.dest)
+        weights = [
+            self.predictor.estimator_for(n).plateau_bandwidth() for n in rails
+        ]
+        sizes = ratio_split(msg.size, weights)
+        used = [(n, s) for n, s in zip(rails, sizes) if s > 0]
+        return RailPlan(
+            nics=[n for n, _ in used],
+            sizes=[s for _, s in used],
+            predicted_completion=0.0,
+            split=SplitResult(
+                sizes=[s for _, s in used],
+                predicted_times=[0.0] * len(used),
+                iterations=0,
+            ),
+        )
+
+
+class HeteroSplitStrategy(_SplitBase):
+    """THE paper's strategy: sampled equal-time split with idle prediction.
+
+    Parameters
+    ----------
+    max_rails:
+        Cap on the number of rails per message (``None`` = all available).
+    use_idle_prediction:
+        When False, busy offsets are ignored (ablation A3) — the split
+        only balances the sampled transfer times.
+    """
+
+    name = "hetero_split"
+    needs_sampling = True
+
+    def __init__(
+        self,
+        rdv_threshold: Optional[int] = None,
+        max_rails: Optional[int] = None,
+        use_idle_prediction: bool = True,
+    ) -> None:
+        super().__init__(rdv_threshold=rdv_threshold)
+        if max_rails is not None and max_rails < 1:
+            raise ConfigurationError(f"bad max_rails: {max_rails}")
+        self.max_rails = max_rails
+        self.use_idle_prediction = use_idle_prediction
+
+    def plan_rdv_data(self, msg: Message):
+        rails = self.rails_to(msg.dest)
+        predictor = self.predictor
+        if not self.use_idle_prediction:
+            # Ablation: blind the planner to NIC occupancy.
+            import repro.core.prediction as prediction
+
+            class _Blind(prediction.CompletionPredictor):
+                def busy_offset(self, nic: Nic) -> float:
+                    return 0.0
+
+            predictor = _Blind(predictor.estimators)
+        return predictor.plan(
+            rails, msg.size, TransferMode.RENDEZVOUS, max_rails=self.max_rails
+        )

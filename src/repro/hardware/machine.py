@@ -1,0 +1,105 @@
+"""A cluster node: cores laid out by a topology, plus host memory costs.
+
+NICs attach themselves to a machine when constructed (see
+:mod:`repro.networks.nic`), so the strategy can enumerate *this node's*
+rails and idle cores — the two quantities bounding the split factor
+``min(#idle NICs, #idle cores)`` (paper §III-B).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.hardware.core import Core
+from repro.hardware.topology import CpuTopology
+from repro.simtime import Simulator
+from repro.util.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.networks.nic import Nic
+
+
+class Machine:
+    """One cluster node in the simulation.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    name:
+        Node name, e.g. ``"node0"``.
+    topology:
+        Socket/core layout; defaults to the paper's dual dual-core node.
+    memcpy_rate:
+        Host memory copy throughput in B/µs.  Used for the intra-host part
+        of eager sends (building aggregated packets, copying into the
+        pinned send buffer) — distinct from the *PIO* rate, which is a NIC
+        property because it reflects I/O-bus writes to NIC memory.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        topology: Optional[CpuTopology] = None,
+        memcpy_rate: float = 3000.0,
+    ) -> None:
+        if memcpy_rate <= 0:
+            raise ConfigurationError(f"memcpy_rate must be > 0, got {memcpy_rate}")
+        self.sim = sim
+        self.name = name
+        self.topology = topology or CpuTopology.paper_testbed()
+        self.memcpy_rate = memcpy_rate
+        self.cores: List[Core] = [
+            Core(sim, core_id=i, socket_id=self.topology.socket_of(i))
+            for i in self.topology.core_ids()
+        ]
+        self.nics: List["Nic"] = []
+
+    def __repr__(self) -> str:
+        return (
+            f"<Machine {self.name}: {len(self.cores)} cores, "
+            f"{len(self.nics)} NICs>"
+        )
+
+    # ------------------------------------------------------------------ #
+    # core queries (strategy-facing)
+    # ------------------------------------------------------------------ #
+
+    def core(self, core_id: int) -> Core:
+        return self.cores[core_id]
+
+    def idle_cores(self, exclude: Optional[Core] = None) -> List[Core]:
+        """Cores idle *right now*, optionally excluding the calling core.
+
+        This is the set PIOMan advertises to the strategy when it decides
+        how many chunks can be submitted in parallel (§III-B).
+        """
+        return [
+            c for c in self.cores if c.is_idle and (exclude is None or c is not exclude)
+        ]
+
+    def memcpy_cost(self, nbytes: int) -> float:
+        """µs of CPU time to copy ``nbytes`` within host memory."""
+        if nbytes < 0:
+            raise ConfigurationError(f"negative copy size: {nbytes}")
+        return nbytes / self.memcpy_rate
+
+    # ------------------------------------------------------------------ #
+    # NIC registry (populated by repro.networks.nic.Nic.__init__)
+    # ------------------------------------------------------------------ #
+
+    def _attach_nic(self, nic: "Nic") -> None:
+        if nic in self.nics:
+            raise ConfigurationError(f"{nic!r} attached twice to {self.name}")
+        self.nics.append(nic)
+
+    def nic_by_name(self, name: str) -> "Nic":
+        for nic in self.nics:
+            if nic.name == name:
+                return nic
+        raise ConfigurationError(f"no NIC named {name!r} on {self.name}")
+
+    def idle_nics(self) -> List["Nic"]:
+        """Rails with no transfer in flight and an empty request queue."""
+        return [n for n in self.nics if n.is_idle]

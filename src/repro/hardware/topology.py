@@ -1,0 +1,100 @@
+"""Hierarchical CPU topology (sockets × cores) and signalling costs.
+
+Marcel "was carefully designed to ... efficiently exploit hierarchical
+architectures" (paper §III-A).  For the strategy, the observable part of
+that hierarchy is the *cost of poking another core*: raising a tasklet on
+a sibling core (same socket) is cheaper than crossing the interconnect.
+The paper measures the end-to-end offload cost at 3 µs (6 µs when the
+target thread must be preempted by a signal, §III-D); those are exposed
+here as the machine-wide defaults and modulated by distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.util.errors import ConfigurationError
+
+#: Paper §III-D: communication between the strategy and a remote core.
+DEFAULT_SIGNAL_COST_US: float = 3.0
+#: Paper §III-D: extra cost when a running thread must be preempted.
+DEFAULT_PREEMPT_COST_US: float = 6.0
+
+
+@dataclass(frozen=True)
+class CpuTopology:
+    """Socket/core layout plus inter-core signalling cost model.
+
+    The default layout is the paper's testbed: a *dual dual-core Opteron*
+    node (2 sockets × 2 cores).
+
+    ``signal_cost_us`` is the cost of notifying an **idle** remote core
+    that a send request is registered (tasklet wake-up, §III-D: 3 µs);
+    ``preempt_cost_us`` is the cost when the remote core runs a computing
+    thread that must be preempted by a signal (6 µs).
+    ``cross_socket_factor`` scales both when the target core sits on a
+    different socket (1.0 = flat cost, the paper's reported numbers).
+    """
+
+    sockets: int = 2
+    cores_per_socket: int = 2
+    signal_cost_us: float = DEFAULT_SIGNAL_COST_US
+    preempt_cost_us: float = DEFAULT_PREEMPT_COST_US
+    cross_socket_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.sockets < 1 or self.cores_per_socket < 1:
+            raise ConfigurationError(
+                f"topology needs >=1 socket and core, got "
+                f"{self.sockets}x{self.cores_per_socket}"
+            )
+        if self.signal_cost_us < 0 or self.preempt_cost_us < 0:
+            raise ConfigurationError("signalling costs must be >= 0")
+        if self.cross_socket_factor < 1.0:
+            raise ConfigurationError(
+                "cross_socket_factor < 1 would make remote sockets cheaper "
+                "than local ones"
+            )
+
+    @property
+    def total_cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+    def socket_of(self, core_id: int) -> int:
+        """Socket index of a global core id (cores numbered socket-major)."""
+        if not 0 <= core_id < self.total_cores:
+            raise ConfigurationError(
+                f"core id {core_id} outside 0..{self.total_cores - 1}"
+            )
+        return core_id // self.cores_per_socket
+
+    def core_ids(self) -> Iterator[int]:
+        return iter(range(self.total_cores))
+
+    def same_socket(self, a: int, b: int) -> bool:
+        return self.socket_of(a) == self.socket_of(b)
+
+    def signal_cost(self, src: int, dst: int, preempt: bool = False) -> float:
+        """Cost (µs) for core ``src`` to hand work to core ``dst``.
+
+        ``preempt=True`` models the case where ``dst`` runs a computing
+        thread that must be interrupted by a signal.  Signalling oneself is
+        free — the strategy simply keeps the chunk on the local core.
+        """
+        if src == dst:
+            return 0.0
+        base = self.preempt_cost_us if preempt else self.signal_cost_us
+        if not self.same_socket(src, dst):
+            base *= self.cross_socket_factor
+        return base
+
+    @classmethod
+    def paper_testbed(cls) -> "CpuTopology":
+        """The evaluation platform: dual dual-core Opteron (§IV)."""
+        return cls(sockets=2, cores_per_socket=2)
+
+    @classmethod
+    def flat(cls, cores: int) -> "CpuTopology":
+        """A single-socket machine with ``cores`` cores (for ablations)."""
+        return cls(sockets=1, cores_per_socket=cores)

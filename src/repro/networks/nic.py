@@ -1,0 +1,282 @@
+"""NIC state machine: transmit FIFO, busy-time prediction, delivery.
+
+The NIC is where the paper's two key observables live:
+
+* :attr:`Nic.is_idle` — drives the greedy strategy ("when a NIC becomes
+  idle, it looks after the next communication") and bounds the split
+  factor ``min(#idle NICs, #idle cores)``;
+* :attr:`Nic.busy_until` — the idle-time prediction of §II-B/Fig. 2: the
+  strategy adds "the time remaining before it becomes idle" to each NIC's
+  predicted transfer time.
+
+Send pipelines (see package docstring for the full timing model):
+
+* *eager* — the issuing core performs the PIO copy while the NIC transmit
+  engine is held, so two eager sends from one core serialize (Fig. 4a)
+  while two cores can drive two NICs in parallel (Fig. 4c);
+* *rendezvous data* — the core only programs the DMA; the NIC is busy for
+  ``size/dma_rate`` with no CPU involvement;
+* *control* — a tiny post on the core, negligible NIC time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, TYPE_CHECKING
+
+from repro.hardware.core import Core
+from repro.hardware.machine import Machine
+from repro.networks.profile import NetworkProfile
+from repro.networks.transfer import Transfer, TransferKind
+from repro.simtime import Resource, SimEvent, Simulator, Timeout
+from repro.util.errors import ConfigurationError, SchedulingError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.networks.drivers.base import Driver
+    from repro.networks.wire import Wire
+
+
+@dataclass
+class NicWork:
+    """One completed transmit-engine interval (utilization accounting)."""
+
+    start: float
+    end: float
+    kind: TransferKind
+    size: int
+
+
+class Nic:
+    """One network interface card on one machine."""
+
+    def __init__(self, machine: Machine, driver: "Driver", name: Optional[str] = None) -> None:
+        self.machine = machine
+        self.sim: Simulator = machine.sim
+        self.driver = driver
+        self.profile: NetworkProfile = driver.profile
+        self.name = name or f"{self.profile.name}{len(machine.nics)}"
+        self.wire: Optional["Wire"] = None
+        self._tx = Resource(self.sim, capacity=1, name=f"{self.qualified_name}.tx")
+        self._busy_until: float = 0.0
+        self.rx_handler: Optional[Callable[[Transfer], None]] = None
+        self.idle_listeners: List[Callable[["Nic"], None]] = []
+        self.inbox: List[Transfer] = []
+        self.work_log: List[NicWork] = []
+        self.bytes_sent: int = 0
+        self.transfers_sent: int = 0
+        machine._attach_nic(self)
+
+    def __repr__(self) -> str:
+        state = "idle" if self.is_idle else f"busy until {self._busy_until:.2f}"
+        return f"<Nic {self.qualified_name} ({self.profile.name}) {state}>"
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.machine.name}.{self.name}"
+
+    # ------------------------------------------------------------------ #
+    # strategy-facing state
+    # ------------------------------------------------------------------ #
+
+    @property
+    def is_idle(self) -> bool:
+        """No transmit in flight, nothing queued, no declared work left."""
+        return (
+            self._tx.in_use == 0
+            and self._tx.queued == 0
+            and self.sim.now >= self._busy_until
+        )
+
+    @property
+    def busy_until(self) -> float:
+        """Predicted instant the transmit engine frees up.
+
+        Exact when every submitter declared its true transmit cost (the
+        engine always does); never earlier than the current instant.
+        """
+        return max(self.sim.now, self._busy_until)
+
+    def utilization(self, since: float = 0.0) -> float:
+        """Fraction of ``[since, now]`` the transmit engine was held."""
+        window = self.sim.now - since
+        if window <= 0:
+            return 0.0
+        busy = sum(
+            min(w.end, self.sim.now) - max(w.start, since)
+            for w in self.work_log
+            if w.end > since
+        )
+        return busy / window
+
+    def inject_busy(self, duration: float) -> None:
+        """Occupy the transmit engine with opaque background traffic.
+
+        Used by the ablation benches to study the Fig. 2 idle-prediction
+        rule under load from other communication flows.
+        """
+        if duration < 0:
+            raise SchedulingError(f"negative busy injection: {duration}")
+        self._declare(duration)
+
+        def body():
+            req = self._tx.request()
+            yield req
+            start = self.sim.now
+            yield Timeout(duration)
+            self._tx.release(req)
+            self.work_log.append(
+                NicWork(start, self.sim.now, TransferKind.RDV_DATA, 0)
+            )
+            self._maybe_notify_idle()
+
+        self.sim.spawn(body(), name=f"{self.qualified_name}.background")
+
+    # ------------------------------------------------------------------ #
+    # send pipelines
+    # ------------------------------------------------------------------ #
+
+    def submit(self, transfer: Transfer, core: Core) -> SimEvent:
+        """Hand ``transfer`` to this NIC, issued from ``core``.
+
+        Returns the transfer's ``done`` event, triggered (with the
+        transfer) when the *receive side* finished processing it.  The
+        caller does not wait for the event to keep issuing — the NIC and
+        core FIFOs provide the back-pressure.
+        """
+        if self.wire is None:
+            raise ConfigurationError(f"{self!r} is not wired to a peer")
+        if core not in self.machine.cores:
+            raise SchedulingError(
+                f"core {core.core_id} does not belong to {self.machine.name}"
+            )
+        if transfer.done is None:
+            transfer.done = SimEvent(self.sim, name=f"transfer{transfer.transfer_id}.done")
+        if transfer.tx_done is None:
+            transfer.tx_done = SimEvent(
+                self.sim, name=f"transfer{transfer.transfer_id}.tx_done"
+            )
+        transfer.t_submit = self.sim.now
+        transfer.nic_name = self.qualified_name
+        transfer.src_node = self.machine.name
+        if not transfer.dst_node:
+            # Point-to-point fabrics have a single peer; a shared switch
+            # with >2 ports needs the destination set by the caller (the
+            # engine's protocol constructors always set it).
+            transfer.dst_node = self.wire.peer_of(self).machine.name
+
+        if transfer.kind is TransferKind.EAGER:
+            if transfer.size > self.profile.eager_limit:
+                raise SchedulingError(
+                    f"eager packet of {transfer.size}B exceeds "
+                    f"{self.profile.name} eager limit {self.profile.eager_limit}B"
+                )
+            self._declare(self._eager_tx_time(transfer.size))
+            self.sim.spawn(
+                self._eager_pipeline(transfer, core),
+                name=f"{self.qualified_name}.eager{transfer.transfer_id}",
+            )
+        elif transfer.kind is TransferKind.RDV_DATA:
+            self._declare(self.profile.rdv_nic_time(transfer.size))
+            self.sim.spawn(
+                self._rdv_pipeline(transfer, core),
+                name=f"{self.qualified_name}.rdv{transfer.transfer_id}",
+            )
+        else:  # control packet
+            self._declare(0.0)
+            self.sim.spawn(
+                self._control_pipeline(transfer, core),
+                name=f"{self.qualified_name}.ctrl{transfer.transfer_id}",
+            )
+        return transfer.done
+
+    def expected_tx_time(self, transfer: Transfer) -> float:
+        """Transmit-engine occupancy this transfer will be declared with."""
+        if transfer.kind is TransferKind.EAGER:
+            return self._eager_tx_time(transfer.size)
+        if transfer.kind is TransferKind.RDV_DATA:
+            return self.profile.rdv_nic_time(transfer.size)
+        return 0.0
+
+    # -- pipelines ---------------------------------------------------------
+
+    def _eager_tx_time(self, size: int) -> float:
+        """Transmit-engine hold for an eager packet: the PIO copy window."""
+        return self.profile.pio_copy_time(size)
+
+    def _eager_pipeline(self, transfer: Transfer, core: Core):
+        # Fixed acquisition order (core, then NIC) rules out deadlock; the
+        # core spinning while it waits for NIC doorbell space is also what
+        # the hardware does.
+        post = self.profile.post_overhead
+        copy = self._eager_tx_time(transfer.size)
+        yield from core.occupy(post, label=f"post:{self.name}")
+        # Declare the copy before waiting for the transmit engine so
+        # strategy queries already see the core as committed to it.
+        core.declare(copy)
+        req = self._tx.request()
+        yield req
+
+        def stamp_start():
+            transfer.t_cpu_start = self.sim.now
+            transfer.t_wire_start = self.sim.now
+
+        yield from core.hold_declared(copy, label=f"pio:{self.name}", on_start=stamp_start)
+        self._tx.release(req)
+        self._finish_tx(transfer, start=transfer.t_cpu_start)
+
+    def _rdv_pipeline(self, transfer: Transfer, core: Core):
+        yield from core.occupy(
+            self.profile.rdv_send_cpu(), label=f"rdv-setup:{self.name}"
+        )
+        req = self._tx.request()
+        yield req
+        transfer.t_wire_start = self.sim.now
+        yield Timeout(self.profile.rdv_nic_time(transfer.size))
+        self._tx.release(req)
+        self._finish_tx(transfer, start=transfer.t_wire_start)
+
+    def _control_pipeline(self, transfer: Transfer, core: Core):
+        yield from core.occupy(
+            self.profile.control_send_cpu(), label=f"ctrl:{self.name}"
+        )
+        transfer.t_wire_start = self.sim.now
+        self._finish_tx(transfer, start=self.sim.now)
+
+    def _finish_tx(self, transfer: Transfer, start: float) -> None:
+        transfer.t_tx_done = self.sim.now
+        self.work_log.append(
+            NicWork(start, self.sim.now, transfer.kind, transfer.size)
+        )
+        self.bytes_sent += transfer.size
+        self.transfers_sent += 1
+        assert self.wire is not None
+        self.wire.transmit(self, transfer)
+        if transfer.tx_done is not None:
+            transfer.tx_done.trigger(transfer)
+        self._maybe_notify_idle()
+
+    def _maybe_notify_idle(self) -> None:
+        # "The packet scheduler is only activated when a NIC becomes idle
+        # in order to feed it" — notify listeners on the busy→idle edge.
+        if self.idle_listeners and self.is_idle:
+            for listener in list(self.idle_listeners):
+                self.sim.schedule(0.0, listener, self)
+
+    # ------------------------------------------------------------------ #
+    # receive side
+    # ------------------------------------------------------------------ #
+
+    def _on_delivery(self, transfer: Transfer) -> None:
+        """Last byte arrived; hand off to the progress engine (or inbox)."""
+        transfer.t_delivered = self.sim.now
+        self.inbox.append(transfer)
+        if self.rx_handler is not None:
+            self.rx_handler(transfer)
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+
+    def _declare(self, tx_time: float) -> None:
+        base = max(self.sim.now, self._busy_until)
+        self._busy_until = base + tx_time

@@ -1,0 +1,132 @@
+"""Shared switches: one rail fabric connecting many nodes.
+
+The paper's testbed wires its two nodes back-to-back (:class:`Wire`), but
+the multirail clusters its introduction motivates — the T2K's 4-link
+InfiniBand — run through switches, where flows *share* ports.  A
+:class:`Switch` connects any number of NICs of one technology and models
+the piece a wire cannot: **output-port contention**.
+
+Forwarding model (virtual cut-through):
+
+* the first byte of a packet reaches the switch ``switch_latency`` µs
+  after the source NIC starts transmitting;
+* the destination port drains one packet at the link rate
+  (``profile.dma_rate``); a packet starts draining at
+  ``max(first byte in, port free)``, so an uncontended transfer pays
+  only the extra switch latency (cut-through), while simultaneous
+  senders to one node serialize at the output port — the incast effect.
+
+The engine is fabric-agnostic: both :class:`Wire` and :class:`Switch`
+expose ``peers_of(nic)`` and ``transmit(src, transfer)`` (transfers
+through a switch carry their destination node, which the engine's
+protocol constructors always set).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.util.errors import ConfigurationError, ProtocolError
+
+from repro.networks.nic import Nic
+from repro.networks.transfer import Transfer
+
+
+class Switch:
+    """A shared fabric for one technology, any number of ports."""
+
+    def __init__(self, name: str = "switch", switch_latency: float = 0.3) -> None:
+        if switch_latency < 0:
+            raise ConfigurationError(f"negative switch latency: {switch_latency}")
+        self.name = name
+        self.switch_latency = switch_latency
+        self._ports: List[Nic] = []
+        #: per destination NIC: instant its output port frees up
+        self._port_free: Dict[int, float] = {}
+        self.packets_forwarded = 0
+        self.contended_packets = 0
+
+    def __repr__(self) -> str:
+        return f"<Switch {self.name}: {len(self._ports)} ports>"
+
+    # ------------------------------------------------------------------ #
+    # wiring (the Wire-compatible fabric protocol)
+    # ------------------------------------------------------------------ #
+
+    def attach(self, nic: Nic) -> "Switch":
+        """Connect a NIC to this switch (its ``wire`` becomes the switch)."""
+        if self._ports and nic.profile.name != self._ports[0].profile.name:
+            raise ConfigurationError(
+                f"switch {self.name} carries {self._ports[0].profile.name}, "
+                f"got {nic.profile.name}"
+            )
+        if nic.wire is not None:
+            raise ConfigurationError(f"{nic!r} is already wired")
+        if self._ports and nic.sim is not self._ports[0].sim:
+            raise ConfigurationError("switch ports live in different simulators")
+        nic.wire = self
+        self._ports.append(nic)
+        self._port_free[id(nic)] = 0.0
+        return self
+
+    @property
+    def ports(self) -> List[Nic]:
+        return list(self._ports)
+
+    def peers_of(self, nic: Nic) -> List[Nic]:
+        """Every other port's NIC (the engine builds routes from this)."""
+        if nic not in self._ports:
+            raise ConfigurationError(f"{nic!r} is not a port of {self!r}")
+        return [p for p in self._ports if p is not nic]
+
+    # Wire-API compatibility: a switch has no single peer; peer_of is only
+    # answerable when exactly two ports exist (then it degenerates to a
+    # wire, which keeps simple two-node setups working).
+    def peer_of(self, nic: Nic) -> Nic:
+        """The single peer — only defined for a two-port switch."""
+        peers = self.peers_of(nic)
+        if len(peers) != 1:
+            raise ConfigurationError(
+                f"switch {self.name} has {len(self._ports)} ports; "
+                "use peers_of/destination routing"
+            )
+        return peers[0]
+
+    # ------------------------------------------------------------------ #
+    # forwarding
+    # ------------------------------------------------------------------ #
+
+    def transmit(self, src: Nic, transfer: Transfer) -> None:
+        """Forward a fully-transmitted packet to its destination port."""
+        if not transfer.dst_node:
+            raise ProtocolError(
+                f"{transfer!r} has no destination node; switched transfers "
+                "must carry one"
+            )
+        dst = self._resolve(src, transfer.dst_node)
+        sim = src.sim
+        rate = src.profile.dma_rate
+        drain = transfer.size / rate
+        # Cut-through: the head of the packet reached us one latency after
+        # the source started transmitting; the tail leaves the output port
+        # one drain time after the head starts draining.
+        head_in = (
+            transfer.t_wire_start if transfer.t_wire_start is not None else sim.now
+        ) + self.switch_latency
+        free_at = self._port_free[id(dst)]
+        start = max(head_in, free_at)
+        if free_at > head_in:
+            self.contended_packets += 1
+        delivery = max(start + drain, sim.now + self.switch_latency)
+        self._port_free[id(dst)] = delivery
+        self.packets_forwarded += 1
+        sim.schedule_at(delivery, dst._on_delivery, transfer)
+
+    def _resolve(self, src: Nic, dst_node: str) -> Nic:
+        for port in self._ports:
+            if port is not src and port.machine.name == dst_node:
+                return port
+        raise ProtocolError(
+            f"switch {self.name}: no port on node {dst_node!r} "
+            f"(ports: {[p.qualified_name for p in self._ports]})"
+        )

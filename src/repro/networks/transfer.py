@@ -1,0 +1,87 @@
+"""Transfer descriptors flowing between NICs.
+
+A :class:`Transfer` is one unit handed to a NIC: an eager packet (possibly
+aggregating several application messages), a rendezvous control packet, or
+one rendezvous data chunk.  It carries the identifiers the receive side
+needs to reassemble application messages, plus timing fields filled in as
+the transfer progresses (consumed by the trace module and the tests).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.simtime import SimEvent
+
+_transfer_ids = itertools.count()
+
+
+class TransferKind(enum.Enum):
+    """What a transfer is, protocol-wise."""
+
+    EAGER = "eager"          # payload travels inline, PIO copies
+    RDV_REQ = "rdv-req"      # rendezvous request (control)
+    RDV_ACK = "rdv-ack"      # rendezvous acknowledgement (control)
+    RDV_DATA = "rdv-data"    # one DMA data chunk of a rendezvous message
+
+    @property
+    def is_control(self) -> bool:
+        return self in (TransferKind.RDV_REQ, TransferKind.RDV_ACK)
+
+
+@dataclass
+class Transfer:
+    """One NIC-level transfer.
+
+    ``msg_id``/``chunk_index``/``chunk_count`` tie a chunk back to its
+    application message; ``payload`` carries protocol metadata (e.g. the
+    RDV_REQ advertises the full message size).  ``size`` is the wire size
+    in bytes (0 for pure control packets).
+    """
+
+    kind: TransferKind
+    size: int
+    msg_id: int
+    src_node: str = ""
+    dst_node: str = ""
+    tag: int = 0
+    chunk_index: int = 0
+    chunk_count: int = 1
+    offset: int = 0
+    payload: Dict[str, Any] = field(default_factory=dict)
+    #: aggregated message ids when several eager messages share one packet
+    aggregated_ids: tuple = ()
+
+    # -- timing fields, filled in by the NIC/engine as the transfer runs --
+    transfer_id: int = field(default_factory=lambda: next(_transfer_ids))
+    t_submit: Optional[float] = None     # handed to the NIC queue
+    t_cpu_start: Optional[float] = None  # send core began post/copy
+    t_wire_start: Optional[float] = None
+    t_tx_done: Optional[float] = None    # transmit phase drained (sender)
+    t_delivered: Optional[float] = None  # last byte at peer NIC
+    t_complete: Optional[float] = None   # receive-side processing done
+    nic_name: Optional[str] = None
+
+    #: triggered (with this Transfer) when receive-side processing is done
+    done: Optional[SimEvent] = None
+    #: triggered (with this Transfer) when the send side finished its
+    #: transmit phase (PIO copy or DMA drained) — what an offloading
+    #: tasklet must wait for before letting a preempted thread back on
+    tx_done: Optional[SimEvent] = None
+
+    def __repr__(self) -> str:
+        return (
+            f"<Transfer #{self.transfer_id} {self.kind.value} "
+            f"msg={self.msg_id} chunk={self.chunk_index + 1}/{self.chunk_count} "
+            f"{self.size}B {self.src_node}->{self.dst_node}>"
+        )
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Submit-to-complete time, once the transfer finished."""
+        if self.t_submit is None or self.t_complete is None:
+            return None
+        return self.t_complete - self.t_submit

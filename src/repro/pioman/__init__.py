@@ -1,0 +1,22 @@
+"""PIOMan: the I/O progress engine (event detection + core offloading).
+
+PIOMan (paper §III-A) provides "a service that guarantees a predefined
+level of reactivity to I/O events", working with Marcel to run detection
+and submission code on the most suitable CPUs.  The model here keeps the
+two services the multirail strategy consumes:
+
+* **receive-side progression** — incoming transfers are detected and
+  processed on the machine's *polling core*, paying the driver's
+  ``poll_detect`` cost plus (for eager packets) the NIC→host copy; two
+  simultaneous receptions therefore serialize on that core, the
+  receive-side half of the Fig. 3/4 effect;
+* **send-side offloading** — the strategy registers chunk-send requests
+  in a *to-be-sent list* and signals idle (or preemptable) cores; each
+  signalled core pops a request and submits it to its NIC (Fig. 7),
+  paying the 3 µs / 6 µs signalling cost via Marcel.
+"""
+
+from repro.pioman.requests import SendRequest
+from repro.pioman.progress import PiomanEngine
+
+__all__ = ["SendRequest", "PiomanEngine"]

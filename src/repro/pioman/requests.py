@@ -1,0 +1,37 @@
+"""Send requests registered in PIOMan's to-be-sent list.
+
+Paper §III-D: "Important information (data pointer, message size, chosen
+network, etc.) is stored in a to-be-sent list and idle cores are signaled
+that some requests need to be sent."
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, TYPE_CHECKING
+
+from repro.networks.transfer import Transfer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.networks.nic import Nic
+
+_request_ids = itertools.count()
+
+
+@dataclass
+class SendRequest:
+    """One registered chunk submission: *send this transfer on that NIC*."""
+
+    transfer: Transfer
+    nic: "Nic"
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+    t_registered: Optional[float] = None
+    t_picked: Optional[float] = None
+    picked_by_core: Optional[int] = None
+
+    def __repr__(self) -> str:
+        return (
+            f"<SendRequest #{self.request_id} {self.transfer.size}B "
+            f"on {self.nic.qualified_name}>"
+        )

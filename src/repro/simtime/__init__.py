@@ -1,0 +1,41 @@
+"""Discrete-event simulation kernel (virtual time in microseconds).
+
+This is the substrate that replaces the paper's physical testbed: NICs,
+wires, cores, tasklets and the progress engine are all driven by one
+:class:`Simulator` clock.  The kernel is deliberately generic — nothing in
+it knows about networking — so it is unit-testable in isolation and
+reusable by every other subpackage.
+
+Two programming styles are supported and freely mixable:
+
+* **callback style** — ``sim.schedule(delay, fn, *args)``;
+* **process style** — generator coroutines spawned with ``sim.spawn`` that
+  ``yield`` waitables (:class:`Timeout`, :class:`SimEvent`,
+  :class:`AllOf`, :class:`AnyOf`) just like SimPy processes.
+"""
+
+from repro.simtime.events import EventQueue, ScheduledEvent
+from repro.simtime.simulator import Simulator
+from repro.simtime.process import (
+    Process,
+    SimEvent,
+    Timeout,
+    AllOf,
+    AnyOf,
+    Interrupt,
+)
+from repro.simtime.resources import Resource, ResourceRequest
+
+__all__ = [
+    "EventQueue",
+    "ScheduledEvent",
+    "Simulator",
+    "Process",
+    "SimEvent",
+    "Timeout",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "Resource",
+    "ResourceRequest",
+]

@@ -1,0 +1,105 @@
+"""Capacity-limited resources with FIFO queuing.
+
+A :class:`Resource` models anything that serializes access in virtual
+time — a CPU core executing PIO copies, a DMA engine, a lock.  Requests
+are themselves waitables, so processes can write::
+
+    req = core_resource.request()
+    yield req                  # granted when a slot frees up
+    yield Timeout(copy_cost)   # hold the core for the copy duration
+    core_resource.release(req)
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+from repro.simtime.process import SimEvent, Waitable
+from repro.simtime.simulator import Simulator
+from repro.util.errors import SimulationError
+
+
+class ResourceRequest(Waitable):
+    """A pending or granted claim on a :class:`Resource` slot."""
+
+    __slots__ = ("resource", "event", "granted", "released")
+
+    def __init__(self, resource: "Resource") -> None:
+        self.resource = resource
+        self.event = SimEvent(resource.sim, name=f"{resource.name}.grant")
+        self.granted = False
+        self.released = False
+
+    def subscribe(self, sim: Simulator, callback) -> None:
+        self.event.subscribe(sim, callback)
+
+    def cancel(self) -> None:
+        """Withdraw a not-yet-granted request (e.g. a timed-out waiter)."""
+        self.resource._cancel(self)
+
+
+class Resource:
+    """A counted resource with deterministic FIFO admission.
+
+    ``capacity`` slots; excess requests queue in arrival order.  The grant
+    happens *inline* at release time (not deferred), so utilization
+    accounting sees no artificial gaps — important when asserting that a
+    core is 100 % busy during serialized PIO copies (paper Fig. 4a).
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = "resource") -> None:
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.in_use = 0
+        self._waiting: Deque[ResourceRequest] = deque()
+
+    def __repr__(self) -> str:
+        return (
+            f"<Resource {self.name} {self.in_use}/{self.capacity}"
+            f" (+{len(self._waiting)} queued)>"
+        )
+
+    @property
+    def queued(self) -> int:
+        return len(self._waiting)
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.in_use
+
+    def request(self) -> ResourceRequest:
+        """Claim a slot; the returned request is waitable."""
+        req = ResourceRequest(self)
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            req.granted = True
+            req.event.trigger(req)
+        else:
+            self._waiting.append(req)
+        return req
+
+    def release(self, req: ResourceRequest) -> None:
+        """Return a granted slot; the next FIFO waiter (if any) is granted."""
+        if not req.granted:
+            raise SimulationError(f"releasing ungranted request on {self.name}")
+        if req.released:
+            raise SimulationError(f"double release on {self.name}")
+        req.released = True
+        if self._waiting:
+            nxt = self._waiting.popleft()
+            nxt.granted = True
+            nxt.event.trigger(nxt)
+        else:
+            self.in_use -= 1
+
+    def _cancel(self, req: ResourceRequest) -> None:
+        if req.granted:
+            raise SimulationError("cannot cancel a granted request; release it")
+        try:
+            self._waiting.remove(req)
+        except ValueError:
+            raise SimulationError("cancelling a request not queued here") from None

@@ -1,0 +1,22 @@
+"""Marcel-like threading layer: compute threads and tasklets.
+
+MARCEL (paper §III-A) is a two-level thread scheduler; the pieces of it
+the multirail strategy interacts with are modelled here:
+
+* :class:`ComputeThread` — an application thread occupying a core; it can
+  be *preempted by a signal* so a packet submission may occur (§III-D),
+  then resumes its remaining work;
+* :class:`Tasklet` — a deferred, high-priority work item ("tasklets are
+  executed as soon as the scheduler reaches a point where it is safe to
+  let them run");
+* :class:`MarcelScheduler` — per-machine registry that places tasklets on
+  cores, charging the topology's signalling cost (3 µs to poke an idle
+  core, 6 µs when a computing thread must be preempted) and orchestrating
+  the preempt/resume protocol.
+"""
+
+from repro.threading.tasklet import Tasklet, TaskletState
+from repro.threading.compute import ComputeThread
+from repro.threading.marcel import MarcelScheduler
+
+__all__ = ["Tasklet", "TaskletState", "ComputeThread", "MarcelScheduler"]

@@ -1,0 +1,161 @@
+"""Preemptable application compute threads.
+
+A :class:`ComputeThread` models the application's computation phase: it
+occupies one core for a total budget of CPU work (possibly unbounded) and
+can be preempted so a communication tasklet may run (paper §III-D: "a
+signal is sent in order to preempt the thread and to let the packet
+submission occur").  After the tasklet finishes, the thread resumes and
+completes its *remaining* work — no progress is lost, only time.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, TYPE_CHECKING
+
+from repro.hardware.core import Core
+from repro.simtime import AnyOf, SimEvent, Timeout
+from repro.util.errors import SchedulingError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.threading.marcel import MarcelScheduler
+
+class ComputeThread:
+    """An application thread bound to one core.
+
+    Parameters
+    ----------
+    marcel:
+        Owning scheduler (registers/unregisters the thread per core).
+    core:
+        The core this thread computes on.
+    work_us:
+        Total CPU time to consume; ``None`` means compute forever.
+    preemptable:
+        Whether PIOMan may preempt this thread to run a tasklet.  Matches
+        the paper's signal-based preemption; non-preemptable threads make
+        their core unavailable to the offloading machinery.
+    """
+
+    def __init__(
+        self,
+        marcel: "MarcelScheduler",
+        core: Core,
+        work_us: Optional[float] = None,
+        preemptable: bool = True,
+        name: str = "compute",
+    ) -> None:
+        if work_us is not None and work_us < 0:
+            raise SchedulingError(f"negative compute budget: {work_us}")
+        self.marcel = marcel
+        self.core = core
+        self.sim = core.sim
+        self.name = name
+        self.preemptable = preemptable
+        self.total_work = math.inf if work_us is None else float(work_us)
+        self.finished = SimEvent(self.sim, name=f"{name}.finished")
+        self.preempt_count: int = 0
+        self._completed: float = 0.0
+        self._slice_start: Optional[float] = None
+        self._holding = False
+        self._preempt_evt: Optional[SimEvent] = None
+        self._resume_evt: Optional[SimEvent] = None
+        marcel._register_thread(self)
+        self.sim.spawn(self._body(), name=f"{name}@core{core.core_id}")
+
+    def __repr__(self) -> str:
+        return (
+            f"<ComputeThread {self.name} on core {self.core.core_id}: "
+            f"{self.progress:.1f}/{self.total_work} us>"
+        )
+
+    @property
+    def done(self) -> bool:
+        return self.finished.triggered
+
+    @property
+    def on_core(self) -> bool:
+        """True while the thread actually holds its core's slot."""
+        return self._holding
+
+    @property
+    def progress(self) -> float:
+        """CPU time consumed so far, live (includes the current slice)."""
+        if self._holding and self._slice_start is not None:
+            return self._completed + (self.sim.now - self._slice_start)
+        return self._completed
+
+    @property
+    def remaining(self) -> float:
+        return max(0.0, self.total_work - self.progress)
+
+    # ------------------------------------------------------------------ #
+    # preemption protocol (driven by MarcelScheduler)
+    # ------------------------------------------------------------------ #
+
+    def preempt(self) -> SimEvent:
+        """Signal the thread off its core; returns the event that fires
+        when :meth:`resume` is legal (i.e. the core slice was released).
+
+        Raises unless the thread is currently holding the core and is
+        preemptable.
+        """
+        if not self.preemptable:
+            raise SchedulingError(f"{self.name} is not preemptable")
+        if not self._holding or self._preempt_evt is None:
+            raise SchedulingError(f"{self.name} is not on its core right now")
+        if self._preempt_evt.triggered:
+            raise SchedulingError(f"{self.name} is already being preempted")
+        released = SimEvent(self.sim, name=f"{self.name}.released")
+        # Arm the resume gate here so resume() is legal the instant
+        # preempt() returns, regardless of event-delivery interleaving.
+        self._resume_evt = SimEvent(self.sim, name=f"{self.name}.resume")
+        self._preempt_evt.trigger(released)
+        return released
+
+    def resume(self) -> None:
+        """Let a preempted thread re-queue for its core.
+
+        Legal any time after :meth:`preempt`; the thread re-queues as soon
+        as it has actually released its slice.
+        """
+        if self._resume_evt is None or self._resume_evt.triggered:
+            raise SchedulingError(f"{self.name} is not waiting to resume")
+        self._resume_evt.trigger()
+
+    # ------------------------------------------------------------------ #
+    # thread body
+    # ------------------------------------------------------------------ #
+
+    def _body(self):
+        while self.remaining > 0:
+            req = self.core._res.request()
+            yield req
+            self._holding = True
+            self._preempt_evt = SimEvent(self.sim, name=f"{self.name}.preempt")
+            start = self.sim.now
+            self._slice_start = start
+            # An unbounded thread waits on the preempt signal alone —
+            # adding a Timeout(inf) would keep the event queue alive and
+            # make Simulator.run() jump to the end of time.
+            waits = [self._preempt_evt]
+            if not math.isinf(self.remaining):
+                waits.insert(0, Timeout(self.remaining))
+            index, value = yield AnyOf(waits)
+            preempted = waits[index] is self._preempt_evt
+            self._completed += self.sim.now - start
+            self._slice_start = None
+            self._holding = False
+            self.core._res.release(req)
+            self.core._record(start, self.sim.now, f"compute:{self.name}")
+            if preempted:
+                # Acknowledge the release, then park until the scheduler
+                # resumes us (the resume gate was armed by preempt()).
+                self.preempt_count += 1
+                released_evt = value
+                released_evt.trigger()
+                yield self._resume_evt
+                self._resume_evt = None
+            self._preempt_evt = None
+        self.marcel._unregister_thread(self)
+        self.finished.trigger(self.progress)

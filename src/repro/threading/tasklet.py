@@ -1,0 +1,63 @@
+"""Tasklets: deferred high-priority work items.
+
+Tasklets come from the operating-systems world ("I'll do it later",
+paper ref [7]); MARCEL exposes them to PIOMan, which uses them to run
+event-detection and packet-submission code on the most suitable core.
+
+A tasklet's ``body`` is a plain callable executed *on* a core (it may
+start NIC pipelines, which occupy that core further).  The tasklet object
+records its lifecycle timestamps so tests and the trace module can verify
+the offloading costs the paper reports.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+_tasklet_ids = itertools.count()
+
+
+class TaskletState(enum.Enum):
+    """Lifecycle of a tasklet, from creation to completed body."""
+
+    PENDING = "pending"        # created, not yet placed on a core
+    SCHEDULED = "scheduled"    # signalled to a core, in flight
+    RUNNING = "running"        # body executing
+    DONE = "done"
+
+
+@dataclass
+class Tasklet:
+    """One deferred work item.
+
+    ``cpu_cost`` is the core occupancy of the body itself (often ~0 when
+    the body merely posts a NIC pipeline that does its own occupancy).
+    """
+
+    body: Callable[[], None]
+    name: str = "tasklet"
+    cpu_cost: float = 0.0
+    tasklet_id: int = field(default_factory=lambda: next(_tasklet_ids))
+    state: TaskletState = TaskletState.PENDING
+
+    # lifecycle timestamps (virtual µs), filled by the scheduler
+    t_created: Optional[float] = None
+    t_signalled: Optional[float] = None
+    t_started: Optional[float] = None
+    t_finished: Optional[float] = None
+    core_id: Optional[int] = None
+    preempted_someone: bool = False
+
+    def __repr__(self) -> str:
+        return f"<Tasklet #{self.tasklet_id} {self.name} {self.state.value}>"
+
+    @property
+    def dispatch_latency(self) -> Optional[float]:
+        """Signal-to-start delay: the paper's TO (3 µs, or 6 µs when a
+        thread had to be preempted)."""
+        if self.t_signalled is None or self.t_started is None:
+            return None
+        return self.t_started - self.t_signalled

@@ -1,0 +1,26 @@
+"""Execution-trace analysis: timelines over cores and NICs.
+
+The hardware substrates already log every occupancy interval (core PIO
+copies, compute slices, NIC transmits); this package turns those logs
+into the timeline queries the evaluation needs — per-lane utilization,
+overlap between lanes (did the two PIO copies actually run in parallel,
+Fig. 4c?), idle gaps (how long did iso-split strand the fast rail,
+§IV-A?) — plus an ASCII Gantt renderer for the examples.
+"""
+
+from repro.trace.timeline import Interval, Timeline
+from repro.trace.export import (
+    export_messages_csv,
+    export_timeline_csv,
+    load_timeline_csv,
+)
+from repro.trace.explain import explain
+
+__all__ = [
+    "Interval",
+    "Timeline",
+    "export_messages_csv",
+    "export_timeline_csv",
+    "load_timeline_csv",
+    "explain",
+]

@@ -1,0 +1,64 @@
+"""Per-message phase breakdown: where did the microseconds go?
+
+:func:`explain` turns a completed :class:`~repro.core.packets.Message`
+into a human-readable report of every NIC-level transfer that carried it
+(control packets included), with per-phase timings — the first thing to
+look at when a strategy's decision surprises you.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.packets import Message
+from repro.networks.transfer import Transfer
+from repro.util.errors import ConfigurationError
+from repro.util.units import format_size
+
+
+def _phase(t0, t1) -> str:
+    if t0 is None or t1 is None:
+        return "      ?"
+    return f"{t1 - t0:7.2f}"
+
+
+def explain(msg: Message) -> str:
+    """Render the message's transfer-level timeline as a fixed-width table.
+
+    Columns per transfer: kind, size, rail, submit instant, then the
+    queue (submit→transmit-start), transmit, flight (wire), and
+    receive-processing phases in µs.
+    """
+    if not msg.transfers:
+        raise ConfigurationError(
+            f"msg {msg.msg_id} has no recorded transfers (not dispatched yet?)"
+        )
+    lines = [
+        f"message #{msg.msg_id}: {format_size(msg.size)} "
+        f"{msg.src} -> {msg.dest} tag={msg.tag} "
+        f"mode={msg.mode.value if msg.mode else '?'} "
+        f"status={msg.status.value}",
+    ]
+    if msg.latency is not None:
+        lines.append(
+            f"posted t={msg.t_post:.2f}us, completed t={msg.t_complete:.2f}us "
+            f"(latency {msg.latency:.2f}us)"
+        )
+    header = (
+        f"  {'kind':<9} {'size':>7} {'rail':<18} {'submit':>9} "
+        f"{'queue':>7} {'tx':>7} {'flight':>7} {'rxproc':>7}"
+    )
+    lines.append(header)
+    lines.append("  " + "-" * (len(header) - 2))
+    for t in sorted(msg.transfers, key=lambda t: t.t_submit or 0.0):
+        assert isinstance(t, Transfer)
+        rail = (t.nic_name or "?").split(".")[-1]
+        submit = f"{t.t_submit:9.2f}" if t.t_submit is not None else "        ?"
+        lines.append(
+            f"  {t.kind.value:<9} {format_size(t.size):>7} {rail:<18} {submit} "
+            f"{_phase(t.t_submit, t.t_wire_start):>7} "
+            f"{_phase(t.t_wire_start, t.t_tx_done):>7} "
+            f"{_phase(t.t_tx_done, t.t_delivered):>7} "
+            f"{_phase(t.t_delivered, t.t_complete):>7}"
+        )
+    return "\n".join(lines)

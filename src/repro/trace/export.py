@@ -1,0 +1,104 @@
+"""CSV export of timelines and message lifecycles.
+
+Lets downstream users plot the virtual-time traces with their own tools
+(the repo itself stays plotting-library-free).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable, Union
+
+from repro.core.packets import Message
+from repro.trace.timeline import Timeline
+from repro.util.errors import ConfigurationError
+
+PathOrBuffer = Union[str, Path, io.TextIOBase]
+
+
+def _open(target: PathOrBuffer):
+    if isinstance(target, (str, Path)):
+        return open(target, "w", newline=""), True
+    return target, False
+
+
+def export_timeline_csv(timeline: Timeline, target: PathOrBuffer) -> int:
+    """Write ``lane,start_us,end_us,label`` rows; returns the row count."""
+    stream, owned = _open(target)
+    try:
+        writer = csv.writer(stream)
+        writer.writerow(["lane", "start_us", "end_us", "label"])
+        rows = 0
+        for lane in timeline.lanes:
+            for iv in timeline.intervals(lane):
+                writer.writerow([lane, f"{iv.start:.6f}", f"{iv.end:.6f}", iv.label])
+                rows += 1
+        return rows
+    finally:
+        if owned:
+            stream.close()
+
+
+def export_messages_csv(messages: Iterable[Message], target: PathOrBuffer) -> int:
+    """Write one lifecycle row per message; returns the row count.
+
+    Columns: id, src, dest, tag, size, mode, status, t_post, t_complete,
+    latency, rails (``+``-joined), chunks (``+``-joined).
+    """
+    stream, owned = _open(target)
+    try:
+        writer = csv.writer(stream)
+        writer.writerow(
+            [
+                "msg_id", "src", "dest", "tag", "size_bytes", "mode", "status",
+                "t_post_us", "t_complete_us", "latency_us", "rails", "chunks",
+            ]
+        )
+        rows = 0
+        for msg in messages:
+            writer.writerow(
+                [
+                    msg.msg_id,
+                    msg.src,
+                    msg.dest,
+                    msg.tag,
+                    msg.size,
+                    msg.mode.value if msg.mode else "",
+                    msg.status.value,
+                    f"{msg.t_post:.6f}" if msg.t_post is not None else "",
+                    f"{msg.t_complete:.6f}" if msg.t_complete is not None else "",
+                    f"{msg.latency:.6f}" if msg.latency is not None else "",
+                    "+".join(msg.rails_used),
+                    "+".join(str(c) for c in msg.chunk_sizes),
+                ]
+            )
+            rows += 1
+        return rows
+    finally:
+        if owned:
+            stream.close()
+
+
+def load_timeline_csv(source: Union[str, Path]) -> Timeline:
+    """Round-trip loader for :func:`export_timeline_csv` files."""
+    from repro.trace.timeline import Interval
+
+    path = Path(source)
+    if not path.exists():
+        raise ConfigurationError(f"no timeline file {path}")
+    timeline = Timeline()
+    with open(path, newline="") as stream:
+        reader = csv.DictReader(stream)
+        required = {"lane", "start_us", "end_us", "label"}
+        if reader.fieldnames is None or not required <= set(reader.fieldnames):
+            raise ConfigurationError(
+                f"{path} is not a timeline CSV (columns {reader.fieldnames})"
+            )
+        for row in reader:
+            timeline.add(
+                row["lane"],
+                Interval(float(row["start_us"]), float(row["end_us"]), row["label"]),
+            )
+    return timeline

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything the engine may raise with a single ``except`` clause while
+still discriminating the failure domain via the subclasses.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was built or wired with inconsistent parameters.
+
+    Examples: a NIC attached to two wires, a strategy given zero rails, a
+    negative bandwidth in a network profile.
+    """
+
+
+class ProtocolError(ReproError):
+    """A communication protocol state machine was driven out of order.
+
+    Examples: completing a rendezvous that was never initiated, receiving a
+    chunk for an unknown message id, unpacking more bytes than were packed.
+    """
+
+
+class SchedulingError(ReproError):
+    """The optimizer/scheduler or the tasklet layer hit an invalid state.
+
+    Examples: feeding a busy NIC, scheduling a tasklet on an offline core,
+    re-entering a strategy that is not reentrant.
+    """
+
+
+class SamplingError(ReproError):
+    """The sampling subsystem produced or was fed unusable data.
+
+    Examples: loading a profile file with non-monotonic sizes, querying an
+    estimator built from fewer than two sample points.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event kernel was misused.
+
+    Examples: scheduling an event in the past, running a simulator whose
+    clock was corrupted, waiting on a waitable from a foreign simulator.
+    """

@@ -1,0 +1,135 @@
+"""Size and rate units used throughout the library.
+
+Conventions
+-----------
+* **Sizes** are plain ``int`` bytes.  Helper constants :data:`KiB`,
+  :data:`MiB`, :data:`GiB` and the parser :func:`parse_size` accept the
+  ``"4K"`` / ``"8M"`` notation the paper's figures use on their axes.
+* **Time** is ``float`` microseconds (µs) of *virtual* time — the paper
+  reports latencies in µs and bandwidth curves against µs-scale transfers.
+* **Rates** are bytes per microsecond (B/µs).  ``1 B/µs`` is about
+  0.9537 MB/s when "MB" means MiB, which is what the paper's bandwidth
+  axes use (powers-of-two sizes, MB/s labels).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import List, Sequence
+
+KiB: int = 1024
+MiB: int = 1024 * 1024
+GiB: int = 1024 * 1024 * 1024
+
+_SUFFIXES = {
+    "": 1,
+    "B": 1,
+    "K": KiB,
+    "KB": KiB,
+    "KIB": KiB,
+    "M": MiB,
+    "MB": MiB,
+    "MIB": MiB,
+    "G": GiB,
+    "GB": GiB,
+    "GIB": GiB,
+}
+
+_SIZE_RE = re.compile(r"^\s*([0-9]*\.?[0-9]+)\s*([A-Za-z]*)\s*$")
+
+
+def parse_size(text: "str | int") -> int:
+    """Parse a human-readable size (``"4K"``, ``"8M"``, ``"512"``) to bytes.
+
+    Integers pass through unchanged.  Suffixes are binary (K = 1024) to
+    match the paper's axes (32K, 64K, ..., 8M).
+
+    >>> parse_size("4K")
+    4096
+    >>> parse_size(17)
+    17
+    """
+    if isinstance(text, int):
+        if text < 0:
+            raise ValueError(f"negative size: {text}")
+        return text
+    m = _SIZE_RE.match(str(text))
+    if not m:
+        raise ValueError(f"unparsable size: {text!r}")
+    value, suffix = m.groups()
+    mult = _SUFFIXES.get(suffix.upper())
+    if mult is None:
+        raise ValueError(f"unknown size suffix {suffix!r} in {text!r}")
+    out = float(value) * mult
+    if not out.is_integer():
+        raise ValueError(f"size {text!r} is not a whole number of bytes")
+    return int(out)
+
+
+def format_size(nbytes: int) -> str:
+    """Format a byte count the way the paper labels its axes (4K, 8M...).
+
+    Exact powers only get a bare suffix; everything else keeps one decimal.
+
+    >>> format_size(4096)
+    '4K'
+    >>> format_size(8 * 1024 * 1024)
+    '8M'
+    """
+    if nbytes < 0:
+        raise ValueError(f"negative size: {nbytes}")
+    for mult, suffix in ((GiB, "G"), (MiB, "M"), (KiB, "K")):
+        if nbytes >= mult:
+            q = nbytes / mult
+            if q == int(q):
+                return f"{int(q)}{suffix}"
+            return f"{q:.1f}{suffix}"
+    return str(nbytes)
+
+
+def format_time_us(us: float) -> str:
+    """Format a µs duration with a sensible unit (µs / ms / s)."""
+    if us < 0:
+        raise ValueError(f"negative duration: {us}")
+    if us < 1_000:
+        return f"{us:.2f}us"
+    if us < 1_000_000:
+        return f"{us / 1_000:.3f}ms"
+    return f"{us / 1_000_000:.4f}s"
+
+
+def bytes_per_us_to_mbps(rate: float) -> float:
+    """Convert B/µs to MB/s (MiB per second, as in the paper's figures)."""
+    return rate * 1e6 / MiB
+
+
+def mbps_to_bytes_per_us(mbps: float) -> float:
+    """Convert MB/s (MiB per second) to B/µs."""
+    return mbps * MiB / 1e6
+
+
+def pow2_sizes(lo: "str | int", hi: "str | int") -> List[int]:
+    """All powers of two in ``[lo, hi]`` inclusive; the sampling grid.
+
+    ``lo`` is rounded up and ``hi`` rounded down to the nearest power of
+    two, mirroring the paper's "various sizes (e.g. powers of 2)" grid.
+
+    >>> pow2_sizes(4, 32)
+    [4, 8, 16, 32]
+    """
+    lo_b = max(1, parse_size(lo))
+    hi_b = parse_size(hi)
+    if hi_b < lo_b:
+        raise ValueError(f"empty size range [{lo}, {hi}]")
+    k = math.ceil(math.log2(lo_b))
+    out: List[int] = []
+    while (1 << k) <= hi_b:
+        out.append(1 << k)
+        k += 1
+    return out
+
+
+#: Default sampling grid: 4 B .. 16 MiB in powers of two (covers both the
+#: eager Fig. 9 range and the rendezvous Fig. 8 range with headroom).
+POW2_SIZES: Sequence[int] = tuple(pow2_sizes(4, 16 * MiB))

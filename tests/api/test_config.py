@@ -1,0 +1,131 @@
+"""Tests for declarative cluster configuration."""
+
+import json
+
+import pytest
+
+from repro.api import load_cluster
+from repro.api.config import builder_from_config
+from repro.bench.runners import default_profiles
+from repro.core import MessageStatus
+from repro.util.errors import ConfigurationError
+from repro.util.units import MiB
+
+
+def paper_config(**extra):
+    config = {
+        "strategy": "hetero_split",
+        "nodes": [
+            {"name": "node0", "sockets": 2, "cores_per_socket": 2},
+            {"name": "node1", "sockets": 2, "cores_per_socket": 2},
+        ],
+        "rails": [
+            {"driver": "myri10g", "between": ["node0", "node1"]},
+            {"driver": "quadrics", "between": ["node0", "node1"]},
+        ],
+    }
+    config.update(extra)
+    return config
+
+
+@pytest.fixture(scope="module")
+def profile_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("profiles") / "profiles.json"
+    default_profiles().save(path)
+    return str(path)
+
+
+class TestLoadCluster:
+    def test_paper_testbed_from_dict(self, profile_file):
+        cluster = load_cluster(
+            paper_config(sampling={"profile_file": profile_file})
+        )
+        a, b = cluster.session("node0"), cluster.session("node1")
+        b.irecv()
+        msg = a.isend("node1", 1 * MiB)
+        cluster.run()
+        assert msg.status is MessageStatus.COMPLETE
+        assert len(msg.rails_used) == 2
+
+    def test_from_json_file(self, tmp_path, profile_file):
+        path = tmp_path / "cluster.json"
+        path.write_text(
+            json.dumps(paper_config(sampling={"profile_file": profile_file}))
+        )
+        cluster = load_cluster(str(path))
+        assert sorted(cluster.machines) == ["node0", "node1"]
+
+    def test_driver_overrides_applied(self, profile_file):
+        config = paper_config(sampling=True)
+        config["rails"][0]["overrides"] = {"wire_latency": 9.0}
+        cluster = load_cluster(config)
+        assert cluster.machines["node0"].nics[0].profile.wire_latency == 9.0
+
+    def test_per_node_strategy(self, profile_file):
+        cluster = load_cluster(
+            paper_config(
+                per_node_strategy={"node1": "greedy"},
+                sampling={"profile_file": profile_file},
+            )
+        )
+        assert cluster.engine("node0").strategy.name == "hetero_split"
+        assert cluster.engine("node1").strategy.name == "greedy"
+
+    def test_options_forwarded(self, profile_file):
+        cluster = load_cluster(
+            paper_config(
+                options={"multicore_rx": True, "app_core": 1},
+                sampling={"profile_file": profile_file},
+            )
+        )
+        eng = cluster.engine("node0")
+        assert eng.pioman.multicore_rx
+        assert eng.app_core.core_id == 1
+
+    def test_topology_from_config(self, profile_file):
+        config = paper_config(sampling={"profile_file": profile_file})
+        config["nodes"][0]["cores_per_socket"] = 4
+        cluster = load_cluster(config)
+        assert len(cluster.machines["node0"].cores) == 8
+
+
+class TestValidation:
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown config keys"):
+            builder_from_config(paper_config(flux_capacitor=True))
+
+    def test_missing_nodes_rejected(self):
+        with pytest.raises(ConfigurationError, match="nodes"):
+            builder_from_config({"rails": []})
+
+    def test_missing_rails_rejected(self):
+        config = paper_config()
+        config["rails"] = []
+        with pytest.raises(ConfigurationError, match="rails"):
+            builder_from_config(config)
+
+    def test_nameless_node_rejected(self):
+        config = paper_config()
+        config["nodes"][0] = {"sockets": 2}
+        with pytest.raises(ConfigurationError, match="without a name"):
+            builder_from_config(config)
+
+    def test_malformed_rail_rejected(self):
+        config = paper_config()
+        config["rails"][0] = {"driver": "myri10g", "between": ["node0"]}
+        with pytest.raises(ConfigurationError, match="rail entry"):
+            builder_from_config(config)
+
+    def test_bad_sampling_value_rejected(self):
+        with pytest.raises(ConfigurationError, match="sampling"):
+            builder_from_config(paper_config(sampling="maybe"))
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            builder_from_config(str(tmp_path / "ghost.json"))
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            builder_from_config(str(path))

@@ -1,0 +1,104 @@
+"""Property tests for the MPI collectives: random world sizes, roots and
+payload sizes must always terminate with every rank released."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.api.mpi import MpiWorld
+from repro.bench.runners import default_profiles
+from repro.util.units import KiB
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    return default_profiles()
+
+
+common = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.function_scoped_fixture],
+)
+
+
+def run_collective(profiles, n, body):
+    world = MpiWorld.create(n, profiles=profiles)
+    done = []
+
+    def program(comm):
+        yield from body(comm)
+        done.append(comm.rank)
+
+    world.spawn_all(program)
+    world.run()
+    return world, sorted(done)
+
+
+class TestCollectiveTermination:
+    @common
+    @given(
+        n=st.integers(min_value=2, max_value=6),
+        size=st.integers(min_value=1, max_value=256 * KiB),
+        root=st.integers(min_value=0, max_value=5),
+    )
+    def test_bcast_releases_every_rank(self, profiles, n, size, root):
+        root %= n
+        _, done = run_collective(
+            profiles, n, lambda comm: comm.bcast(size, root=root)
+        )
+        assert done == list(range(n))
+
+    @common
+    @given(
+        n=st.integers(min_value=2, max_value=6),
+        size=st.integers(min_value=1, max_value=128 * KiB),
+        root=st.integers(min_value=0, max_value=5),
+    )
+    def test_reduce_releases_every_rank(self, profiles, n, size, root):
+        root %= n
+        _, done = run_collective(
+            profiles, n, lambda comm: comm.reduce(size, root=root)
+        )
+        assert done == list(range(n))
+
+    @common
+    @given(n=st.integers(min_value=2, max_value=6))
+    def test_barrier_releases_every_rank(self, profiles, n):
+        _, done = run_collective(profiles, n, lambda comm: comm.barrier())
+        assert done == list(range(n))
+
+    @common
+    @given(
+        n=st.integers(min_value=2, max_value=5),
+        size=st.integers(min_value=1, max_value=64 * KiB),
+    )
+    def test_allgather_releases_every_rank(self, profiles, n, size):
+        _, done = run_collective(profiles, n, lambda comm: comm.allgather(size))
+        assert done == list(range(n))
+
+    @common
+    @given(
+        n=st.integers(min_value=2, max_value=5),
+        sequence=st.lists(
+            st.sampled_from(["barrier", "bcast", "gather", "alltoall"]),
+            min_size=1,
+            max_size=4,
+        ),
+    )
+    def test_mixed_collective_sequences_terminate(self, profiles, n, sequence):
+        """Back-to-back heterogeneous collectives must not cross-match
+        (per-collective tag blocks)."""
+
+        def body(comm):
+            for op in sequence:
+                if op == "barrier":
+                    yield from comm.barrier()
+                elif op == "bcast":
+                    yield from comm.bcast(4 * KiB, root=0)
+                elif op == "gather":
+                    yield from comm.gather(4 * KiB, root=n - 1)
+                else:
+                    yield from comm.alltoall(2 * KiB)
+
+        _, done = run_collective(profiles, n, body)
+        assert done == list(range(n))

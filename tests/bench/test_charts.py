@@ -1,0 +1,83 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.bench.charts import MARKERS, ascii_chart
+from repro.bench.series import Series, SweepResult
+from repro.util.errors import ConfigurationError
+
+
+def sweep(n_series=2):
+    return SweepResult(
+        title="demo chart",
+        x_sizes=[1024, 2048, 4096, 8192],
+        series=[
+            Series(f"s{i}", [float(10 * (i + 1) + k) for k in range(4)])
+            for i in range(n_series)
+        ],
+        y_label="things",
+    )
+
+
+class TestAsciiChart:
+    def test_contains_title_axis_and_legend(self):
+        art = ascii_chart(sweep())
+        assert "demo chart" in art
+        assert "things" in art
+        assert "1K" in art and "8K" in art
+        assert "* = s0" in art and "o = s1" in art
+
+    def test_every_series_marker_plotted(self):
+        art = ascii_chart(sweep(3))
+        body = art.split("[x:")[0]
+        for marker in MARKERS[:3]:
+            assert marker in body
+
+    def test_extremes_labelled(self):
+        art = ascii_chart(sweep())
+        assert "10" in art  # y_lo
+        assert "23" in art  # y_hi
+
+    def test_log_flags_reported(self):
+        assert "[x: log, y: lin]" in ascii_chart(sweep())
+        assert "[x: lin, y: log]" in ascii_chart(sweep(), log_x=False, log_y=True)
+
+    def test_size_validation(self):
+        with pytest.raises(ConfigurationError):
+            ascii_chart(sweep(), width=4)
+        with pytest.raises(ConfigurationError):
+            ascii_chart(sweep(), height=2)
+
+    def test_too_many_series_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_chart(sweep(len(MARKERS) + 1))
+
+    def test_constant_series_renders(self):
+        flat = SweepResult(
+            title="flat",
+            x_sizes=[1, 2],
+            series=[Series("c", [5.0, 5.0])],
+        )
+        art = ascii_chart(flat)
+        assert "c" in art
+
+    def test_fixed_dimensions(self):
+        art = ascii_chart(sweep(), width=40, height=8)
+        rows = [l for l in art.splitlines() if l.rstrip().endswith("|")]
+        assert len(rows) == 8
+        assert all(len(r.split("|")[1]) == 40 for r in rows)
+
+
+class TestCliChart:
+    def test_run_with_chart_flag(self, capsys):
+        from repro.bench.cli import main
+
+        assert main(["run", "FIG8", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "[x: log, y: lin]" in out
+
+    def test_chart_on_non_sweep_warns(self, capsys):
+        from repro.bench.cli import main
+
+        assert main(["run", "T2", "--chart"]) == 0
+        assert "not sweep-shaped" in capsys.readouterr().err

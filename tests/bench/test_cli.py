@@ -1,0 +1,74 @@
+"""Tests for the command-line experiment runner."""
+
+import pytest
+
+from repro.bench.cli import main
+
+
+class TestList:
+    def test_lists_every_registered_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for key in ("FIG3", "FIG4", "FIG8", "FIG9", "T1", "T2", "A1", "S1"):
+            assert key in out
+
+
+class TestRun:
+    def test_run_fig8_prints_table(self, capsys):
+        assert main(["run", "FIG8"]) == 0
+        out = capsys.readouterr().out
+        assert "Hetero-split" in out
+        assert "MB/s" in out or "bandwidth" in out
+
+    def test_run_is_case_insensitive(self, capsys):
+        assert main(["run", "fig3"]) == 0
+        assert "greedy balancing" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "FIG99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_csv_dump(self, tmp_path, capsys):
+        path = tmp_path / "fig8.csv"
+        assert main(["run", "FIG8", "--csv", str(path)]) == 0
+        lines = path.read_text().strip().splitlines()
+        assert lines[0].startswith("size_bytes,")
+        assert len(lines) >= 5
+        assert "csv written" in capsys.readouterr().out
+
+    def test_csv_with_all_rejected(self, tmp_path, capsys):
+        assert main(["run", "all", "--csv", str(tmp_path / "x.csv")]) == 2
+        assert "single experiment" in capsys.readouterr().err
+
+    def test_csv_on_non_sweep_rejected(self, tmp_path, capsys):
+        assert main(["run", "T1", "--csv", str(tmp_path / "x.csv")]) == 2
+        assert "not sweep-shaped" in capsys.readouterr().err
+
+
+class TestSweep:
+    def test_adhoc_sweep(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--sizes",
+                    "64K,1M",
+                    "--strategies",
+                    "hetero_split",
+                    "--metric",
+                    "bandwidth",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "hetero_split" in out
+        assert "64K" in out and "1M" in out
+
+    def test_bad_size_rejected(self, capsys):
+        assert main(["sweep", "--sizes", "64Q"]) == 2
+        assert "bad --sizes" in capsys.readouterr().err
+
+    def test_unknown_strategy_rejected(self, capsys):
+        assert main(["sweep", "--strategies", "teleport"]) == 2
+        assert "unknown strategy" in capsys.readouterr().err

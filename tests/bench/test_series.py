@@ -1,0 +1,70 @@
+"""Tests for Series/SweepResult containers and ASCII table rendering."""
+
+import pytest
+
+from repro.bench.series import Series, SweepResult, format_table
+from repro.util.errors import ConfigurationError
+
+
+def sweep():
+    return SweepResult(
+        title="demo",
+        x_sizes=[1024, 2048],
+        series=[Series("alpha", [1.0, 2.0]), Series("beta", [3.0, 4.0])],
+        y_label="latency us",
+        notes=["a note"],
+    )
+
+
+class TestSeries:
+    def test_at(self):
+        s = Series("x", [5.0, 6.0])
+        assert s.at(1) == 6.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Series("x", [])
+
+
+class TestSweepResult:
+    def test_getitem_by_label(self):
+        r = sweep()
+        assert r["alpha"].values == [1.0, 2.0]
+
+    def test_getitem_missing(self):
+        with pytest.raises(ConfigurationError):
+            sweep()["gamma"]
+
+    def test_column(self):
+        assert sweep().column(2048) == {"alpha": 2.0, "beta": 4.0}
+
+    def test_column_missing_size(self):
+        with pytest.raises(ConfigurationError):
+            sweep().column(999)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepResult(
+                title="bad",
+                x_sizes=[1, 2, 3],
+                series=[Series("a", [1.0])],
+            )
+
+    def test_labels(self):
+        assert sweep().labels == ["alpha", "beta"]
+
+
+class TestFormatTable:
+    def test_contains_everything(self):
+        text = format_table(sweep())
+        assert "demo" in text
+        assert "alpha" in text and "beta" in text
+        assert "1K" in text and "2K" in text
+        assert "note: a note" in text
+
+    def test_precision(self):
+        text = format_table(sweep(), precision=3)
+        assert "1.000" in text
+
+    def test_render_shortcut(self):
+        assert sweep().render() == format_table(sweep())

@@ -1,0 +1,38 @@
+"""Shared fixtures: two-node multirail testbeds mirroring the paper's."""
+
+import pytest
+
+from repro.hardware import Machine
+from repro.networks import ElanDriver, MxDriver, Nic, Wire
+from repro.simtime import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def wire_pair(sim, drivers, node_names=("node0", "node1")):
+    """Build two machines joined by one rail per driver.
+
+    Returns ``(node_a, node_b)``; rail *i* connects ``node_a.nics[i]`` to
+    ``node_b.nics[i]`` and both ends share the driver instance.
+    """
+    node_a = Machine(sim, node_names[0])
+    node_b = Machine(sim, node_names[1])
+    for i, driver in enumerate(drivers):
+        name = f"{driver.technology}{i}"
+        Wire(Nic(node_a, driver, name=name), Nic(node_b, driver, name=name))
+    return node_a, node_b
+
+
+@pytest.fixture
+def paper_pair(sim):
+    """The paper's testbed: two dual dual-core nodes, Myri-10G + Quadrics."""
+    return wire_pair(sim, [MxDriver(), ElanDriver()])
+
+
+@pytest.fixture
+def single_rail_pair(sim):
+    """Two nodes joined by a single Myri-10G rail."""
+    return wire_pair(sim, [MxDriver()])

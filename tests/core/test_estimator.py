@@ -1,0 +1,175 @@
+"""Unit and property tests for SampleTable and NicEstimator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.estimator import NicEstimator, SampleTable
+from repro.core.packets import TransferMode
+from repro.util.errors import SamplingError
+
+
+def linear_table(sizes, a, b):
+    """T(s) = a + s/b sampled at the given sizes."""
+    return SampleTable(sizes, [a + s / b for s in sizes])
+
+
+POW2 = [2 ** k for k in range(2, 15)]  # 4 .. 16384
+
+
+class TestSampleTableLookup:
+    def test_exact_points_returned_exactly(self):
+        t = linear_table(POW2, 2.0, 100.0)
+        for s in POW2:
+            assert t(s) == pytest.approx(2.0 + s / 100.0)
+
+    def test_interpolation_is_linear_between_points(self):
+        t = SampleTable([4, 8], [10.0, 20.0])
+        assert t(6) == pytest.approx(15.0)
+
+    def test_extrapolates_above_last_point(self):
+        t = linear_table(POW2, 2.0, 100.0)
+        s = POW2[-1] * 3
+        assert t(s) == pytest.approx(2.0 + s / 100.0)
+
+    def test_extrapolates_below_first_point_clamped_nonnegative(self):
+        t = SampleTable([64, 128], [1.0, 100.0])
+        assert t(0) == 0.0  # raw extrapolation would be negative
+
+    def test_zero_size(self):
+        t = linear_table(POW2, 5.0, 100.0)
+        assert t(0) == pytest.approx(5.0 - (4 / 100.0) * 0, abs=0.2)
+
+    def test_negative_size_rejected(self):
+        t = linear_table(POW2, 1.0, 10.0)
+        with pytest.raises(SamplingError):
+            t(-1)
+
+    def test_non_pow2_grid_falls_back_to_search(self):
+        t = SampleTable([10, 20, 50], [1.0, 2.0, 5.0])
+        assert not t._pow2
+        assert t(35) == pytest.approx(3.5)
+
+    @given(st.integers(min_value=0, max_value=3 * POW2[-1]))
+    def test_monotone_inputs_give_monotone_estimates(self, size):
+        t = linear_table(POW2, 3.0, 77.0)
+        assert t(size) <= t(size + 1) + 1e-9
+
+    @given(
+        st.integers(min_value=4, max_value=POW2[-1] - 1),
+    )
+    def test_interpolation_brackets_sampled_neighbours(self, size):
+        t = linear_table(POW2, 3.0, 77.0)
+        import math
+
+        k = int(math.floor(math.log2(size)))
+        lo, hi = t(2 ** k), t(2 ** (k + 1))
+        assert lo - 1e-9 <= t(size) <= hi + 1e-9
+
+
+class TestSampleTableInverse:
+    def test_inverse_roundtrip_inside_range(self):
+        t = linear_table(POW2, 2.0, 100.0)
+        for s in (5, 100, 3000, 16000):
+            assert t.inverse(t(s)) == pytest.approx(s, rel=1e-6)
+
+    def test_inverse_below_floor_gives_zero(self):
+        # Extrapolated zero-size cost is 9.0; nothing fits in less.
+        t = SampleTable([4, 8], [10.0, 11.0])
+        assert t.inverse(5.0) == 0.0
+
+    def test_inverse_below_first_point_extrapolates(self):
+        t = SampleTable([4, 8], [10.0, 20.0])
+        # The extrapolated curve passes through (0.4 B, 1.0 us).
+        assert t.inverse(1.0) == pytest.approx(0.4)
+
+    def test_inverse_extrapolates_beyond_range(self):
+        t = linear_table(POW2, 2.0, 100.0)
+        big_time = t(POW2[-1]) * 4
+        assert t.inverse(big_time) == pytest.approx((big_time - 2.0) * 100.0, rel=1e-6)
+
+    @given(st.floats(min_value=0.0, max_value=1e4))
+    def test_inverse_is_monotone(self, time):
+        t = linear_table(POW2, 2.0, 100.0)
+        assert t.inverse(time) <= t.inverse(time + 1.0) + 1e-6
+
+
+class TestSampleTableValidation:
+    def test_mismatched_lengths(self):
+        with pytest.raises(SamplingError):
+            SampleTable([1, 2], [1.0])
+
+    def test_single_point_rejected(self):
+        with pytest.raises(SamplingError):
+            SampleTable([4], [1.0])
+
+    def test_non_increasing_sizes_rejected(self):
+        with pytest.raises(SamplingError):
+            SampleTable([4, 4], [1.0, 2.0])
+        with pytest.raises(SamplingError):
+            SampleTable([8, 4], [1.0, 2.0])
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SamplingError):
+            SampleTable([4, 8], [-1.0, 2.0])
+
+    def test_dict_roundtrip(self):
+        t = linear_table(POW2, 2.5, 123.0)
+        t2 = SampleTable.from_dict(t.as_dict())
+        assert t2(777) == pytest.approx(t(777))
+
+
+def make_estimator(eager_rate=1100.0, dma_rate=1228.0, control=3.0, limit=65536):
+    eager_sizes = [2 ** k for k in range(2, 17)]       # 4 .. 64K
+    dma_sizes = [2 ** k for k in range(12, 25)]        # 4K .. 16M
+    return NicEstimator(
+        name="testnet",
+        eager=SampleTable(eager_sizes, [4.0 + s / eager_rate for s in eager_sizes]),
+        dma=SampleTable(dma_sizes, [3.5 + s / dma_rate for s in dma_sizes]),
+        control_oneway=control,
+        eager_limit=limit,
+    )
+
+
+class TestNicEstimator:
+    def test_transfer_time_dispatches_on_mode(self):
+        est = make_estimator()
+        assert est.transfer_time(8192, TransferMode.EAGER) == pytest.approx(
+            4.0 + 8192 / 1100.0
+        )
+        assert est.transfer_time(8192, TransferMode.RENDEZVOUS) == pytest.approx(
+            3.5 + 8192 / 1228.0
+        )
+
+    def test_rdv_handshake_is_two_controls(self):
+        assert make_estimator(control=3.0).rdv_handshake() == 6.0
+
+    def test_best_mode_small_is_eager(self):
+        assert make_estimator().best_mode(4096) is TransferMode.EAGER
+
+    def test_best_mode_above_limit_is_rdv(self):
+        est = make_estimator(limit=65536)
+        assert est.best_mode(65537) is TransferMode.RENDEZVOUS
+
+    def test_rdv_threshold_is_crossover(self):
+        est = make_estimator()
+        thr = est.rdv_threshold()
+        assert est.best_mode(max(4, thr - 2048)) is TransferMode.EAGER or thr == 4
+        if thr < est.eager_limit:
+            assert est.best_mode(thr) is TransferMode.RENDEZVOUS
+
+    def test_plateau_bandwidth_near_dma_rate(self):
+        est = make_estimator(dma_rate=1228.0)
+        assert est.plateau_bandwidth() == pytest.approx(1228.0, rel=0.01)
+
+    def test_negative_control_rejected(self):
+        with pytest.raises(SamplingError):
+            make_estimator(control=-1.0)
+
+    def test_dict_roundtrip(self):
+        est = make_estimator()
+        est2 = NicEstimator.from_dict(est.as_dict())
+        assert est2.name == est.name
+        assert est2.rdv_threshold() == est.rdv_threshold()
+        assert est2.transfer_time(5000, TransferMode.EAGER) == pytest.approx(
+            est.transfer_time(5000, TransferMode.EAGER)
+        )

@@ -1,0 +1,95 @@
+"""Unit tests for Message accounting and RecvHandle matching."""
+
+import pytest
+
+from repro.core.packets import Message, MessageStatus, RecvHandle
+from repro.util.errors import ProtocolError
+
+
+def msg(size=1024, src="a", dest="b", tag=0):
+    return Message(src=src, dest=dest, size=size, tag=tag)
+
+
+class TestMessageAccounting:
+    def test_single_chunk_completes(self):
+        m = msg(100)
+        m.expect_chunks(1)
+        assert m.account_chunk(100) is True
+        assert m.chunks_received == 1
+        assert m.bytes_received == 100
+
+    def test_multi_chunk_completes_on_last(self):
+        m = msg(100)
+        m.expect_chunks(3)
+        assert m.account_chunk(40) is False
+        assert m.account_chunk(30) is False
+        assert m.account_chunk(30) is True
+
+    def test_chunk_before_expect_raises(self):
+        with pytest.raises(ProtocolError):
+            msg().account_chunk(10)
+
+    def test_too_many_chunks_raises(self):
+        m = msg(10)
+        m.expect_chunks(1)
+        m.account_chunk(10)
+        with pytest.raises(ProtocolError):
+            m.account_chunk(1)
+
+    def test_byte_mismatch_raises(self):
+        m = msg(100)
+        m.expect_chunks(2)
+        m.account_chunk(40)
+        with pytest.raises(ProtocolError):
+            m.account_chunk(40)  # only 80 of 100
+
+    def test_changing_chunk_count_raises(self):
+        m = msg(100)
+        m.expect_chunks(2)
+        with pytest.raises(ProtocolError):
+            m.expect_chunks(3)
+
+    def test_re_expecting_same_count_ok(self):
+        m = msg(100)
+        m.expect_chunks(2)
+        m.expect_chunks(2)
+
+    def test_zero_chunks_rejected(self):
+        with pytest.raises(ProtocolError):
+            msg().expect_chunks(0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ProtocolError):
+            msg(size=-1)
+
+    def test_latency_none_until_complete(self):
+        m = msg()
+        assert m.latency is None
+        m.t_post, m.t_complete = 10.0, 25.0
+        assert m.latency == 15.0
+
+    def test_ids_are_unique(self):
+        assert msg().msg_id != msg().msg_id
+
+
+class TestRecvHandleMatching:
+    def test_wildcard_matches_anything(self):
+        h = RecvHandle(node="b")
+        assert h.matches(msg(src="a", tag=7))
+        assert h.matches(msg(src="z", tag=0))
+
+    def test_source_filter(self):
+        h = RecvHandle(node="b", source="a")
+        assert h.matches(msg(src="a"))
+        assert not h.matches(msg(src="c"))
+
+    def test_tag_filter(self):
+        h = RecvHandle(node="b", tag=5)
+        assert h.matches(msg(tag=5))
+        assert not h.matches(msg(tag=6))
+
+    def test_combined_filter(self):
+        h = RecvHandle(node="b", source="a", tag=5)
+        assert h.matches(msg(src="a", tag=5))
+        assert not h.matches(msg(src="a", tag=6))
+        assert not h.matches(msg(src="c", tag=5))

@@ -1,0 +1,92 @@
+"""Reordering semantics: NewMadeleine is not MPI.
+
+The paper (§III-A) is explicit: NewMadeleine "aims at applying dynamic
+scheduling optimizations on multiple communication flows such as
+*reordering*, aggregation, multirail distribution".  Messages may
+therefore complete out of post order — these tests pin that this is
+allowed, observable, and handled by tag-based matching (the MPI
+non-overtaking guarantee would be the MPI layer's job, paper future
+work)."""
+
+import pytest
+
+from repro.api import ClusterBuilder
+from repro.bench.runners import default_profiles
+from repro.core import MessageStatus
+from repro.util.units import KiB, MiB
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    return default_profiles()
+
+
+class TestReordering:
+    def test_small_message_overtakes_large_one(self, profiles):
+        """A 1 KiB eager message posted *after* a 4 MiB rendezvous
+        completes long before it — reordering in action."""
+        cluster = (
+            ClusterBuilder.paper_testbed(strategy="hetero_split")
+            .sampling(profiles=profiles)
+            .build()
+        )
+        a, b = cluster.session("node0"), cluster.session("node1")
+        b.irecv(tag=0)
+        b.irecv(tag=1)
+        big = a.isend("node1", 4 * MiB, tag=0)
+        small = a.isend("node1", 1 * KiB, tag=1)
+        cluster.run()
+        assert small.t_complete < big.t_complete
+
+    def test_greedy_rails_can_invert_completion_order(self, profiles):
+        """Two same-size messages on different-speed rails: the second
+        posted can finish first (it drew the faster rail)."""
+        cluster = (
+            ClusterBuilder.paper_testbed(strategy="round_robin")
+            .sampling(profiles=profiles)
+            .build()
+        )
+        a, b = cluster.session("node0"), cluster.session("node1")
+        b.irecv(tag=0)
+        b.irecv(tag=1)
+        # round_robin: msg0 -> myri (fast), msg1 -> quadrics (slow); then
+        # swap the posting order so the slow rail gets the FIRST message.
+        m0 = a.isend("node1", 32 * KiB, tag=0)  # myri
+        m1 = a.isend("node1", 32 * KiB, tag=1)  # quadrics
+        cluster.run()
+        assert m0.t_complete < m1.t_complete  # fast rail won despite order
+
+    def test_tag_matching_survives_reordering(self, profiles):
+        """Receives posted in one order, messages completing in another:
+        tags keep every pairing straight."""
+        cluster = (
+            ClusterBuilder.paper_testbed(strategy="hetero_split")
+            .sampling(profiles=profiles)
+            .build()
+        )
+        a, b = cluster.session("node0"), cluster.session("node1")
+        h_big = b.irecv(tag=0)
+        h_small = b.irecv(tag=1)
+        big = a.isend("node1", 4 * MiB, tag=0)
+        small = a.isend("node1", 1 * KiB, tag=1)
+        cluster.run()
+        assert h_big.matched is big
+        assert h_small.matched is small
+        assert big.status is MessageStatus.COMPLETE
+
+    def test_wildcard_recvs_match_completion_order(self, profiles):
+        """Wildcards, by contrast, see completion order — callers who
+        need posting order must use tags (documented behaviour)."""
+        cluster = (
+            ClusterBuilder.paper_testbed(strategy="hetero_split")
+            .sampling(profiles=profiles)
+            .build()
+        )
+        a, b = cluster.session("node0"), cluster.session("node1")
+        h1 = b.irecv()
+        h2 = b.irecv()
+        big = a.isend("node1", 4 * MiB, tag=0)
+        small = a.isend("node1", 1 * KiB, tag=1)
+        cluster.run()
+        assert h1.matched is small  # completed first
+        assert h2.matched is big

@@ -1,0 +1,175 @@
+"""Tests for the sampling subsystem: measurement fidelity and persistence."""
+
+import pytest
+
+from repro.core.packets import TransferMode
+from repro.core.sampling import NetworkSampler, NicSample, ProfileStore
+from repro.networks import ElanDriver, MxDriver, TcpDriver
+from repro.util.errors import SamplingError
+from repro.util.units import KiB, MiB
+
+
+@pytest.fixture(scope="module")
+def mx_sample():
+    """Sampling is deterministic; share one measurement across tests."""
+    sampler = NetworkSampler(
+        eager_sizes=[2 ** k for k in range(2, 17)],
+        dma_sizes=[2 ** k for k in range(12, 25)],
+    )
+    return sampler.sample(MxDriver())
+
+
+class TestSamplingFidelity:
+    """The sampler measures the same model the strategies later drive, so
+    measurements must equal the ground-truth profile costs exactly."""
+
+    def test_eager_curve_matches_ground_truth(self, mx_sample):
+        p = MxDriver().profile
+        for size, t in zip(mx_sample.eager_sizes, mx_sample.eager_times):
+            assert t == pytest.approx(p.eager_oneway(size), rel=1e-9)
+
+    def test_dma_curve_matches_ground_truth(self, mx_sample):
+        p = MxDriver().profile
+        for size, t in zip(mx_sample.dma_sizes, mx_sample.dma_times):
+            assert t == pytest.approx(p.rdv_data_oneway(size), rel=1e-9)
+
+    def test_control_matches_ground_truth(self, mx_sample):
+        p = MxDriver().profile
+        assert mx_sample.control_oneway == pytest.approx(p.control_oneway())
+
+    def test_estimator_interpolates_between_grid_points(self, mx_sample):
+        est = mx_sample.to_estimator()
+        p = MxDriver().profile
+        # Off-grid size: the ground truth has a saturating warm-up ramp,
+        # so linear interpolation carries a small (but bounded) error.
+        s = 3000
+        assert est.transfer_time(s, TransferMode.EAGER) == pytest.approx(
+            p.eager_oneway(s), rel=0.02
+        )
+
+    def test_sampled_threshold_in_plausible_range(self, mx_sample):
+        thr = mx_sample.to_estimator().rdv_threshold()
+        assert 16 * KiB <= thr <= 64 * KiB
+
+
+class TestSamplerValidation:
+    def test_eager_grid_above_limit_rejected(self):
+        sampler = NetworkSampler(eager_sizes=[4, 128 * KiB])
+        with pytest.raises(SamplingError):
+            sampler.sample(MxDriver())
+
+    def test_bad_repetitions_rejected(self):
+        with pytest.raises(SamplingError):
+            NetworkSampler(repetitions=0)
+
+    def test_repetitions_are_deterministic(self):
+        few = NetworkSampler(eager_sizes=[64, 128], dma_sizes=[4096, 8192])
+        many = NetworkSampler(
+            eager_sizes=[64, 128], dma_sizes=[4096, 8192], repetitions=3
+        )
+        s1, s3 = few.sample(ElanDriver()), many.sample(ElanDriver())
+        assert s1.eager_times == s3.eager_times
+
+
+class TestNoisySampler:
+    def make(self, jitter, seed=0, reps=5):
+        from repro.core.sampling import NoisySampler
+
+        return NoisySampler(
+            jitter_pct=jitter,
+            seed=seed,
+            eager_sizes=[1024, 2048],
+            dma_sizes=[4096, 8192],
+            repetitions=reps,
+        )
+
+    def test_zero_jitter_is_exact(self):
+        clean = NetworkSampler(
+            eager_sizes=[1024, 2048], dma_sizes=[4096, 8192]
+        ).sample(MxDriver())
+        noisy = self.make(0.0).sample(MxDriver())
+        assert noisy.eager_times == clean.eager_times
+
+    def test_jitter_perturbs_measurements(self):
+        clean = NetworkSampler(
+            eager_sizes=[1024, 2048], dma_sizes=[4096, 8192]
+        ).sample(MxDriver())
+        noisy = self.make(10.0).sample(MxDriver())
+        assert noisy.eager_times != clean.eager_times
+
+    def test_same_seed_reproduces(self):
+        a = self.make(10.0, seed=7).sample(MxDriver())
+        b = self.make(10.0, seed=7).sample(MxDriver())
+        assert a.eager_times == b.eager_times
+
+    def test_different_seeds_differ(self):
+        a = self.make(10.0, seed=7).sample(MxDriver())
+        b = self.make(10.0, seed=8).sample(MxDriver())
+        assert a.eager_times != b.eager_times
+
+    def test_median_tightens_with_repetitions(self):
+        clean = NetworkSampler(
+            eager_sizes=[1024, 2048], dma_sizes=[4096, 8192]
+        ).sample(MxDriver())
+        errs = {}
+        for reps in (1, 21):
+            noisy = self.make(15.0, seed=3, reps=reps).sample(MxDriver())
+            errs[reps] = max(
+                abs(n - c) / c for n, c in zip(noisy.dma_times, clean.dma_times)
+            )
+        assert errs[21] < errs[1]
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(SamplingError):
+            self.make(-1.0)
+
+    def test_measurements_stay_positive(self):
+        sample = self.make(80.0, seed=1).sample(MxDriver())
+        assert all(t > 0 for t in sample.eager_times + sample.dma_times)
+
+
+class TestProfileStore:
+    def test_sample_drivers_dedupes_technologies(self):
+        sampler = NetworkSampler(eager_sizes=[64, 128], dma_sizes=[4096, 8192])
+        store = ProfileStore.sample_drivers(
+            [MxDriver(), MxDriver(), ElanDriver()], sampler=sampler
+        )
+        assert sorted(store.estimators) == ["myri10g", "quadrics"]
+
+    def test_getitem_missing_raises(self):
+        store = ProfileStore()
+        with pytest.raises(SamplingError):
+            store["ghost"]
+
+    def test_save_load_roundtrip(self, tmp_path, mx_sample):
+        store = ProfileStore()
+        store.add(mx_sample.to_estimator())
+        path = tmp_path / "profiles.json"
+        store.save(path)
+        loaded = ProfileStore.load(path)
+        assert "myri10g" in loaded
+        orig, back = store["myri10g"], loaded["myri10g"]
+        for s in (100, 5000, 60000):
+            assert back.transfer_time(s, TransferMode.EAGER) == pytest.approx(
+                orig.transfer_time(s, TransferMode.EAGER)
+            )
+        assert back.rdv_threshold() == orig.rdv_threshold()
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(SamplingError):
+            ProfileStore.load(tmp_path / "nope.json")
+
+    def test_load_corrupt_file_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(SamplingError):
+            ProfileStore.load(path)
+
+    def test_load_mismatched_key_raises(self, tmp_path, mx_sample):
+        import json
+
+        est = mx_sample.to_estimator()
+        path = tmp_path / "weird.json"
+        path.write_text(json.dumps({"wrongname": est.as_dict()}))
+        with pytest.raises(SamplingError):
+            ProfileStore.load(path)

@@ -1,0 +1,200 @@
+"""Unit and property tests for the split solvers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.estimator import NicEstimator, SampleTable
+from repro.core.packets import TransferMode
+from repro.core.split import (
+    dichotomy_split,
+    equal_split,
+    ratio_split,
+    waterfill_split,
+)
+from repro.util.errors import ConfigurationError
+
+
+def make_est(name, eager_rate, dma_rate, eager_fix=4.0, dma_fix=3.5):
+    eager_sizes = [2 ** k for k in range(2, 17)]
+    dma_sizes = [2 ** k for k in range(12, 25)]
+    return NicEstimator(
+        name=name,
+        eager=SampleTable(eager_sizes, [eager_fix + s / eager_rate for s in eager_sizes]),
+        dma=SampleTable(dma_sizes, [dma_fix + s / dma_rate for s in dma_sizes]),
+        control_oneway=3.0,
+        eager_limit=65536,
+    )
+
+
+MYRI = make_est("myri", 1100.0, 1228.0)
+QUAD = make_est("quad", 800.0, 878.0)
+RDV = TransferMode.RENDEZVOUS
+EAGER = TransferMode.EAGER
+
+
+class TestEqualSplit:
+    def test_divides_evenly(self):
+        assert equal_split(100, 4) == [25, 25, 25, 25]
+
+    def test_remainder_spread_over_first_chunks(self):
+        assert equal_split(10, 3) == [4, 3, 3]
+
+    def test_zero_size(self):
+        assert equal_split(0, 2) == [0, 0]
+
+    def test_bad_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            equal_split(10, 0)
+
+    @given(st.integers(min_value=0, max_value=10**8), st.integers(min_value=1, max_value=16))
+    def test_sum_exact_and_balanced(self, size, n):
+        sizes = equal_split(size, n)
+        assert sum(sizes) == size
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestRatioSplit:
+    def test_proportional(self):
+        assert ratio_split(100, [3.0, 1.0]) == [75, 25]
+
+    def test_rounding_preserves_total(self):
+        sizes = ratio_split(10, [1.0, 1.0, 1.0])
+        assert sum(sizes) == 10
+
+    def test_bad_weights_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ratio_split(10, [])
+        with pytest.raises(ConfigurationError):
+            ratio_split(10, [0.0, 0.0])
+        with pytest.raises(ConfigurationError):
+            ratio_split(10, [1.0, -1.0])
+
+    @given(
+        st.integers(min_value=0, max_value=10**8),
+        st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1, max_size=6),
+    )
+    def test_sum_exact(self, size, weights):
+        assert sum(ratio_split(size, weights)) == size
+
+
+class TestDichotomySplit:
+    def test_homogeneous_rails_split_evenly(self):
+        res = dichotomy_split(1 << 22, [(MYRI, 0.0), (MYRI, 0.0)], RDV)
+        assert res.sizes[0] == pytest.approx(res.sizes[1], rel=0.01)
+        assert sum(res.sizes) == 1 << 22
+
+    def test_fast_rail_gets_more_bytes(self):
+        """Paper §II-A: 'the fastest one will have to send more data'."""
+        res = dichotomy_split(4 << 20, [(MYRI, 0.0), (QUAD, 0.0)], RDV)
+        assert res.sizes[0] > res.sizes[1]
+        ratio = res.sizes[0] / (4 << 20)
+        # dma rates 1228 vs 878 => fast share ~ 1228/2106 = 0.583
+        assert 0.52 < ratio < 0.65
+
+    def test_chunk_times_equalized(self):
+        res = dichotomy_split(4 << 20, [(MYRI, 0.0), (QUAD, 0.0)], RDV)
+        t0, t1 = res.predicted_times
+        assert abs(t0 - t1) < 0.1 * max(t0, t1) / 100 + 1.0  # within ~1 us
+
+    def test_busy_offset_shifts_bytes_away(self):
+        free = dichotomy_split(4 << 20, [(MYRI, 0.0), (QUAD, 0.0)], RDV)
+        busy = dichotomy_split(4 << 20, [(MYRI, 500.0), (QUAD, 0.0)], RDV)
+        assert busy.sizes[0] < free.sizes[0]
+
+    def test_huge_offset_discards_rail_entirely(self):
+        """The Fig. 2 rule falls out: a rail busy too long gets nothing."""
+        res = dichotomy_split(64 << 10, [(MYRI, 1e6), (QUAD, 0.0)], RDV)
+        assert res.sizes == [0, 64 << 10]
+
+    def test_tiny_message_still_sums_and_never_loses(self):
+        res = dichotomy_split(8, [(MYRI, 0.0), (QUAD, 0.0)], RDV)
+        assert sum(res.sizes) == 8
+        single_best = min(est.transfer_time(8, RDV) for est, _ in [(MYRI, 0), (QUAD, 0)])
+        assert res.predicted_completion <= single_best + 1e-6
+
+    def test_zero_size(self):
+        res = dichotomy_split(0, [(MYRI, 0.0), (QUAD, 0.0)], RDV)
+        assert res.sizes == [0, 0]
+
+    def test_wrong_rail_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            dichotomy_split(100, [(MYRI, 0.0)], RDV)
+        with pytest.raises(ConfigurationError):
+            dichotomy_split(100, [(MYRI, 0.0)] * 3, RDV)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            dichotomy_split(-1, [(MYRI, 0.0), (QUAD, 0.0)], RDV)
+        with pytest.raises(ConfigurationError):
+            dichotomy_split(100, [(MYRI, -1.0), (QUAD, 0.0)], RDV)
+
+    @given(st.integers(min_value=1, max_value=16 << 20))
+    @settings(max_examples=60, deadline=None)
+    def test_split_never_worse_than_single_rail(self, size):
+        rails = [(MYRI, 0.0), (QUAD, 0.0)]
+        res = dichotomy_split(size, rails, RDV)
+        assert sum(res.sizes) == size
+        single_best = min(est.transfer_time(size, RDV) for est, _ in rails)
+        assert res.predicted_completion <= single_best + 1e-6
+
+    @given(
+        st.integers(min_value=1, max_value=16 << 20),
+        st.floats(min_value=0.0, max_value=5000.0),
+        st.floats(min_value=0.0, max_value=5000.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_sizes_nonnegative_and_exact(self, size, off_a, off_b):
+        res = dichotomy_split(size, [(MYRI, off_a), (QUAD, off_b)], RDV)
+        assert all(s >= 0 for s in res.sizes)
+        assert sum(res.sizes) == size
+
+
+class TestWaterfillSplit:
+    def test_matches_dichotomy_on_two_rails(self):
+        rails = [(MYRI, 0.0), (QUAD, 0.0)]
+        size = 4 << 20
+        d = dichotomy_split(size, rails, RDV)
+        w = waterfill_split(size, rails, RDV)
+        assert w.predicted_completion == pytest.approx(
+            d.predicted_completion, rel=0.01
+        )
+
+    def test_three_rails_all_used_for_large_message(self):
+        ib = make_est("ib", 1900.0, 1500.0)
+        res = waterfill_split(8 << 20, [(MYRI, 0.0), (QUAD, 0.0), (ib, 0.0)], RDV)
+        assert all(s > 0 for s in res.sizes)
+        assert sum(res.sizes) == 8 << 20
+        # Faster rails carry more.
+        assert res.sizes[2] > res.sizes[0] > res.sizes[1]
+
+    def test_busy_rail_discarded(self):
+        res = waterfill_split(64 << 10, [(MYRI, 1e6), (QUAD, 0.0)], RDV)
+        assert res.sizes[0] == 0
+
+    def test_single_rail(self):
+        res = waterfill_split(1 << 20, [(MYRI, 0.0)], RDV)
+        assert res.sizes == [1 << 20]
+
+    def test_zero_size(self):
+        res = waterfill_split(0, [(MYRI, 0.0), (QUAD, 0.0)], RDV)
+        assert res.sizes == [0, 0]
+
+    @given(st.integers(min_value=1, max_value=16 << 20))
+    @settings(max_examples=60, deadline=None)
+    def test_never_worse_than_single_rail(self, size):
+        rails = [(MYRI, 0.0), (QUAD, 0.0)]
+        res = waterfill_split(size, rails, RDV)
+        assert sum(res.sizes) == size
+        single_best = min(est.transfer_time(size, RDV) for est, _ in rails)
+        assert res.predicted_completion <= single_best + 1.0
+
+    @given(
+        st.integers(min_value=1, max_value=1 << 22),
+        st.integers(min_value=2, max_value=4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_eager_mode_sizes_exact(self, size, n):
+        rails = [(MYRI, 0.0), (QUAD, 0.0), (make_est("ib", 1900, 1500), 0.0), (MYRI, 7.0)][:n]
+        res = waterfill_split(size, rails, EAGER)
+        assert sum(res.sizes) == size
+        assert all(s >= 0 for s in res.sizes)

@@ -1,0 +1,62 @@
+"""Tests for engine/cluster statistics snapshots."""
+
+import pytest
+
+from repro.api import ClusterBuilder
+from repro.bench.runners import default_profiles
+from repro.core import cluster_report, engine_stats
+from repro.util.units import KiB, MiB
+
+
+@pytest.fixture(scope="module")
+def busy_cluster():
+    cluster = (
+        ClusterBuilder.paper_testbed(strategy="multicore_split")
+        .sampling(profiles=default_profiles())
+        .build()
+    )
+    a, b = cluster.session("node0"), cluster.session("node1")
+    for i, size in enumerate((32 * KiB, 2 * MiB, 4 * KiB)):
+        b.irecv(tag=i)
+        a.isend("node1", size, tag=i)
+    cluster.run()
+    return cluster
+
+
+class TestEngineStats:
+    def test_counters_snapshot(self, busy_cluster):
+        stats = engine_stats(busy_cluster.engine("node0"))
+        assert stats.node == "node0"
+        assert stats.strategy == "multicore_split"
+        assert stats.messages_sent == 3
+        assert stats.bytes_sent == 32 * KiB + 2 * MiB + 4 * KiB
+        assert stats.pioman_offloads >= 1  # the 32 KiB eager split
+        assert stats.now_us > 0
+
+    def test_nic_stats_account_all_bytes(self, busy_cluster):
+        stats = engine_stats(busy_cluster.engine("node0"))
+        # NIC bytes include control packets (size 0) and chunked payloads.
+        assert sum(n.bytes_sent for n in stats.nics) == stats.bytes_sent
+        assert all(0.0 <= n.utilization <= 1.0 for n in stats.nics)
+
+    def test_receiver_side_counts_completions(self, busy_cluster):
+        stats = engine_stats(busy_cluster.engine("node1"))
+        assert stats.messages_completed == 3
+        assert stats.pioman_events > 0
+
+    def test_egress_bandwidth_positive(self, busy_cluster):
+        stats = engine_stats(busy_cluster.engine("node0"))
+        assert stats.egress_mbps > 0
+
+    def test_render_mentions_rails_and_cores(self, busy_cluster):
+        text = engine_stats(busy_cluster.engine("node0")).render()
+        assert "myri10g0" in text and "quadrics1" in text
+        assert "core0" in text
+        assert "offloads" in text
+
+
+class TestClusterReport:
+    def test_one_block_per_node(self, busy_cluster):
+        report = cluster_report(busy_cluster)
+        assert "node0" in report and "node1" in report
+        assert report.index("node0") < report.index("node1")

@@ -1,0 +1,162 @@
+"""Unit tests for the Core occupancy model."""
+
+import pytest
+
+from repro.hardware import Core
+from repro.simtime import Simulator, Timeout
+from repro.util.errors import SchedulingError
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def core(sim):
+    return Core(sim, core_id=0)
+
+
+class TestOccupy:
+    def test_occupy_holds_for_cost(self, sim, core):
+        marks = []
+
+        def proc():
+            yield from core.occupy(7.5, label="copy")
+            marks.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run()
+        assert marks == [7.5]
+        assert core.busy_time == 7.5
+
+    def test_two_occupiers_serialize(self, sim, core):
+        """Two PIO copies on one core serialize — the Fig. 4a effect."""
+        ends = []
+
+        def proc(cost, tag):
+            yield from core.occupy(cost, label=tag)
+            ends.append((tag, sim.now))
+
+        sim.spawn(proc(5.0, "a"))
+        sim.spawn(proc(3.0, "b"))
+        sim.run()
+        assert ends == [("a", 5.0), ("b", 8.0)]
+
+    def test_two_cores_run_in_parallel(self, sim):
+        """Two copies on two cores overlap — the Fig. 4c effect."""
+        c1, c2 = Core(sim, 0), Core(sim, 1)
+        ends = []
+
+        def proc(core, tag):
+            yield from core.occupy(5.0, label=tag)
+            ends.append((tag, sim.now))
+
+        sim.spawn(proc(c1, "a"))
+        sim.spawn(proc(c2, "b"))
+        sim.run()
+        assert ends == [("a", 5.0), ("b", 5.0)]
+
+    def test_negative_cost_rejected(self, sim, core):
+        def proc():
+            yield from core.occupy(-1.0)
+
+        sim.spawn(proc())
+        with pytest.raises(SchedulingError):
+            sim.run()
+
+
+class TestRun:
+    def test_callback_fires_after_cost(self, sim, core):
+        got = []
+        core.run(4.0, got.append, "done")
+        sim.run()
+        assert got == ["done"]
+        assert sim.now == 4.0
+
+    def test_run_without_callback(self, sim, core):
+        core.run(2.0)
+        sim.run()
+        assert core.busy_time == 2.0
+
+    def test_run_items_fifo(self, sim, core):
+        got = []
+        core.run(1.0, got.append, "first")
+        core.run(1.0, got.append, "second")
+        sim.run()
+        assert got == ["first", "second"]
+        assert sim.now == 2.0
+
+    def test_negative_cost_rejected(self, sim, core):
+        with pytest.raises(SchedulingError):
+            core.run(-2.0)
+
+
+class TestIdlePrediction:
+    def test_fresh_core_is_idle(self, sim, core):
+        assert core.is_idle
+        assert core.busy_until == 0.0
+
+    def test_busy_until_accumulates_declared_work(self, sim, core):
+        core.run(5.0)
+        core.run(3.0)
+        assert core.busy_until == 8.0
+        assert not core.is_idle
+
+    def test_busy_until_is_exact(self, sim, core):
+        core.run(5.0)
+        core.run(3.0)
+        predicted = core.busy_until
+        sim.run()
+        assert sim.now == predicted
+        assert core.is_idle
+
+    def test_busy_until_never_in_the_past(self, sim, core):
+        core.run(2.0)
+        sim.run()
+        sim.schedule(10.0, lambda: None)
+        sim.run()
+        assert core.busy_until == sim.now == 12.0
+
+    def test_gap_then_new_work_rebases_prediction(self, sim, core):
+        core.run(2.0)
+        sim.run()
+        sim.schedule(10.0, lambda: core.run(4.0))
+        sim.run()
+        assert sim.now == 16.0  # 10 (idle gap) + start + 4
+
+    def test_declare_hold_declared_pair(self, sim, core):
+        core.declare(6.0)
+        assert core.busy_until == 6.0
+
+        def proc():
+            yield Timeout(2.0)  # external wait (e.g. NIC doorbell)
+            yield from core.hold_declared(6.0, label="pio")
+
+        sim.spawn(proc())
+        sim.run()
+        assert sim.now == 8.0
+        assert core.busy_time == 6.0
+
+
+class TestUtilization:
+    def test_fully_busy_window(self, sim, core):
+        core.run(10.0)
+        sim.run()
+        assert core.utilization() == pytest.approx(1.0)
+
+    def test_half_busy_window(self, sim, core):
+        core.run(5.0)
+        sim.schedule(10.0, lambda: None)
+        sim.run()
+        assert core.utilization() == pytest.approx(0.5)
+
+    def test_since_filter(self, sim, core):
+        core.run(4.0)
+        sim.run()
+        sim.schedule(4.0, lambda: None)
+        sim.run()  # now = 8, busy in [0, 4]
+        assert core.utilization(since=4.0) == pytest.approx(0.0)
+
+    def test_empty_window(self, sim, core):
+        assert core.utilization() == 0.0

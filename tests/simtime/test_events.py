@@ -1,0 +1,95 @@
+"""Unit tests for the event-queue primitives."""
+
+import pytest
+
+from repro.simtime.events import EventQueue
+
+
+def nop():
+    pass
+
+
+class TestEventQueueOrdering:
+    def test_pops_in_time_order(self):
+        q = EventQueue()
+        fired = []
+        q.push(3.0, fired.append, ("c",))
+        q.push(1.0, fired.append, ("a",))
+        q.push(2.0, fired.append, ("b",))
+        while (ev := q.pop()) is not None:
+            ev.callback(*ev.args)
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_fires_in_insertion_order(self):
+        q = EventQueue()
+        order = []
+        for i in range(10):
+            q.push(5.0, order.append, (i,))
+        while (ev := q.pop()) is not None:
+            ev.callback(*ev.args)
+        assert order == list(range(10))
+
+    def test_priority_breaks_time_ties(self):
+        q = EventQueue()
+        order = []
+        q.push(5.0, order.append, ("user",), priority=0)
+        q.push(5.0, order.append, ("kernel",), priority=-1)
+        while (ev := q.pop()) is not None:
+            ev.callback(*ev.args)
+        assert order == ["kernel", "user"]
+
+    def test_peek_time_matches_next_pop(self):
+        q = EventQueue()
+        q.push(7.0, nop)
+        q.push(2.0, nop)
+        assert q.peek_time() == 2.0
+        assert q.pop().time == 2.0
+        assert q.peek_time() == 7.0
+
+
+class TestEventQueueCancellation:
+    def test_cancelled_event_is_skipped(self):
+        q = EventQueue()
+        fired = []
+        ev = q.push(1.0, fired.append, ("dead",))
+        q.push(2.0, fired.append, ("live",))
+        q.cancel(ev)
+        while (e := q.pop()) is not None:
+            e.callback(*e.args)
+        assert fired == ["live"]
+
+    def test_len_counts_live_events_only(self):
+        q = EventQueue()
+        ev = q.push(1.0, nop)
+        q.push(2.0, nop)
+        assert len(q) == 2
+        q.cancel(ev)
+        assert len(q) == 1
+
+    def test_double_cancel_is_noop(self):
+        q = EventQueue()
+        ev = q.push(1.0, nop)
+        q.cancel(ev)
+        q.cancel(ev)
+        assert len(q) == 0
+
+    def test_cancel_after_fire_is_noop(self):
+        q = EventQueue()
+        ev = q.push(1.0, nop)
+        q.push(2.0, nop)
+        assert q.pop() is ev
+        q.cancel(ev)  # already fired; must not corrupt the live count
+        assert len(q) == 1
+
+    def test_peek_skips_cancelled_head(self):
+        q = EventQueue()
+        ev = q.push(1.0, nop)
+        q.push(9.0, nop)
+        q.cancel(ev)
+        assert q.peek_time() == 9.0
+
+    def test_empty_queue_pops_none(self):
+        q = EventQueue()
+        assert q.pop() is None
+        assert q.peek_time() is None
+        assert not q

@@ -1,0 +1,261 @@
+"""Unit tests for generator-coroutine processes and waitables."""
+
+import pytest
+
+from repro.simtime import (
+    AllOf,
+    AnyOf,
+    Interrupt,
+    SimEvent,
+    Simulator,
+    Timeout,
+)
+from repro.util.errors import SimulationError
+
+
+class TestTimeout:
+    def test_process_sleeps_for_delay(self):
+        sim = Simulator()
+        wake = []
+
+        def proc():
+            yield Timeout(3.0)
+            wake.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run()
+        assert wake == [3.0]
+
+    def test_timeout_payload_is_yield_value(self):
+        sim = Simulator()
+        got = []
+
+        def proc():
+            v = yield Timeout(1.0, value="payload")
+            got.append(v)
+
+        sim.spawn(proc())
+        sim.run()
+        assert got == ["payload"]
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(SimulationError):
+            Timeout(-0.5)
+
+    def test_sequential_timeouts_accumulate(self):
+        sim = Simulator()
+        marks = []
+
+        def proc():
+            for _ in range(4):
+                yield Timeout(2.5)
+                marks.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run()
+        assert marks == [2.5, 5.0, 7.5, 10.0]
+
+
+class TestSimEvent:
+    def test_waiters_resume_on_trigger(self):
+        sim = Simulator()
+        ev = SimEvent(sim)
+        got = []
+
+        def waiter(tag):
+            v = yield ev
+            got.append((tag, v, sim.now))
+
+        sim.spawn(waiter("a"))
+        sim.spawn(waiter("b"))
+        sim.schedule(4.0, ev.trigger, 42)
+        sim.run()
+        assert got == [("a", 42, 4.0), ("b", 42, 4.0)]
+
+    def test_wait_on_already_triggered_event_resumes_immediately(self):
+        sim = Simulator()
+        ev = SimEvent(sim)
+        ev.trigger("early")
+        got = []
+
+        def waiter():
+            got.append((yield ev))
+
+        sim.spawn(waiter())
+        sim.run()
+        assert got == ["early"]
+
+    def test_double_trigger_is_an_error(self):
+        sim = Simulator()
+        ev = SimEvent(sim)
+        ev.trigger()
+        with pytest.raises(SimulationError):
+            ev.trigger()
+
+    def test_cross_simulator_wait_rejected(self):
+        sim1, sim2 = Simulator(), Simulator()
+        ev = SimEvent(sim1)
+
+        def waiter():
+            yield ev
+
+        sim2.spawn(waiter())
+        with pytest.raises(SimulationError):
+            sim2.run()
+
+
+class TestProcessJoin:
+    def test_join_payload_is_return_value(self):
+        sim = Simulator()
+        got = []
+
+        def child():
+            yield Timeout(5.0)
+            return "child-result"
+
+        def parent():
+            p = sim.spawn(child())
+            got.append((yield p))
+
+        sim.spawn(parent())
+        sim.run()
+        assert got == ["child-result"]
+        assert sim.now == 5.0
+
+    def test_join_on_finished_process(self):
+        sim = Simulator()
+        got = []
+
+        def child():
+            return 7
+            yield  # pragma: no cover - makes it a generator
+
+        def parent():
+            p = sim.spawn(child())
+            yield Timeout(10.0)  # child long dead by now
+            got.append((yield p))
+
+        sim.spawn(parent())
+        sim.run()
+        assert got == [7]
+
+    def test_exceptions_propagate_out_of_run(self):
+        sim = Simulator()
+
+        def boom():
+            yield Timeout(1.0)
+            raise ValueError("bang")
+
+        sim.spawn(boom())
+        with pytest.raises(ValueError, match="bang"):
+            sim.run()
+
+    def test_yielding_non_waitable_is_an_error(self):
+        sim = Simulator()
+
+        def bad():
+            yield 42
+
+        sim.spawn(bad())
+        with pytest.raises(SimulationError, match="not a Waitable"):
+            sim.run()
+
+
+class TestCombinators:
+    def test_allof_waits_for_slowest(self):
+        sim = Simulator()
+        got = []
+
+        def child(d):
+            yield Timeout(d)
+            return d
+
+        def parent():
+            kids = [sim.spawn(child(d)) for d in (3.0, 1.0, 2.0)]
+            res = yield AllOf(kids)
+            got.append((res, sim.now))
+
+        sim.spawn(parent())
+        sim.run()
+        assert got == [([3.0, 1.0, 2.0], 3.0)]
+
+    def test_anyof_returns_first_winner(self):
+        sim = Simulator()
+        got = []
+
+        def parent():
+            res = yield AnyOf([Timeout(5.0, "slow"), Timeout(2.0, "fast")])
+            got.append((res, sim.now))
+
+        sim.spawn(parent())
+        sim.run()
+        assert got == [((1, "fast"), 2.0)]
+
+    def test_empty_combinators_rejected(self):
+        with pytest.raises(SimulationError):
+            AllOf([])
+        with pytest.raises(SimulationError):
+            AnyOf([])
+
+    def test_anyof_loser_does_not_double_resume(self):
+        sim = Simulator()
+        resumes = []
+
+        def parent():
+            res = yield AnyOf([Timeout(1.0, "w"), Timeout(1.5, "l")])
+            resumes.append(res)
+            yield Timeout(10.0)  # still waiting when the loser fires
+            resumes.append("end")
+
+        sim.spawn(parent())
+        sim.run()
+        assert resumes == [(0, "w"), "end"]
+
+
+class TestInterrupt:
+    def test_interrupt_raises_inside_process(self):
+        sim = Simulator()
+        got = []
+
+        def victim():
+            try:
+                yield Timeout(100.0)
+            except Interrupt as itr:
+                got.append((itr.cause, sim.now))
+
+        p = sim.spawn(victim())
+        sim.schedule(4.0, p.interrupt, "preempted")
+        sim.run()
+        assert got == [("preempted", 4.0)]
+
+    def test_stale_timeout_after_interrupt_does_not_resume(self):
+        sim = Simulator()
+        trace = []
+
+        def victim():
+            try:
+                yield Timeout(10.0)
+                trace.append("timeout-fired")  # must never happen
+            except Interrupt:
+                trace.append("interrupted")
+                yield Timeout(50.0)
+                trace.append("post-sleep")
+
+        p = sim.spawn(victim())
+        sim.schedule(1.0, p.interrupt)
+        sim.run()
+        # The original t=10 timeout fires into the void; the process wakes
+        # only from its post-interrupt sleep at t=51.
+        assert trace == ["interrupted", "post-sleep"]
+        assert sim.now == 51.0
+
+    def test_interrupting_dead_process_is_an_error(self):
+        sim = Simulator()
+
+        def quick():
+            yield Timeout(1.0)
+
+        p = sim.spawn(quick())
+        sim.run()
+        with pytest.raises(SimulationError):
+            p.interrupt()

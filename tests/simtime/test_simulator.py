@@ -1,0 +1,115 @@
+"""Unit tests for the Simulator event loop."""
+
+import pytest
+
+from repro.simtime import Simulator
+from repro.util.errors import SimulationError
+
+
+class TestScheduling:
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(4.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [4.5]
+        assert sim.now == 4.5
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator(start_time=10.0)
+        seen = []
+        sim.schedule_at(12.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [12.0]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator(start_time=5.0)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(4.0, lambda: None)
+
+    def test_events_cascade(self):
+        sim = Simulator()
+        seen = []
+
+        def first():
+            seen.append(("first", sim.now))
+            sim.schedule(2.0, second)
+
+        def second():
+            seen.append(("second", sim.now))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert seen == [("first", 1.0), ("second", 3.0)]
+
+    def test_cancel_pending_event(self):
+        sim = Simulator()
+        seen = []
+        ev = sim.schedule(1.0, seen.append, "x")
+        sim.cancel(ev)
+        sim.run()
+        assert seen == []
+
+
+class TestRun:
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, seen.append, "a")
+        sim.schedule(10.0, seen.append, "b")
+        sim.run(until=5.0)
+        assert seen == ["a"]
+        assert sim.now == 5.0  # clock advanced to the window edge
+        sim.run()
+        assert seen == ["a", "b"]
+
+    def test_run_empty_queue_returns_now(self):
+        sim = Simulator()
+        assert sim.run() == 0.0
+
+    def test_run_is_not_reentrant(self):
+        sim = Simulator()
+
+        def evil():
+            sim.run()
+
+        sim.schedule(1.0, evil)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_run_until_idle_safety_valve(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(1.0, forever)
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(SimulationError):
+            sim.run_until_idle(max_events=100)
+
+    def test_pending_events_counter(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending_events == 2
+        sim.step()
+        assert sim.pending_events == 1
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_traces(self):
+        def build_and_run():
+            sim = Simulator()
+            trace = []
+            for i in range(50):
+                # Deliberate time collisions: i % 7 buckets.
+                sim.schedule(float(i % 7), trace.append, (i, i % 7))
+            sim.run()
+            return trace
+
+        assert build_and_run() == build_and_run()

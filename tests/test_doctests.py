@@ -1,0 +1,18 @@
+"""Run the doctests embedded in docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.util.units
+
+DOCTEST_MODULES = [
+    repro.util.units,
+]
+
+
+@pytest.mark.parametrize("module", DOCTEST_MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0
+    assert result.attempted > 0, f"{module.__name__} has no doctests to run"

@@ -1,0 +1,151 @@
+"""Unit tests for the Marcel tasklet scheduler."""
+
+import pytest
+
+from repro.hardware import Machine
+from repro.simtime import Simulator
+from repro.threading import MarcelScheduler, Tasklet, TaskletState
+from repro.util.errors import SchedulingError
+
+
+@pytest.fixture
+def node(sim):
+    return Machine(sim, "node0")
+
+
+@pytest.fixture
+def marcel(node):
+    return MarcelScheduler(node)
+
+
+class TestCoreViews:
+    def test_all_cores_idle_without_threads(self, sim, node, marcel):
+        assert marcel.idle_cores() == node.cores
+        assert marcel.preemptable_cores() == []
+
+    def test_compute_thread_removes_core_from_idle(self, sim, node, marcel):
+        marcel.spawn_compute(node.cores[2], work_us=None)
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert node.cores[2] not in marcel.idle_cores()
+        assert marcel.preemptable_cores() == [node.cores[2]]
+
+    def test_nonpreemptable_thread_not_offered(self, sim, node, marcel):
+        marcel.spawn_compute(node.cores[1], work_us=None, preemptable=False)
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert marcel.preemptable_cores() == []
+
+    def test_finished_thread_frees_core(self, sim, node, marcel):
+        marcel.spawn_compute(node.cores[0], work_us=5.0)
+        sim.run()
+        assert node.cores[0] in marcel.idle_cores()
+
+    def test_exclude_parameter(self, sim, node, marcel):
+        assert node.cores[0] not in marcel.idle_cores(exclude=node.cores[0])
+
+
+class TestTaskletOnIdleCore:
+    def test_signal_cost_is_3us(self, sim, node, marcel):
+        """Paper §III-D: 3 µs from registration to remote submission."""
+        ran = []
+        tasklet = Tasklet(body=lambda: ran.append(sim.now), name="t")
+        marcel.schedule_tasklet(tasklet, node.cores[1], from_core=node.cores[0])
+        sim.run()
+        assert ran == [3.0]
+        assert tasklet.dispatch_latency == pytest.approx(3.0)
+        assert tasklet.state is TaskletState.DONE
+        assert not tasklet.preempted_someone
+
+    def test_local_tasklet_is_free(self, sim, node, marcel):
+        ran = []
+        tasklet = Tasklet(body=lambda: ran.append(sim.now))
+        marcel.schedule_tasklet(tasklet, node.cores[0], from_core=node.cores[0])
+        sim.run()
+        assert ran == [0.0]
+
+    def test_cpu_cost_occupies_target_core(self, sim, node, marcel):
+        tasklet = Tasklet(body=lambda: None, cpu_cost=5.0)
+        marcel.schedule_tasklet(tasklet, node.cores[1], from_core=node.cores[0])
+        sim.run()
+        assert node.cores[1].busy_time == pytest.approx(5.0)
+        assert sim.now == pytest.approx(8.0)  # 3 signal + 5 body
+
+    def test_done_event_fires_with_tasklet(self, sim, node, marcel):
+        tasklet = Tasklet(body=lambda: None)
+        done = marcel.schedule_tasklet(tasklet, node.cores[1], from_core=node.cores[0])
+        got = []
+        done.subscribe(sim, got.append)
+        sim.run()
+        assert got == [tasklet]
+
+    def test_rescheduling_rejected(self, sim, node, marcel):
+        tasklet = Tasklet(body=lambda: None)
+        marcel.schedule_tasklet(tasklet, node.cores[1])
+        with pytest.raises(SchedulingError):
+            marcel.schedule_tasklet(tasklet, node.cores[2])
+
+    def test_foreign_core_rejected(self, sim, marcel):
+        other = Machine(sim, "other")
+        with pytest.raises(SchedulingError):
+            marcel.schedule_tasklet(Tasklet(body=lambda: None), other.cores[0])
+
+    def test_counter(self, sim, node, marcel):
+        for i in (1, 2, 3):
+            marcel.schedule_tasklet(
+                Tasklet(body=lambda: None), node.cores[i], from_core=node.cores[0]
+            )
+        sim.run()
+        assert marcel.tasklets_run == 3
+
+
+class TestTaskletWithPreemption:
+    def test_preempt_cost_is_6us(self, sim, node, marcel):
+        """Paper §III-D: 6 µs if a thread has to be preempted by a signal."""
+        thread = marcel.spawn_compute(node.cores[1], work_us=1000.0)
+        ran = []
+
+        def fire():
+            tasklet = Tasklet(body=lambda: ran.append(sim.now), name="t")
+            marcel.schedule_tasklet(tasklet, node.cores[1], from_core=node.cores[0])
+
+        sim.schedule(100.0, fire)
+        sim.run()
+        assert ran == [pytest.approx(106.0)]
+        assert marcel.preemptions == 1
+        assert thread.done
+        # Thread lost 6us of wall-clock to the preemption window.
+        assert sim.now == pytest.approx(1006.0)
+
+    def test_victim_resumes_after_tasklet(self, sim, node, marcel):
+        thread = marcel.spawn_compute(node.cores[1], work_us=50.0)
+
+        def fire():
+            marcel.schedule_tasklet(
+                Tasklet(body=lambda: None, cpu_cost=10.0),
+                node.cores[1],
+                from_core=node.cores[0],
+            )
+
+        sim.schedule(20.0, fire)
+        sim.run()
+        assert thread.done
+        assert thread.progress == pytest.approx(50.0)
+        # 20 compute + 6 preempt + 10 tasklet + 30 remaining compute
+        assert sim.now == pytest.approx(66.0)
+
+    def test_nonpreemptable_target_rejected(self, sim, node, marcel):
+        marcel.spawn_compute(node.cores[1], work_us=None, preemptable=False)
+        errors = []
+
+        def fire():
+            try:
+                marcel.schedule_tasklet(
+                    Tasklet(body=lambda: None), node.cores[1], from_core=node.cores[0]
+                )
+            except SchedulingError as e:
+                errors.append(e)
+
+        sim.schedule(10.0, fire)
+        sim.run()
+        assert len(errors) == 1

@@ -1,0 +1,110 @@
+"""Unit and property tests for size/rate unit helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util import (
+    KiB,
+    MiB,
+    GiB,
+    bytes_per_us_to_mbps,
+    format_size,
+    format_time_us,
+    mbps_to_bytes_per_us,
+    parse_size,
+    pow2_sizes,
+    POW2_SIZES,
+)
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("0", 0),
+            ("17", 17),
+            ("4K", 4 * KiB),
+            ("4k", 4 * KiB),
+            ("32KB", 32 * KiB),
+            ("8M", 8 * MiB),
+            ("1G", GiB),
+            ("2.5K", 2560),
+            ("512 B", 512),
+            (" 64K ", 64 * KiB),
+        ],
+    )
+    def test_valid(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_int_passthrough(self):
+        assert parse_size(12345) == 12345
+
+    @pytest.mark.parametrize("bad", ["", "K", "4Q", "abc", "1.0001K"])
+    def test_invalid(self, bad):
+        with pytest.raises(ValueError):
+            parse_size(bad)
+
+    def test_negative_int_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size(-1)
+
+
+class TestFormatSize:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [(0, "0"), (4, "4"), (4096, "4K"), (8 * MiB, "8M"), (GiB, "1G")],
+    )
+    def test_round_sizes(self, n, expected):
+        assert format_size(n) == expected
+
+    def test_non_power_keeps_decimal(self):
+        assert format_size(1536) == "1.5K"
+
+    @given(st.sampled_from(list(POW2_SIZES)))
+    def test_roundtrip_on_sampling_grid(self, n):
+        assert parse_size(format_size(n)) == n
+
+
+class TestFormatTime:
+    def test_us_range(self):
+        assert format_time_us(12.345) == "12.35us"
+
+    def test_ms_range(self):
+        assert format_time_us(2500.0) == "2.500ms"
+
+    def test_s_range(self):
+        assert format_time_us(3.2e6) == "3.2000s"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_time_us(-1.0)
+
+
+class TestRates:
+    def test_known_conversion(self):
+        # 1048.576 B/us == 1 MiB per 1000 us == 1000 MB/s
+        assert bytes_per_us_to_mbps(MiB / 1000) == pytest.approx(1000.0)
+
+    @given(st.floats(min_value=1e-3, max_value=1e6, allow_nan=False))
+    def test_roundtrip(self, rate):
+        assert mbps_to_bytes_per_us(bytes_per_us_to_mbps(rate)) == pytest.approx(rate)
+
+
+class TestPow2Sizes:
+    def test_inclusive_bounds(self):
+        assert pow2_sizes(4, 32) == [4, 8, 16, 32]
+
+    def test_rounds_inward(self):
+        assert pow2_sizes(5, 33) == [8, 16, 32]
+
+    def test_string_bounds(self):
+        assert pow2_sizes("1K", "4K") == [1024, 2048, 4096]
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            pow2_sizes(64, 4)
+
+    def test_default_grid_shape(self):
+        assert POW2_SIZES[0] == 4
+        assert POW2_SIZES[-1] == 16 * MiB
+        assert all(b == 2 * a for a, b in zip(POW2_SIZES, POW2_SIZES[1:]))
