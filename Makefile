@@ -1,0 +1,22 @@
+# Convenience targets; everything runs with src/ on PYTHONPATH.
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
+
+.PHONY: test bench-smoke perf bench
+
+# Tier-1 verify (the ROADMAP contract).
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Fast kernel microbench (<30 s); fails when events/sec regresses >30%
+# versus the committed BENCH_PR1.json trajectory.
+bench-smoke:
+	$(PYTHON) -m repro.bench.cli perf --smoke
+
+# Full hot-path measurement (no pass/fail, prints the table).
+perf:
+	$(PYTHON) -m repro.bench.cli perf
+
+# The opt-in pytest perf marker (excluded from tier-1 by addopts).
+bench:
+	$(PYTHON) -m pytest benchmarks/bench_kernel.py -m perf -q

@@ -1,0 +1,54 @@
+"""Opt-in perf guard for the simulation kernel hot paths (``-m perf``).
+
+Not a paper artefact: these tests re-measure the
+:mod:`repro.bench.perfstats` microbenches in smoke sizes and fail when
+the kernel regresses against the committed ``BENCH_PR1.json``
+trajectory.  They are deselected by default (``addopts`` carries
+``-m 'not perf'``) so tier-1 stays timing-independent; run them with::
+
+    pytest benchmarks/bench_kernel.py -m perf
+    make bench-smoke          # same guard via the CLI
+
+Absolute rates are machine-dependent; only the committed before/after
+ratios and the 30% regression tolerance are meaningful across machines.
+"""
+
+import pytest
+
+from repro.bench import perfstats
+
+pytestmark = pytest.mark.perf
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    data = perfstats.load_baseline()
+    if data is None:
+        pytest.skip(f"no {perfstats.BASELINE_FILENAME} at the repo root")
+    return data
+
+
+def test_event_throughput_vs_committed_baseline(baseline):
+    """Events/sec must stay within 30% of the committed trajectory."""
+    stats = {"events_per_s": perfstats.bench_event_throughput(n_events=20_000)}
+    problems = perfstats.compare_to_baseline(stats, baseline)
+    assert not problems, "; ".join(problems)
+
+
+def test_split_cache_multiplies_repeated_decisions():
+    """Same-shape planning must be much faster than cold planning.
+
+    The committed target is >=5x versus the *pre-cache* baseline; here we
+    assert the directly observable effect — repeated shapes beat
+    all-distinct shapes — with a conservative 2x margin so scheduler
+    noise cannot flake the guard.
+    """
+    cold = perfstats.bench_split_throughput(n_calls=60, same_shape=False)
+    cached = perfstats.bench_split_throughput(n_calls=60, same_shape=True)
+    assert cached >= 2.0 * cold, f"cached {cached:,.0f}/s vs cold {cold:,.0f}/s"
+
+
+def test_fig_slice_stays_interactive():
+    """The representative fig slice must run in interactive time."""
+    wall = perfstats.bench_fig_slice()
+    assert wall < 30.0, f"fig slice took {wall:.1f}s"

@@ -6,9 +6,13 @@ Usage::
     python -m repro.bench.cli run FIG8
     python -m repro.bench.cli run all
     python -m repro.bench.cli sweep --sizes 64K,1M,8M --strategies hetero_split,iso_split
+    python -m repro.bench.cli perf --smoke
 
 ``run`` regenerates a registered paper artefact and prints its table;
-``sweep`` is a free-form bandwidth sweep for ad-hoc exploration.
+``sweep`` is a free-form bandwidth sweep for ad-hoc exploration;
+``perf`` times the kernel/estimator/split hot paths (``--smoke`` also
+fails when event throughput regresses >30% vs the committed
+``BENCH_PR1.json`` trajectory — see docs/performance.md).
 """
 
 from __future__ import annotations
@@ -56,6 +60,18 @@ def _build_parser() -> argparse.ArgumentParser:
         "--rails",
         default="myri10g,quadrics",
         help="comma-separated rail technologies",
+    )
+
+    perf = sub.add_parser(
+        "perf", help="time the kernel/estimator/split hot paths"
+    )
+    perf.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fast run; exit 1 if events/sec regresses >30%% vs BENCH_PR1.json",
+    )
+    perf.add_argument(
+        "--json", metavar="PATH", help="also dump the measured stats as JSON"
     )
     return parser
 
@@ -139,6 +155,35 @@ def _cmd_sweep(sizes: str, strategies: str, metric: str, rails: str) -> int:
     return 0
 
 
+def _cmd_perf(smoke: bool, json_path: Optional[str] = None) -> int:
+    import json
+
+    from repro.bench import perfstats
+
+    stats = perfstats.collect_perfstats(smoke=smoke)
+    baseline = perfstats.load_baseline()
+    print(perfstats.render_stats(stats, baseline))
+    if json_path:
+        with open(json_path, "w") as fh:
+            json.dump(stats, fh, indent=2, sort_keys=True)
+        print(f"stats written to {json_path}")
+    if smoke:
+        if baseline is None:
+            print(
+                f"no {perfstats.BASELINE_FILENAME} baseline found; "
+                "nothing to guard against",
+                file=sys.stderr,
+            )
+            return 0
+        problems = perfstats.compare_to_baseline(stats, baseline)
+        if problems:
+            for p in problems:
+                print(f"PERF REGRESSION: {p}", file=sys.stderr)
+            return 1
+        print("perf smoke: ok (within 30% of committed baseline)")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code (0 ok, 2 usage error)."""
     args = _build_parser().parse_args(argv)
@@ -149,6 +194,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_run(args.experiment, csv_path=args.csv, chart=args.chart)
         if args.command == "sweep":
             return _cmd_sweep(args.sizes, args.strategies, args.metric, args.rails)
+        if args.command == "perf":
+            return _cmd_perf(args.smoke, json_path=args.json)
     except BrokenPipeError:  # e.g. `... | head` closed the pipe; not an error
         return 0
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover

@@ -1,0 +1,239 @@
+"""Kernel/estimator/split micro-benchmarks with a tracked JSON trajectory.
+
+Every experiment in this repository funnels through three hot paths:
+
+* the :class:`~repro.simtime.events.EventQueue` heap (one entry per
+  scheduled callback),
+* :class:`~repro.core.estimator.SampleTable` lookups (the strategy's
+  innermost call — 40–60 of them per split decision), and
+* the split solvers driven by
+  :meth:`~repro.core.prediction.CompletionPredictor.plan`.
+
+This module times all three plus the wall-clock of a representative
+figure-benchmark slice, and records the numbers in ``BENCH_PR1.json`` at
+the repository root so later PRs have a perf trajectory to compare
+against.  ``python -m repro.bench.cli perf --smoke`` (or
+``make bench-smoke``) re-measures quickly and fails when the event-loop
+throughput regresses more than 30% against the committed baseline.
+
+All rates are best-of-``repeats`` to shave scheduler noise; the absolute
+numbers are machine-dependent, only the committed before/after ratios
+and the regression guard are meaningful across machines.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+#: the committed perf trajectory for this PR, at the repository root
+BASELINE_FILENAME = "BENCH_PR1.json"
+
+#: metrics guarded by the smoke check, and the tolerated fractional drop
+GUARDED_METRICS = {"events_per_s": 0.30}
+
+
+def repo_root() -> Path:
+    """Best-effort repository root (where ``BENCH_PR1.json`` lives)."""
+    here = Path(__file__).resolve()
+    for parent in here.parents:
+        if (parent / "pyproject.toml").exists():
+            return parent
+    return Path.cwd()
+
+
+def _best_seconds(fn: Callable[[], object], repeats: int) -> float:
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+# --------------------------------------------------------------------- #
+# individual micro-benchmarks
+# --------------------------------------------------------------------- #
+
+
+def bench_event_throughput(
+    n_events: int = 100_000, cancel_every: int = 7, repeats: int = 3
+) -> float:
+    """Events/sec through a full schedule→(some cancels)→drain cycle.
+
+    A seventh of the events are cancelled after scheduling, so the lazy
+    cancel drain is part of the measured path — exactly as in engine
+    runs, where NIC-idle watchdogs are frequently cancelled.
+    """
+    from repro.simtime import Simulator
+
+    def nop() -> None:
+        pass
+
+    def run_once() -> None:
+        sim = Simulator()
+        cancels = []
+        for i in range(n_events):
+            ev = sim.schedule(float(i % 97) + i * 1e-3, nop)
+            if cancel_every and i % cancel_every == 0:
+                cancels.append(ev)
+        for ev in cancels:
+            sim.cancel(ev)
+        sim.run()
+
+    return n_events / _best_seconds(run_once, repeats)
+
+
+def bench_estimator_throughput(n_calls: int = 100_000, repeats: int = 3) -> float:
+    """Estimates/sec through ``SampleTable.__call__`` on varied sizes.
+
+    Sizes cycle through a fixed pool (in-range, out-of-range, odd
+    offsets) so per-call memoization cannot short-circuit the lookup —
+    this measures the table's scalar path itself.
+    """
+    from repro.bench.runners import default_profiles
+
+    store = default_profiles()
+    est = store["myri10g"]
+    eager, dma = est.eager, est.dma
+    pool: List[float] = []
+    for k in range(4, 24):
+        pool.extend((float(2**k), float(3 * 2**k + 1), float(2**k + 13)))
+    n_pool = len(pool)
+
+    def run_once() -> None:
+        for i in range(n_calls // 2):
+            s = pool[i % n_pool]
+            eager(s)
+            dma(s)
+
+    return n_calls / _best_seconds(run_once, repeats)
+
+
+def _paper_plan_inputs():
+    """A quiescent paper testbed: (predictor, sender's NICs)."""
+    from repro.bench.runners import build_paper_cluster
+    from repro.core.strategies import HeteroSplitStrategy
+    from repro.util.units import KiB
+
+    cluster = build_paper_cluster(HeteroSplitStrategy(rdv_threshold=32 * KiB))
+    engine = cluster.engine("node0")
+    assert engine.predictor is not None
+    return engine.predictor, list(engine.machine.nics)
+
+
+def bench_split_throughput(
+    n_calls: int = 300, same_shape: bool = True, repeats: int = 3
+) -> float:
+    """Splits/sec through the full §II-B decision (subset + bisection).
+
+    ``same_shape=True`` repeats one ``(size, mode, offsets, rails)``
+    shape — the steady-state common case a split-decision cache serves.
+    ``same_shape=False`` gives every call a distinct size and drops any
+    plan cache before each timed pass, timing the raw solver.
+    """
+    from repro.core.packets import TransferMode
+    from repro.util.units import MiB
+
+    predictor, nics = _paper_plan_inputs()
+    base = 2 * MiB
+    # getattr: lets this harness also time predictor versions that
+    # predate (or drop) the split-decision cache.
+    invalidate = getattr(predictor, "invalidate_plan_cache", lambda: None)
+
+    def run_once() -> None:
+        if not same_shape:
+            invalidate()
+        for i in range(n_calls):
+            size = base if same_shape else base + 64 * i
+            predictor.plan(nics, size, TransferMode.RENDEZVOUS)
+
+    return n_calls / _best_seconds(run_once, repeats)
+
+
+def bench_fig_slice(messages: int = 32, repeats: int = 2) -> float:
+    """Wall-clock seconds of a Fig. 1/8-style slice: build the §IV
+    testbed and stream ``messages`` mixed-size sends (64 KiB – 4 MiB)
+    under hetero-split — estimator, splits and kernel all on the path."""
+    from repro.bench.runners import build_paper_cluster, default_profiles
+    from repro.bench.workloads import mixed_stream, run_stream
+    from repro.core.strategies import HeteroSplitStrategy
+    from repro.util.units import KiB, MiB
+
+    profiles = default_profiles()  # warm the memoized sampling pass
+    sizes = [(64 * KiB, 256 * KiB, 1 * MiB, 2 * MiB, 4 * MiB)[i % 5] for i in range(messages)]
+
+    def run_once() -> None:
+        cluster = build_paper_cluster(
+            HeteroSplitStrategy(rdv_threshold=32 * KiB), profiles=profiles
+        )
+        run_stream(cluster, mixed_stream(sizes, interval=500.0))
+
+    return _best_seconds(run_once, repeats)
+
+
+# --------------------------------------------------------------------- #
+# collection + trajectory file
+# --------------------------------------------------------------------- #
+
+
+def collect_perfstats(smoke: bool = False) -> Dict[str, float]:
+    """Run every micro-benchmark; ``smoke`` shrinks sizes to run in seconds."""
+    scale = 5 if smoke else 1
+    return {
+        "events_per_s": bench_event_throughput(n_events=100_000 // scale),
+        "estimates_per_s": bench_estimator_throughput(n_calls=100_000 // scale),
+        "splits_cold_per_s": bench_split_throughput(
+            n_calls=300 // scale, same_shape=False
+        ),
+        "splits_cached_per_s": bench_split_throughput(
+            n_calls=300 // scale, same_shape=True
+        ),
+        "fig_slice_wall_s": bench_fig_slice(),
+    }
+
+
+def load_baseline(path: Optional[Path] = None) -> Optional[Dict]:
+    """The committed trajectory, or None when absent/unreadable."""
+    path = path or (repo_root() / BASELINE_FILENAME)
+    try:
+        return json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError, ValueError):
+        return None
+
+
+def compare_to_baseline(
+    stats: Dict[str, float], baseline: Dict
+) -> List[str]:
+    """Regression messages for guarded metrics (empty = healthy).
+
+    Compares against the baseline's ``current`` numbers — the state this
+    repository actually committed, not the pre-optimization floor.
+    """
+    committed = baseline.get("current", {})
+    problems: List[str] = []
+    for metric, tolerance in GUARDED_METRICS.items():
+        ref = committed.get(metric)
+        got = stats.get(metric)
+        if not ref or not got:
+            continue
+        if got < ref * (1.0 - tolerance):
+            problems.append(
+                f"{metric} regressed: {got:,.0f} vs committed {ref:,.0f} "
+                f"(> {tolerance:.0%} drop)"
+            )
+    return problems
+
+
+def render_stats(stats: Dict[str, float], baseline: Optional[Dict] = None) -> str:
+    """Human-readable table, with the committed numbers alongside if known."""
+    committed = (baseline or {}).get("current", {})
+    lines = [f"{'metric':<22} {'measured':>14}" + ("  committed" if committed else "")]
+    for metric, value in stats.items():
+        row = f"{metric:<22} {value:>14,.1f}"
+        if committed.get(metric):
+            row += f"  {committed[metric]:>12,.1f}"
+        lines.append(row)
+    return "\n".join(lines)

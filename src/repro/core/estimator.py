@@ -13,17 +13,35 @@ range.  :class:`NicEstimator` bundles the per-NIC tables (eager curve,
 DMA curve, control-packet cost) and derives the rendezvous threshold from
 their crossover — the paper notes sampling "can also be used to determine
 other parameters such as rendezvous threshold".
+
+Performance notes
+-----------------
+``SampleTable.__call__`` is the innermost call of every split decision
+(40–60 invocations per planned message), so the scalar path is pure
+Python over plain lists — numpy scalar indexing costs ~20× a list index.
+The numpy arrays are kept for the bulk :meth:`SampleTable.batch` path and
+for external analysis code.  Both paths evaluate the *same* IEEE-754
+expression, so they agree bitwise — asserted by the test suite.
+
+:class:`NicEstimator` is immutable after construction (enforced via
+``__setattr__``), which makes its derived quantities — ``rdv_threshold``,
+``plateau_bandwidth``, per-``(size, mode)`` transfer times — safe to
+memoize forever.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence
+from bisect import bisect_right
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.packets import TransferMode
 from repro.util.errors import SamplingError
+
+#: cap on the per-estimator (size, mode) memo before it is reset wholesale
+_TRANSFER_MEMO_LIMIT = 65_536
 
 
 class SampleTable:
@@ -53,25 +71,37 @@ class SampleTable:
             np.allclose(logs, np.round(logs)) and np.all(np.diff(np.round(logs)) == 1)
         )
         self._log0 = int(round(logs[0])) if self._pow2 else 0
+        # Scalar fast path: plain Python lists (and per-segment slopes for
+        # the extrapolation in :meth:`inverse`).  Indexing a list of floats
+        # avoids the numpy-scalar boxing that dominates per-call cost.
+        self._sizes_list: List[float] = self.sizes.tolist()
+        self._times_list: List[float] = self.times.tolist()
+        self._last_segment = len(self._sizes_list) - 2
+        self._slopes: List[float] = [
+            (self._times_list[i + 1] - self._times_list[i])
+            / (self._sizes_list[i + 1] - self._sizes_list[i])
+            for i in range(len(self._sizes_list) - 1)
+        ]
 
     def __len__(self) -> int:
-        return len(self.sizes)
+        return len(self._sizes_list)
 
     @property
     def min_size(self) -> int:
-        return int(self.sizes[0])
+        return int(self._sizes_list[0])
 
     @property
     def max_size(self) -> int:
-        return int(self.sizes[-1])
+        return int(self._sizes_list[-1])
 
     def _bracket(self, size: float) -> int:
         """Index ``i`` such that sizes[i] <= size < sizes[i+1] (clamped)."""
         if self._pow2:
             i = int(math.floor(math.log2(size))) - self._log0 if size > 0 else 0
         else:
-            i = int(np.searchsorted(self.sizes, size, side="right")) - 1
-        return max(0, min(i, len(self.sizes) - 2))
+            i = bisect_right(self._sizes_list, size) - 1
+        last = self._last_segment
+        return 0 if i < 0 else (last if i > last else i)
 
     def __call__(self, size: float) -> float:
         """Estimated time for ``size`` bytes (linear inter-/extrapolation).
@@ -81,11 +111,32 @@ class SampleTable:
         """
         if size < 0:
             raise SamplingError(f"negative size: {size}")
-        i = self._bracket(max(size, 1.0))
-        s0, s1 = self.sizes[i], self.sizes[i + 1]
-        t0, t1 = self.times[i], self.times[i + 1]
+        i = self._bracket(size if size > 1.0 else 1.0)
+        s0 = self._sizes_list[i]
+        s1 = self._sizes_list[i + 1]
+        t0 = self._times_list[i]
+        t1 = self._times_list[i + 1]
         t = t0 + (t1 - t0) * (size - s0) / (s1 - s0)
-        return max(0.0, float(t))
+        return t if t > 0.0 else 0.0
+
+    def batch(self, sizes: Sequence[float]) -> np.ndarray:
+        """Vectorized estimates for an array of sizes (bulk analysis path).
+
+        Evaluates the identical interpolation expression as the scalar
+        ``__call__``, element-wise over numpy arrays; the two paths agree
+        bitwise on every input.
+        """
+        arr = np.asarray(sizes, dtype=np.float64)
+        if np.any(arr < 0):
+            raise SamplingError("negative size in batch")
+        idx = np.clip(
+            np.searchsorted(self.sizes, np.maximum(arr, 1.0), side="right") - 1,
+            0,
+            self._last_segment,
+        )
+        s0, s1 = self.sizes[idx], self.sizes[idx + 1]
+        t0, t1 = self.times[idx], self.times[idx + 1]
+        return np.maximum(0.0, t0 + (t1 - t0) * (arr - s0) / (s1 - s0))
 
     def inverse(self, time: float) -> float:
         """Largest size transferable within ``time`` (for waterfilling).
@@ -94,23 +145,24 @@ class SampleTable:
         extrapolated zero-size transfer exceeds ``time``, and extrapolates
         past the largest sample using the final segment's rate.
         """
+        times = self._times_list
+        sizes = self._sizes_list
         if time <= self(0):
             return 0.0
-        if time >= float(self.times[-1]):
+        if time >= times[-1]:
             # extrapolate along the last segment
-            s0, s1 = self.sizes[-2], self.sizes[-1]
-            t0, t1 = self.times[-2], self.times[-1]
-            slope = (t1 - t0) / (s1 - s0)
+            slope = self._slopes[-1]
             if slope <= 0:
-                return float(self.sizes[-1])
-            return float(s1 + (time - t1) / slope)
-        i = int(np.searchsorted(self.times, time, side="right")) - 1
-        i = max(0, min(i, len(self.times) - 2))
-        t0, t1 = self.times[i], self.times[i + 1]
-        s0, s1 = self.sizes[i], self.sizes[i + 1]
+                return sizes[-1]
+            return sizes[-1] + (time - times[-1]) / slope
+        i = bisect_right(times, time) - 1
+        last = self._last_segment
+        i = 0 if i < 0 else (last if i > last else i)
+        t0, t1 = times[i], times[i + 1]
+        s0, s1 = sizes[i], sizes[i + 1]
         if t1 == t0:
-            return float(s1)
-        return float(s0 + (s1 - s0) * (time - t0) / (t1 - t0))
+            return s1
+        return s0 + (s1 - s0) * (time - t0) / (t1 - t0)
 
     def as_dict(self) -> Dict[str, List[float]]:
         return {"sizes": self.sizes.tolist(), "times": self.times.tolist()}
@@ -122,6 +174,11 @@ class SampleTable:
 
 class NicEstimator:
     """Everything the strategy knows about one NIC, learned by sampling.
+
+    Immutable after construction: attribute assignment raises, which is
+    what licenses the internal memoization (``rdv_threshold``,
+    ``plateau_bandwidth`` and the per-``(size, mode)`` transfer-time
+    cache are computed at most once and never invalidated).
 
     Parameters
     ----------
@@ -152,6 +209,23 @@ class NicEstimator:
         self.dma = dma
         self.control_oneway = control_oneway
         self.eager_limit = eager_limit
+        # Memoized derivations (estimators are immutable, so these never
+        # need invalidation).  The transfer memo is LRU-style in spirit:
+        # bounded, reset wholesale on overflow — sweeps reuse a few dozen
+        # distinct sizes, so the bound is never hit in practice.
+        self._rdv_threshold_cache: Optional[int] = None
+        self._plateau_cache: Optional[float] = None
+        self._transfer_memo: Dict[Tuple[float, TransferMode], float] = {}
+        self._mode_memo: Dict[float, TransferMode] = {}
+        self._frozen = True
+
+    def __setattr__(self, attr: str, value) -> None:
+        if getattr(self, "_frozen", False):
+            raise AttributeError(
+                f"NicEstimator is immutable after construction "
+                f"(tried to set {attr!r}); build a new estimator instead"
+            )
+        object.__setattr__(self, attr, value)
 
     def __repr__(self) -> str:
         return (
@@ -168,10 +242,22 @@ class NicEstimator:
 
         For rendezvous this is the *data* time — the per-message handshake
         is accounted once by the caller, not per chunk.
+
+        Memoized per ``(size, mode)``: split solvers re-evaluate the same
+        boundary candidates dozens of times per message.
         """
-        if mode is TransferMode.EAGER:
-            return self.eager(size)
-        return self.dma(size)
+        memo = self._transfer_memo
+        key = (size, mode)
+        t = memo.get(key)
+        if t is None:
+            if mode is TransferMode.EAGER:
+                t = self.eager(size)
+            else:
+                t = self.dma(size)
+            if len(memo) >= _TRANSFER_MEMO_LIMIT:
+                memo.clear()
+            memo[key] = t
+        return t
 
     def rdv_handshake(self) -> float:
         """Predicted REQ+ACK cost (two control one-ways)."""
@@ -179,11 +265,23 @@ class NicEstimator:
 
     def best_mode(self, size: int) -> TransferMode:
         """Cheapest protocol for a full message of ``size`` bytes."""
-        if size > self.eager_limit:
-            return TransferMode.RENDEZVOUS
-        eager_t = self.eager(size)
-        rdv_t = self.rdv_handshake() + self.dma(size)
-        return TransferMode.EAGER if eager_t <= rdv_t else TransferMode.RENDEZVOUS
+        memo = self._mode_memo
+        mode = memo.get(size)
+        if mode is None:
+            if size > self.eager_limit:
+                mode = TransferMode.RENDEZVOUS
+            else:
+                eager_t = self.eager(size)
+                rdv_t = self.rdv_handshake() + self.dma(size)
+                mode = (
+                    TransferMode.EAGER
+                    if eager_t <= rdv_t
+                    else TransferMode.RENDEZVOUS
+                )
+            if len(memo) >= _TRANSFER_MEMO_LIMIT:
+                memo.clear()
+            memo[size] = mode
+        return mode
 
     def rdv_threshold(self) -> int:
         """Smallest size where rendezvous beats eager.
@@ -192,7 +290,17 @@ class NicEstimator:
         the grid locates the bracketing power-of-two interval, then an
         integer bisection pins the crossover byte.  Falls back to the
         eager limit when rendezvous never wins within the eager range.
+
+        Computed once and cached — the grid scan plus bisection is ~60
+        estimator calls, and even ``__repr__`` needs the value.
         """
+        cached = self._rdv_threshold_cache
+        if cached is None:
+            cached = self._compute_rdv_threshold()
+            object.__setattr__(self, "_rdv_threshold_cache", cached)
+        return cached
+
+    def _compute_rdv_threshold(self) -> int:
         prev = int(self.eager.sizes[0])
         first_rdv: Optional[int] = None
         for size in self.eager.sizes:
@@ -219,11 +327,15 @@ class NicEstimator:
     def plateau_bandwidth(self) -> float:
         """Sampled large-message bandwidth (B/µs) — what a static
         OpenMPI-style ratio strategy uses as each rail's weight."""
-        size = self.dma.max_size
-        t = self.dma(size)
-        if t <= 0:
-            raise SamplingError(f"{self.name}: degenerate dma curve")
-        return size / t
+        cached = self._plateau_cache
+        if cached is None:
+            size = self.dma.max_size
+            t = self.dma(size)
+            if t <= 0:
+                raise SamplingError(f"{self.name}: degenerate dma curve")
+            cached = size / t
+            object.__setattr__(self, "_plateau_cache", cached)
+        return cached
 
     # ------------------------------------------------------------------ #
     # (de)serialization — the paper persists sampling results at launch

@@ -39,13 +39,53 @@ class RailPlan:
         return sum(self.sizes)
 
 
-class CompletionPredictor:
-    """Predicts transfer completions and selects rail subsets."""
+#: cap on the per-predictor plan cache before it is reset wholesale
+_PLAN_CACHE_LIMIT = 8_192
 
-    def __init__(self, estimators: Dict[str, NicEstimator]) -> None:
+
+class CompletionPredictor:
+    """Predicts transfer completions and selects rail subsets.
+
+    Repeated same-shape decisions — identical ``(rail set, size, mode,
+    busy offsets)`` — are served from a per-predictor cache instead of
+    re-running the subset enumeration and bisections: steady-state
+    traffic and every size sweep re-plan the same shapes constantly.
+    Estimators are immutable after construction, so cached plans can
+    only go stale if the estimator set itself is swapped — which builds
+    a fresh predictor (``Cluster.resample`` does exactly that); an
+    explicit :meth:`invalidate_plan_cache` exists for anything exotic.
+
+    ``offset_quantum`` (µs) buckets the busy offsets used in the cache
+    *key*.  The default 0.0 keys on exact offsets, which guarantees a
+    cache hit never changes any planned byte — simulated timestamps stay
+    bit-identical to an uncached run.  A coarser quantum trades that
+    exactness for more hits under jittery offsets; opt-in only.
+    """
+
+    def __init__(
+        self,
+        estimators: Dict[str, NicEstimator],
+        offset_quantum: float = 0.0,
+    ) -> None:
         if not estimators:
             raise SamplingError("predictor needs at least one estimator")
+        if offset_quantum < 0:
+            raise ConfigurationError(f"negative offset quantum: {offset_quantum}")
         self.estimators = dict(estimators)
+        self.offset_quantum = offset_quantum
+        self._plan_cache: Dict[tuple, tuple] = {}
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
+
+    def invalidate_plan_cache(self) -> None:
+        """Drop every cached split decision (hit/miss counters survive)."""
+        self._plan_cache.clear()
+
+    def _quantize(self, offset: float) -> float:
+        q = self.offset_quantum
+        if q <= 0.0:
+            return offset
+        return round(offset / q) * q
 
     def estimator_for(self, nic: Nic) -> NicEstimator:
         """The estimator sampled for this NIC's technology."""
@@ -100,12 +140,42 @@ class CompletionPredictor:
             raise ConfigurationError("plan over zero NICs")
         limit = len(nics) if max_rails is None else max(1, min(max_rails, len(nics)))
 
-        best: Optional[Tuple[float, int, List[Nic], SplitResult]] = None
+        # Split-decision cache: same shape → same plan, skip the solvers.
+        offsets = tuple(self.busy_offset(n) for n in nics)
+        cache_key = (
+            tuple(n.name for n in nics),
+            size,
+            mode,
+            tuple(self._quantize(off) for off in offsets),
+            limit,
+            fixed_cost,
+        )
+        cached = self._plan_cache.get(cache_key)
+        if cached is not None:
+            self.plan_cache_hits += 1
+            subset_idx, sizes, times, iterations, completion = cached
+            split = SplitResult(
+                sizes=list(sizes),
+                predicted_times=list(times),
+                iterations=iterations,
+            )
+            subset = [nics[i] for i in subset_idx]
+            used = [(n, s) for n, s in zip(subset, split.sizes) if s > 0]
+            return RailPlan(
+                nics=[n for n, _ in used],
+                sizes=[s for _, s in used],
+                predicted_completion=completion,
+                split=split,
+            )
+        self.plan_cache_misses += 1
+
+        all_rails = [
+            (self.estimator_for(n), off) for n, off in zip(nics, offsets)
+        ]
+        best: Optional[Tuple[float, int, Tuple[int, ...], SplitResult]] = None
         for k in range(1, limit + 1):
-            for subset in itertools.combinations(nics, k):
-                rails = [
-                    (self.estimator_for(n), self.busy_offset(n)) for n in subset
-                ]
+            for subset_idx in itertools.combinations(range(len(nics)), k):
+                rails = [all_rails[i] for i in subset_idx]
                 if k == 1:
                     est, off = rails[0]
                     split = SplitResult(
@@ -123,9 +193,19 @@ class CompletionPredictor:
                 )
                 key = (completion, active)
                 if best is None or key < (best[0], best[1]):
-                    best = (completion, active, list(subset), split)
+                    best = (completion, active, subset_idx, split)
         assert best is not None
-        completion, _, subset, split = best
+        completion, _, subset_idx, split = best
+        if len(self._plan_cache) >= _PLAN_CACHE_LIMIT:
+            self._plan_cache.clear()
+        self._plan_cache[cache_key] = (
+            subset_idx,
+            tuple(split.sizes),
+            tuple(split.predicted_times),
+            split.iterations,
+            completion,
+        )
+        subset = [nics[i] for i in subset_idx]
         used = [(n, s) for n, s in zip(subset, split.sizes) if s > 0]
         return RailPlan(
             nics=[n for n, _ in used],

@@ -124,19 +124,31 @@ class HeteroSplitStrategy(_SplitBase):
             raise ConfigurationError(f"bad max_rails: {max_rails}")
         self.max_rails = max_rails
         self.use_idle_prediction = use_idle_prediction
+        # (source predictor, blinded wrapper) — rebuilt only when the
+        # engine's predictor is swapped (e.g. Cluster.resample), so the
+        # blinded predictor keeps its split-decision cache across calls.
+        self._blind_cache: Optional[tuple] = None
+
+    def _blind_predictor(self):
+        """Occupancy-blind view of the engine's predictor (ablation A3)."""
+        import repro.core.prediction as prediction
+
+        source = self.predictor
+        if self._blind_cache is None or self._blind_cache[0] is not source:
+
+            class _Blind(prediction.CompletionPredictor):
+                def busy_offset(self, nic: Nic) -> float:
+                    return 0.0
+
+            self._blind_cache = (source, _Blind(source.estimators))
+        return self._blind_cache[1]
 
     def plan_rdv_data(self, msg: Message):
         rails = self.rails_to(msg.dest)
         predictor = self.predictor
         if not self.use_idle_prediction:
             # Ablation: blind the planner to NIC occupancy.
-            import repro.core.prediction as prediction
-
-            class _Blind(prediction.CompletionPredictor):
-                def busy_offset(self, nic: Nic) -> float:
-                    return 0.0
-
-            predictor = _Blind(predictor.estimators)
+            predictor = self._blind_predictor()
         return predictor.plan(
             rails, msg.size, TransferMode.RENDEZVOUS, max_rails=self.max_rails
         )

@@ -38,6 +38,9 @@ class Simulator:
     def __init__(self, start_time: float = 0.0) -> None:
         self.now: float = float(start_time)
         self._queue = EventQueue()
+        # Bound once: schedule/schedule_at are the hottest calls in every
+        # run, and the queue lives as long as the simulator.
+        self._push = self._queue.push
         self._running = False
         self._processes: int = 0  # live process count, for diagnostics
 
@@ -55,7 +58,7 @@ class Simulator:
         """Schedule ``callback(*args)`` to run ``delay`` µs from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay} us in the past")
-        return self._queue.push(self.now + delay, callback, args, priority)
+        return self._push(self.now + delay, callback, args, priority)
 
     def schedule_at(
         self,
@@ -69,7 +72,7 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} before now={self.now}"
             )
-        return self._queue.push(time, callback, args, priority)
+        return self._push(time, callback, args, priority)
 
     def cancel(self, ev: ScheduledEvent) -> None:
         """Cancel a pending event (no-op if it already fired)."""
@@ -118,14 +121,20 @@ class Simulator:
         if self._running:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
+        # One pop-with-bound per iteration: the naive peek_time() + step()
+        # pair costs two heap accesses (and two cancelled-head drains) per
+        # event; pop_due folds them into one.
+        pop_due = self._queue.pop_due
+        now = self.now
         try:
-            while True:
-                t = self._queue.peek_time()
-                if t is None:
-                    break
-                if until is not None and t > until:
-                    break
-                self.step()
+            while (ev := pop_due(until)) is not None:
+                t = ev.time
+                if t < now:
+                    raise SimulationError(
+                        f"clock would move backwards: {now} -> {t}"
+                    )
+                now = self.now = t
+                ev.callback(*ev.args)
         finally:
             self._running = False
         if until is not None and self.now < until:

@@ -1,0 +1,70 @@
+"""Tests for the perf harness plumbing (not the timings themselves)."""
+
+import json
+
+import pytest
+
+from repro.bench import perfstats
+
+
+class TestBaselineFile:
+    def test_repo_root_finds_pyproject(self):
+        assert (perfstats.repo_root() / "pyproject.toml").exists()
+
+    def test_committed_baseline_loads(self):
+        base = perfstats.load_baseline()
+        assert base is not None, f"{perfstats.BASELINE_FILENAME} missing"
+        for metric in perfstats.GUARDED_METRICS:
+            assert metric in base["current"]
+            assert metric in base["baseline"]
+
+    def test_committed_speedups_meet_pr_targets(self):
+        """The acceptance contract of this PR, as committed."""
+        base = perfstats.load_baseline()
+        assert base["speedup"]["events_per_s"] >= 2.0
+        assert base["speedup"]["splits_cached_per_s"] >= 5.0
+
+    def test_load_baseline_missing_file_returns_none(self, tmp_path):
+        assert perfstats.load_baseline(tmp_path / "nope.json") is None
+
+    def test_load_baseline_bad_json_returns_none(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text("{not json")
+        assert perfstats.load_baseline(p) is None
+
+
+class TestCompare:
+    BASE = {"current": {"events_per_s": 100_000.0}}
+
+    def test_within_tolerance_is_clean(self):
+        assert perfstats.compare_to_baseline({"events_per_s": 71_000.0}, self.BASE) == []
+
+    def test_beyond_tolerance_reports(self):
+        problems = perfstats.compare_to_baseline({"events_per_s": 69_000.0}, self.BASE)
+        assert len(problems) == 1
+        assert "events_per_s" in problems[0]
+
+    def test_missing_metric_ignored(self):
+        assert perfstats.compare_to_baseline({}, self.BASE) == []
+        assert perfstats.compare_to_baseline({"events_per_s": 1.0}, {"current": {}}) == []
+
+    def test_render_includes_committed_column(self):
+        out = perfstats.render_stats({"events_per_s": 123.0}, self.BASE)
+        assert "events_per_s" in out and "123" in out and "100,000" in out
+
+
+class TestMicrobenchesSmallScale:
+    """Tiny-sized sanity runs: every bench returns a positive rate."""
+
+    def test_event_bench_runs(self):
+        assert perfstats.bench_event_throughput(n_events=2_000, repeats=1) > 0
+
+    def test_estimator_bench_runs(self):
+        assert perfstats.bench_estimator_throughput(n_calls=2_000, repeats=1) > 0
+
+    def test_split_bench_runs_both_shapes(self):
+        assert perfstats.bench_split_throughput(n_calls=5, same_shape=True, repeats=1) > 0
+        assert perfstats.bench_split_throughput(n_calls=5, same_shape=False, repeats=1) > 0
+
+    def test_fig_slice_runs(self):
+        assert perfstats.bench_fig_slice(messages=2, repeats=1) > 0

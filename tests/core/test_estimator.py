@@ -173,3 +173,130 @@ class TestNicEstimator:
         assert est2.transfer_time(5000, TransferMode.EAGER) == pytest.approx(
             est.transfer_time(5000, TransferMode.EAGER)
         )
+
+
+def _numpy_reference(table, size):
+    """The seed implementation's numpy scalar path, kept as the oracle
+    for the pure-Python fast path (must agree bitwise)."""
+    import math
+
+    import numpy as np
+
+    sizes, times = table.sizes, table.times
+    clamped = max(size, 1.0)
+    if table._pow2:
+        i = int(math.floor(math.log2(clamped))) - table._log0 if clamped > 0 else 0
+    else:
+        i = int(np.searchsorted(sizes, clamped, side="right")) - 1
+    i = max(0, min(i, len(sizes) - 2))
+    s0, s1 = sizes[i], sizes[i + 1]
+    t0, t1 = times[i], times[i + 1]
+    t = t0 + (t1 - t0) * (size - s0) / (s1 - s0)
+    return max(0.0, float(t))
+
+
+class TestScalarFastPathEqualsNumpyPath:
+    """The pure-Python scalar path, the vectorized batch path and the
+    seed's numpy formula must agree to the last bit — the estimator sits
+    under every split decision, so any drift would shift timestamps."""
+
+    @given(
+        st.integers(min_value=2, max_value=20),  # log2 of first sample
+        st.integers(min_value=3, max_value=12),  # number of samples
+        st.lists(
+            st.floats(min_value=0.01, max_value=1e4, allow_nan=False),
+            min_size=3,
+            max_size=12,
+        ),
+        st.floats(min_value=0.0, max_value=1e8, allow_nan=False),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_pow2_grid(self, log0, n, raw_times, size):
+        n = min(n, len(raw_times))
+        times = sorted(raw_times[:n])
+        sizes = [2 ** (log0 + k) for k in range(n)]
+        t = SampleTable(sizes, times)
+        assert t._pow2
+        assert t(size) == _numpy_reference(t, size)
+        assert t(size) == float(t.batch([size])[0])
+
+    @given(
+        st.lists(
+            st.integers(min_value=1, max_value=10**8),
+            min_size=3,
+            max_size=12,
+            unique=True,
+        ),
+        st.lists(
+            st.floats(min_value=0.01, max_value=1e4, allow_nan=False),
+            min_size=12,
+            max_size=12,
+        ),
+        st.floats(min_value=0.0, max_value=2e8, allow_nan=False),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_non_pow2_grid(self, raw_sizes, raw_times, size):
+        sizes = sorted(raw_sizes)
+        times = sorted(raw_times[: len(sizes)])
+        t = SampleTable(sizes, times)
+        assert t(size) == _numpy_reference(t, size)
+        assert t(size) == float(t.batch([size])[0])
+
+    def test_batch_matches_scalar_over_a_sweep(self):
+        t = linear_table(POW2, 2.0, 100.0)
+        probe = [0, 1, 3, 4, 5, 1000, 16384, 50000]
+        batched = t.batch(probe)
+        for s, b in zip(probe, batched):
+            assert t(s) == float(b)
+
+
+class TestEstimatorImmutabilityAndMemo:
+    def make(self):
+        eager = linear_table(POW2, 1.0, 200.0)
+        dma = linear_table(POW2, 6.0, 400.0)
+        return NicEstimator("nic", eager, dma, control_oneway=2.0, eager_limit=POW2[-1])
+
+    def test_estimators_are_immutable_after_construction(self):
+        est = self.make()
+        for attr, value in [
+            ("eager_limit", 1),
+            ("control_oneway", 0.0),
+            ("name", "other"),
+            ("eager", None),
+        ]:
+            with pytest.raises(AttributeError):
+                setattr(est, attr, value)
+
+    def test_rdv_threshold_memoized_and_stable(self):
+        est = self.make()
+        first = est.rdv_threshold()
+        assert est._rdv_threshold_cache == first
+        assert est.rdv_threshold() == first  # served from the cache
+        # The cached value matches an identical fresh estimator's scan.
+        assert self.make().rdv_threshold() == first
+
+    def test_repr_does_not_rescan(self):
+        est = self.make()
+        repr(est)
+        assert est._rdv_threshold_cache is not None
+        assert repr(est) == repr(est)
+
+    def test_transfer_time_memo_exact(self):
+        est = self.make()
+        for size in (0, 1, 37, 4096, 10**6):
+            for mode in (TransferMode.EAGER, TransferMode.RENDEZVOUS):
+                table = est.eager if mode is TransferMode.EAGER else est.dma
+                assert est.transfer_time(size, mode) == table(size)
+                # second call: memo hit, same bits
+                assert est.transfer_time(size, mode) == table(size)
+
+    def test_plateau_bandwidth_memoized(self):
+        est = self.make()
+        assert est.plateau_bandwidth() == est.plateau_bandwidth()
+        assert est._plateau_cache is not None
+
+    def test_best_mode_memo_matches_fresh_estimator(self):
+        est, fresh = self.make(), self.make()
+        for size in (1, 512, 4096, POW2[-1], POW2[-1] + 1):
+            assert est.best_mode(size) is fresh.best_mode(size)
+            assert est.best_mode(size) is fresh.best_mode(size)

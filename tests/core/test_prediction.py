@@ -141,3 +141,71 @@ class TestRailPlanValidation:
         node_a, pred = rig
         plan = pred.plan(node_a.nics, 1 * MiB, RDV)
         assert plan.total == 1 * MiB
+
+
+class TestPlanCache:
+    """The split-decision cache: same-shape planning is served from the
+    cache, bit-identical to a fresh solve, and invalidation works."""
+
+    def test_hit_returns_identical_plan(self, sim, rig):
+        node_a, pred = rig
+        first = pred.plan(node_a.nics, 2 * MiB, RDV)
+        assert pred.plan_cache_misses == 1
+        second = pred.plan(node_a.nics, 2 * MiB, RDV)
+        assert pred.plan_cache_hits == 1
+        assert second.nics == first.nics
+        assert second.sizes == first.sizes
+        assert second.predicted_completion == first.predicted_completion
+        assert second.split.sizes == first.split.sizes
+        assert second.split.predicted_times == first.split.predicted_times
+        assert second.split.iterations == first.split.iterations
+
+    def test_cached_plan_matches_fresh_predictor(self, sim, rig, profiles):
+        node_a, pred = rig
+        pred.plan(node_a.nics, 1 * MiB, RDV)
+        cached = pred.plan(node_a.nics, 1 * MiB, RDV)
+        fresh = CompletionPredictor(profiles.estimators).plan(
+            node_a.nics, 1 * MiB, RDV
+        )
+        assert cached.sizes == fresh.sizes
+        assert cached.predicted_completion == fresh.predicted_completion
+
+    def test_offset_change_misses(self, sim, rig):
+        node_a, pred = rig
+        pred.plan(node_a.nics, 1 * MiB, RDV)
+        node_a.nics[0].inject_busy(300.0)
+        pred.plan(node_a.nics, 1 * MiB, RDV)
+        assert pred.plan_cache_hits == 0
+        assert pred.plan_cache_misses == 2
+
+    def test_distinct_shapes_miss(self, sim, rig):
+        node_a, pred = rig
+        pred.plan(node_a.nics, 1 * MiB, RDV)
+        pred.plan(node_a.nics, 1 * MiB + 1, RDV)
+        pred.plan(node_a.nics, 1 * MiB, EAGER)
+        pred.plan(node_a.nics, 1 * MiB, RDV, max_rails=1)
+        pred.plan(node_a.nics, 1 * MiB, RDV, fixed_cost=3.0)
+        assert pred.plan_cache_hits == 0
+        assert pred.plan_cache_misses == 5
+
+    def test_invalidate_clears(self, sim, rig):
+        node_a, pred = rig
+        pred.plan(node_a.nics, 1 * MiB, RDV)
+        pred.invalidate_plan_cache()
+        pred.plan(node_a.nics, 1 * MiB, RDV)
+        assert pred.plan_cache_hits == 0
+        assert pred.plan_cache_misses == 2
+
+    def test_offset_quantum_buckets_nearby_offsets(self, sim, profiles):
+        from repro.networks import ElanDriver, MxDriver
+
+        node_a, _ = wire_pair(sim, [MxDriver(), ElanDriver()])
+        pred = CompletionPredictor(profiles.estimators, offset_quantum=1.0)
+        pred.plan(node_a.nics, 1 * MiB, RDV)
+        node_a.nics[0].inject_busy(0.25)  # < quantum/2: same bucket
+        pred.plan(node_a.nics, 1 * MiB, RDV)
+        assert pred.plan_cache_hits == 1
+
+    def test_negative_quantum_rejected(self, profiles):
+        with pytest.raises(ConfigurationError):
+            CompletionPredictor(profiles.estimators, offset_quantum=-1.0)

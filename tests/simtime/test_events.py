@@ -93,3 +93,68 @@ class TestEventQueueCancellation:
         assert q.pop() is None
         assert q.peek_time() is None
         assert not q
+
+
+class TestPopDue:
+    def test_bound_blocks_later_events(self):
+        q = EventQueue()
+        q.push(5.0, nop)
+        assert q.pop_due(4.0) is None
+        assert len(q) == 1  # untouched
+        assert q.pop_due(5.0).time == 5.0  # event at exactly the bound is due
+
+    def test_unbounded_equals_pop(self):
+        q = EventQueue()
+        q.push(2.0, nop)
+        q.push(1.0, nop)
+        assert q.pop_due(None).time == 1.0
+        assert q.pop().time == 2.0
+
+    def test_bound_drains_cancelled_heads_without_firing_live_tail(self):
+        q = EventQueue()
+        dead = q.push(1.0, nop)
+        q.push(9.0, nop)
+        q.cancel(dead)
+        # The cancelled head is discarded even though the live head is
+        # beyond the bound...
+        assert q.pop_due(5.0) is None
+        # ...and the live event is still intact.
+        assert len(q) == 1
+        assert q.peek_time() == 9.0
+
+
+class TestDrainConsistency:
+    """peek_time and pop must account for drained-cancelled entries the
+    same way: discarded silently, never marked fired, live count kept."""
+
+    def test_peek_drain_matches_pop_drain(self):
+        q = EventQueue()
+        dead1 = q.push(1.0, nop)
+        dead2 = q.push(2.0, nop)
+        live = q.push(3.0, nop)
+        q.cancel(dead1)
+        q.cancel(dead2)
+        assert len(q) == 1
+        assert q.peek_time() == 3.0  # drains both cancelled heads
+        assert len(q) == 1  # live count untouched by the drain
+        assert not dead1.fired and not dead2.fired
+        assert q.pop() is live
+        assert len(q) == 0
+
+    def test_cancel_after_peek_drain_stays_noop(self):
+        q = EventQueue()
+        dead = q.push(1.0, nop)
+        q.push(2.0, nop)
+        q.cancel(dead)
+        q.peek_time()  # physically discards the cancelled entry
+        q.cancel(dead)  # second cancel after the drain: still a no-op
+        assert len(q) == 1
+
+    def test_pop_drain_then_peek_consistent(self):
+        q = EventQueue()
+        dead = q.push(1.0, nop)
+        live = q.push(2.0, nop)
+        q.cancel(dead)
+        assert q.pop() is live  # pop drains the cancelled head first
+        assert q.peek_time() is None
+        assert len(q) == 0

@@ -113,3 +113,38 @@ class TestDeterminism:
             return trace
 
         assert build_and_run() == build_and_run()
+
+
+class TestRunWithBound:
+    def test_event_exactly_at_until_fires(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, seen.append, "edge")
+        sim.run(until=5.0)
+        assert seen == ["edge"]
+        assert sim.now == 5.0
+
+    def test_cancelled_head_beyond_bound_not_counted(self):
+        sim = Simulator()
+        seen = []
+        dead = sim.schedule(1.0, seen.append, "dead")
+        sim.schedule(2.0, seen.append, "live")
+        sim.schedule(10.0, seen.append, "later")
+        sim.cancel(dead)
+        sim.run(until=5.0)
+        assert seen == ["live"]
+        assert sim.pending_events == 1
+        sim.run()
+        assert seen == ["live", "later"]
+
+    def test_callback_scheduling_within_window_fires_same_run(self):
+        sim = Simulator()
+        seen = []
+
+        def first():
+            sim.schedule(1.0, seen.append, "second")
+
+        sim.schedule(1.0, first)
+        sim.run(until=3.0)
+        assert seen == ["second"]
+        assert sim.now == 3.0
