@@ -2,11 +2,18 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test bench-smoke perf bench
+.PHONY: test bench-smoke perf bench check faults-demo
 
 # Tier-1 verify (the ROADMAP contract).
 test:
 	$(PYTHON) -m pytest -x -q
+
+# The pre-merge gate: tier-1 tests plus the perf smoke guard.
+check: test bench-smoke
+
+# Narrated fault-injection demo (NIC dies mid-transfer, send survives).
+faults-demo:
+	$(PYTHON) -m repro.bench.cli faults --demo
 
 # Fast kernel microbench (<30 s); fails when events/sec regresses >30%
 # versus the committed BENCH_PR1.json trajectory.

@@ -8,22 +8,39 @@ The mpi4py-flavoured entry point::
     a, b = cluster.session("node0"), cluster.session("node1")
 
     recv = b.irecv(source="node0")
-    msg = a.isend("node1", size=4 * 1024 * 1024)
+    msg = a.isend("node1", size="4M")
     cluster.run()
     print(msg.latency, "us one-way")
+
+Fault injection rides the same front door::
+
+    from repro.api import ClusterBuilder, FaultSchedule
+
+    schedule = FaultSchedule(seed=7).nic_down(
+        "node0.myri10g0", at=150.0, duration=2000.0
+    )
+    cluster = (
+        ClusterBuilder.paper_testbed()
+        .faults(schedule)
+        .resilience(timeout="200us")
+        .build()
+    )
 """
 
-from repro.api.cluster import Cluster, ClusterBuilder
+from repro.api.cluster import Cluster, ClusterBuilder, RunResult
 from repro.api.session import Session
 from repro.api.config import builder_from_config, load_cluster
 from repro.api.mpi import Communicator, MpiWorld
+from repro.faults import FaultSchedule
 
 __all__ = [
     "Cluster",
     "ClusterBuilder",
+    "RunResult",
     "Session",
     "builder_from_config",
     "load_cluster",
     "Communicator",
     "MpiWorld",
+    "FaultSchedule",
 ]

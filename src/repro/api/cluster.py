@@ -10,11 +10,13 @@ Myri-10G rail and a Quadrics rail (§IV).
 from __future__ import annotations
 
 import copy
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.core.engine import NmadEngine
 from repro.core.sampling import NetworkSampler, ProfileStore  # noqa: F401 (re-export)
 from repro.core.strategies import Strategy, make_strategy
+from repro.faults import FaultInjector, FaultSchedule, install_faults
 from repro.hardware.machine import Machine
 from repro.hardware.topology import CpuTopology
 from repro.networks.drivers.base import Driver
@@ -25,6 +27,29 @@ from repro.simtime import Simulator
 from repro.util.errors import ConfigurationError
 
 StrategySpec = Union[str, Strategy, Callable[[], Strategy]]
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """What one :meth:`Cluster.run` call accomplished.
+
+    Floats transparently to the final clock value, so code written
+    against the old ``run() -> float`` contract keeps working via
+    ``float(result)`` / format strings.
+    """
+
+    elapsed: float          #: simulated clock (µs) when the run stopped
+    events_processed: int   #: events executed during this call
+    faults_fired: int       #: fault actions injected so far (cumulative)
+
+    def __float__(self) -> float:
+        return self.elapsed
+
+    def __repr__(self) -> str:
+        return (
+            f"<RunResult t={self.elapsed:.3f}us events={self.events_processed}"
+            f" faults={self.faults_fired}>"
+        )
 
 
 def _resolve_strategy(spec: StrategySpec) -> Strategy:
@@ -54,6 +79,8 @@ class Cluster:
         self.machines = machines
         self.engines = engines
         self.profiles = profiles
+        #: armed by :func:`repro.faults.install_faults` (None = no faults)
+        self.fault_injector: Optional[FaultInjector] = None
 
     def __repr__(self) -> str:
         return f"<Cluster nodes={sorted(self.machines)}>"
@@ -71,9 +98,27 @@ class Cluster:
 
         return Session(self.engine(node))
 
-    def run(self, until: Optional[float] = None) -> float:
-        """Advance the simulation (drain, or up to ``until`` µs)."""
-        return self.sim.run(until=until)
+    def sessions(self, *nodes: str) -> Tuple["Session", ...]:
+        """Sessions for the named nodes — or every node, sorted, when
+        called with no arguments: ``s0, s1 = cluster.sessions()``."""
+        names = nodes if nodes else tuple(sorted(self.engines))
+        return tuple(self.session(name) for name in names)
+
+    def run(self, until: Optional[float] = None) -> RunResult:
+        """Advance the simulation (drain, or up to ``until`` µs).
+
+        Returns a :class:`RunResult`; ``float(result)`` is the final
+        clock value, matching the historical return.
+        """
+        before = self.sim.events_processed
+        elapsed = self.sim.run(until=until)
+        return RunResult(
+            elapsed=elapsed,
+            events_processed=self.sim.events_processed - before,
+            faults_fired=(
+                self.fault_injector.faults_fired if self.fault_injector else 0
+            ),
+        )
 
     def resample(self, sampler: Optional["NetworkSampler"] = None) -> ProfileStore:
         """Re-run the §III-C sampling pass against the cluster's *current*
@@ -113,6 +158,8 @@ class ClusterBuilder:
         self._profiles: Optional[ProfileStore] = None
         self._app_core_id = 0
         self._multicore_rx = False
+        self._faults: Optional[FaultSchedule] = None
+        self._resilience: Dict[str, Any] = {}
 
     # ------------------------------------------------------------------ #
     # configuration
@@ -209,6 +256,51 @@ class ClusterBuilder:
         self._multicore_rx = enabled
         return self
 
+    def faults(
+        self, schedule: Union[FaultSchedule, Dict[str, Any], None]
+    ) -> "ClusterBuilder":
+        """Arm a fault schedule when the cluster is built.
+
+        Accepts a :class:`~repro.faults.FaultSchedule`, its ``to_dict``
+        form (the config-file representation), or ``None`` to clear a
+        previously set schedule.
+        """
+        if schedule is None:
+            self._faults = None
+        elif isinstance(schedule, FaultSchedule):
+            self._faults = schedule
+        elif isinstance(schedule, dict):
+            self._faults = FaultSchedule.from_dict(schedule)
+        else:
+            raise ConfigurationError(
+                f"faults() wants a FaultSchedule or dict, got {schedule!r}"
+            )
+        return self
+
+    def resilience(
+        self,
+        timeout: Union[float, str, None] = None,
+        max_retries: int = 8,
+        backoff_base: Union[float, str, None] = None,
+        backoff_factor: float = 2.0,
+        backoff_max: Union[float, str, None] = None,
+    ) -> "ClusterBuilder":
+        """Configure every engine's timeout/retry behaviour.
+
+        ``timeout`` enables the per-message watchdog (``None`` keeps it
+        off — the default, and the bit-identical healthy path).  Time
+        values accept ``"200us"`` / ``"1.5ms"`` strings.  See
+        :class:`~repro.core.engine.NmadEngine` for the full contract.
+        """
+        self._resilience = {
+            "timeout": timeout,
+            "max_retries": max_retries,
+            "backoff_base": backoff_base,
+            "backoff_factor": backoff_factor,
+            "backoff_max": backoff_max,
+        }
+        return self
+
     # ------------------------------------------------------------------ #
     # build
     # ------------------------------------------------------------------ #
@@ -260,8 +352,12 @@ class ClusterBuilder:
                 estimators=profiles.estimators if profiles else None,
                 app_core_id=self._app_core_id,
                 multicore_rx=self._multicore_rx,
+                **self._resilience,
             )
-        return Cluster(self.sim, self._machines, engines, profiles)
+        cluster = Cluster(self.sim, self._machines, engines, profiles)
+        if self._faults is not None:
+            install_faults(cluster, self._faults)
+        return cluster
 
     # ------------------------------------------------------------------ #
     # canned testbeds

@@ -15,8 +15,20 @@ Downstream users describe a testbed once and rebuild it everywhere::
       ],
       "options": {"multicore_rx": true, "app_core": 0},
       "per_node_strategy": {"node1": "greedy"},
-      "sampling": {"profile_file": "profiles.json"}
+      "sampling": {"profile_file": "profiles.json"},
+      "version": 1,
+      "faults": {"seed": 7, "events": [
+        {"time": 150.0, "nic": "node0.myri10g0", "action": "down"},
+        {"time": 650.0, "nic": "node0.myri10g0", "action": "up"}
+      ]},
+      "resilience": {"timeout": "200us", "max_retries": 8}
     }
+
+``version`` is optional (defaults to 1); unknown top-level keys and
+unknown versions raise :class:`ConfigurationError` so typos never pass
+silently.  ``faults`` takes a schedule in its
+:meth:`~repro.faults.FaultSchedule.to_dict` form; ``resilience`` maps to
+:meth:`ClusterBuilder.resilience`.
 
 ``load_cluster(path_or_dict)`` returns a built :class:`Cluster`;
 ``builder_from_config`` stops one step earlier for callers that want to
@@ -31,18 +43,33 @@ from typing import Any, Dict, Union
 
 from repro.api.cluster import Cluster, ClusterBuilder
 from repro.core.sampling import ProfileStore
+from repro.faults import FaultSchedule
 from repro.hardware.topology import CpuTopology
 from repro.util.errors import ConfigurationError
 
 ConfigSource = Union[str, Path, Dict[str, Any]]
 
 _TOP_LEVEL_KEYS = {
+    "version",
     "strategy",
     "nodes",
     "rails",
     "options",
     "per_node_strategy",
     "sampling",
+    "faults",
+    "resilience",
+}
+
+#: config schema versions this loader understands
+_SUPPORTED_VERSIONS = {1}
+
+_RESILIENCE_KEYS = {
+    "timeout",
+    "max_retries",
+    "backoff_base",
+    "backoff_factor",
+    "backoff_max",
 }
 
 
@@ -65,6 +92,12 @@ def builder_from_config(source: ConfigSource) -> ClusterBuilder:
     if unknown:
         raise ConfigurationError(
             f"unknown config keys {sorted(unknown)}; known: {sorted(_TOP_LEVEL_KEYS)}"
+        )
+    version = config.get("version", 1)
+    if version not in _SUPPORTED_VERSIONS:
+        raise ConfigurationError(
+            f"unsupported config version {version!r}; "
+            f"supported: {sorted(_SUPPORTED_VERSIONS)}"
         )
     builder = ClusterBuilder(strategy=config.get("strategy", "hetero_split"))
 
@@ -120,6 +153,29 @@ def builder_from_config(source: ConfigSource) -> ClusterBuilder:
             f"'sampling' must be true, false, or {{'profile_file': ...}}; "
             f"got {sampling!r}"
         )
+
+    faults = config.get("faults")
+    if faults is not None:
+        if not isinstance(faults, dict):
+            raise ConfigurationError(
+                f"'faults' must be a schedule dict "
+                f"(FaultSchedule.to_dict form); got {faults!r}"
+            )
+        builder.faults(FaultSchedule.from_dict(faults))
+
+    resilience = config.get("resilience")
+    if resilience is not None:
+        if not isinstance(resilience, dict):
+            raise ConfigurationError(
+                f"'resilience' must be a dict; got {resilience!r}"
+            )
+        bad = set(resilience) - _RESILIENCE_KEYS
+        if bad:
+            raise ConfigurationError(
+                f"unknown resilience keys {sorted(bad)}; "
+                f"known: {sorted(_RESILIENCE_KEYS)}"
+            )
+        builder.resilience(**resilience)
     return builder
 
 

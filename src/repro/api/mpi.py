@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterator, List, Optional, Sequence
 
-from repro.api.cluster import Cluster, ClusterBuilder, StrategySpec
+from repro.api.cluster import Cluster, ClusterBuilder, RunResult, StrategySpec
 from repro.api.session import Session
 from repro.core.packets import Message, RecvHandle
 from repro.util.errors import ConfigurationError
@@ -345,5 +345,5 @@ class MpiWorld:
             for comm in self.comms
         ]
 
-    def run(self, until: Optional[float] = None) -> float:
+    def run(self, until: Optional[float] = None) -> "RunResult":
         return self.cluster.run(until=until)

@@ -32,10 +32,13 @@ class Session:
     # ------------------------------------------------------------------ #
 
     def isend(self, dest: str, size: "int | str", tag: int = 0) -> Message:
-        """Enqueue a send of ``size`` bytes (accepts ``"4K"`` notation)."""
-        from repro.util.units import parse_size
+        """Enqueue a send of ``size`` bytes (accepts ``"4K"`` notation).
 
-        return self.engine.isend(dest, parse_size(size), tag=tag)
+        Size parsing happens once, in :meth:`NmadEngine.isend` — every
+        entry point (engine, session, communicator) shares that choke
+        point.
+        """
+        return self.engine.isend(dest, size, tag=tag)
 
     def irecv(
         self, source: Optional[str] = None, tag: Optional[int] = None

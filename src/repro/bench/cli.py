@@ -7,12 +7,15 @@ Usage::
     python -m repro.bench.cli run all
     python -m repro.bench.cli sweep --sizes 64K,1M,8M --strategies hetero_split,iso_split
     python -m repro.bench.cli perf --smoke
+    python -m repro.bench.cli faults --demo
 
 ``run`` regenerates a registered paper artefact and prints its table;
 ``sweep`` is a free-form bandwidth sweep for ad-hoc exploration;
 ``perf`` times the kernel/estimator/split hot paths (``--smoke`` also
 fails when event throughput regresses >30% vs the committed
-``BENCH_PR1.json`` trajectory — see docs/performance.md).
+``BENCH_PR1.json`` trajectory — see docs/performance.md);
+``faults`` showcases the fault-injection subsystem (``--demo`` narrates
+a NIC dying mid-transfer; ``--json`` regenerates ``BENCH_PR2.json``).
 """
 
 from __future__ import annotations
@@ -72,6 +75,22 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     perf.add_argument(
         "--json", metavar="PATH", help="also dump the measured stats as JSON"
+    )
+
+    faults = sub.add_parser(
+        "faults", help="degraded-mode scenarios (fault injection)"
+    )
+    faults.add_argument(
+        "--demo",
+        action="store_true",
+        help="narrated single-message demo: NIC dies mid-transfer, the "
+        "send re-plans onto the surviving rail",
+    )
+    faults.add_argument(
+        "--json",
+        metavar="PATH",
+        help="run the DEG flapping scenario and dump the BENCH_PR2-shaped "
+        "payload as JSON",
     )
     return parser
 
@@ -184,6 +203,54 @@ def _cmd_perf(smoke: bool, json_path: Optional[str] = None) -> int:
     return 0
 
 
+def _cmd_faults(demo: bool, json_path: Optional[str] = None) -> int:
+    if not demo and not json_path:
+        print("faults: pass --demo and/or --json PATH", file=sys.stderr)
+        return 2
+    if demo:
+        _faults_demo()
+    if json_path:
+        from repro.bench.experiments import degraded
+
+        payload = degraded.collect(json_path=json_path)
+        for point in payload["points"]:
+            print(
+                f"{point['size']:>9}B  healthy {point['healthy_mbps']:8.2f} MB/s"
+                f"  flapping {point['degraded_mbps']:8.2f} MB/s"
+                f"  ({point['retained_fraction']:.0%} retained, "
+                f"{point['retries_issued']} retries)"
+            )
+        print(f"payload written to {json_path}")
+    return 0
+
+
+def _faults_demo() -> None:
+    """The acceptance scenario, narrated: a 4 MiB hetero-split send loses
+    its fast rail mid-transfer and completes on the surviving one."""
+    from repro.api import ClusterBuilder, FaultSchedule
+    from repro.trace import Timeline, explain
+
+    schedule = FaultSchedule(seed=7).nic_down(
+        "node0.myri10g0", at=150.0, duration=2000.0
+    )
+    cluster = (
+        ClusterBuilder.paper_testbed(strategy="hetero_split")
+        .faults(schedule)
+        .resilience(timeout="200us")
+        .build()
+    )
+    sender, receiver = cluster.sessions("node0", "node1")
+    receiver.irecv(source="node0")
+    msg = sender.isend("node1", "4M")
+    result = cluster.run()
+    print("scenario: 4M hetero_split send; node0.myri10g0 down t=150..2150us")
+    print(f"run: {result!r}")
+    print()
+    print(explain(msg))
+    print()
+    print(Timeline.from_cluster(cluster).to_ascii())
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code (0 ok, 2 usage error)."""
     args = _build_parser().parse_args(argv)
@@ -196,6 +263,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_sweep(args.sizes, args.strategies, args.metric, args.rails)
         if args.command == "perf":
             return _cmd_perf(args.smoke, json_path=args.json)
+        if args.command == "faults":
+            return _cmd_faults(args.demo, json_path=args.json)
     except BrokenPipeError:  # e.g. `... | head` closed the pipe; not an error
         return 0
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover

@@ -10,6 +10,7 @@ T1          §IV-A in-text 4 MiB chunk-time table
 T2          §III-D/§IV in-text micro-measurements and plateaus
 A1..A10     design-choice ablations (DESIGN.md §5)
 S1          §II-A stream-multiplexing claim (supplementary)
+DEG         degraded-mode bandwidth: one rail flapping at 50% duty
 ==========  ========================================================
 
 Every module exposes ``run(...) -> SweepResult`` (or a small dataclass
@@ -19,6 +20,7 @@ reference numbers for EXPERIMENTS.md.
 
 from repro.bench.experiments import (
     ablations,
+    degraded,
     fig1,
     fig3,
     fig4,
@@ -48,10 +50,12 @@ experiment_registry = {
     "A10": ablations.run_a10_reactivity,
     "A11": ablations.run_a11_aggregation_window,
     "S1": streams.run,
+    "DEG": degraded.run,
 }
 
 __all__ = [
     "experiment_registry",
+    "degraded",
     "fig1",
     "fig3",
     "fig4",

@@ -1,0 +1,148 @@
+"""DEG — degraded-mode throughput: one rail flapping at 50% duty.
+
+The fault subsystem's headline scenario: the §IV testbed moves a burst
+of messages while the Myri-10G rail (both endpoints) flaps down/up at a
+50% duty cycle.  The engine's watchdog + retry machinery and the
+fault-aware planner keep every message completing on the surviving
+Quadrics rail during down windows, at a bandwidth cost this experiment
+quantifies.  The committed ``BENCH_PR2.json`` pins the healthy vs
+degraded trajectory (deterministic — the schedule is seed-driven).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.runners import default_profiles
+from repro.bench.series import Series, SweepResult
+from repro.util.errors import ConfigurationError
+from repro.util.units import bytes_per_us_to_mbps
+
+#: burst of messages per measured point
+BURST = 8
+#: sweep sizes (bytes)
+SIZES = [256 * 1024, 1024 * 1024, 4 * 1024 * 1024]
+#: flapping rail — bare name: both endpoints of the Myri-10G rail
+FLAP_NIC = "myri10g0"
+#: one down+up cycle (µs); down for the first half of each period
+FLAP_PERIOD = 800.0
+FLAP_DUTY = 0.5
+FLAP_CYCLES = 200
+#: watchdog configuration for the degraded runs
+TIMEOUT = "200us"
+#: schedule seed (fixed — BENCH_PR2.json depends on it)
+SEED = 2
+
+
+def _measure_burst(
+    size: int, faulty: bool
+) -> Tuple[float, int, int, float]:
+    """Aggregate throughput of a BURST of ``size``-byte sends.
+
+    Returns (MB/s, retries issued, messages degraded, last completion µs).
+    """
+    from repro.api.cluster import ClusterBuilder
+    from repro.faults import FaultSchedule
+
+    builder = ClusterBuilder.paper_testbed(strategy="hetero_split").sampling(
+        profiles=default_profiles(("myri10g", "quadrics"))
+    )
+    if faulty:
+        schedule = FaultSchedule(seed=SEED).flapping(
+            FLAP_NIC,
+            period=FLAP_PERIOD,
+            duty=FLAP_DUTY,
+            start=FLAP_PERIOD * FLAP_DUTY,  # first window opens mid-flight
+            cycles=FLAP_CYCLES,
+        )
+        builder.faults(schedule).resilience(timeout=TIMEOUT)
+    cluster = builder.build()
+    sender, receiver = cluster.sessions("node0", "node1")
+    messages = []
+    for i in range(BURST):
+        receiver.irecv(tag=i)
+        messages.append(sender.isend("node1", size, tag=i))
+    cluster.run()
+    done = [m for m in messages if m.t_complete is not None]
+    if not done:
+        raise ConfigurationError(f"no message completed at {size}B (faulty={faulty})")
+    elapsed = max(m.t_complete for m in done) - min(m.t_post for m in messages)
+    total = sum(m.size for m in done)
+    engine = cluster.engine("node0")
+    return (
+        bytes_per_us_to_mbps(total / elapsed),
+        engine.retries_issued,
+        engine.messages_degraded,
+        max(m.t_complete for m in done),
+    )
+
+
+def run() -> SweepResult:
+    """Degraded-mode bandwidth: healthy vs Myri-10G flapping at 50% duty."""
+    healthy: List[float] = []
+    degraded: List[float] = []
+    for size in SIZES:
+        healthy.append(_measure_burst(size, faulty=False)[0])
+        degraded.append(_measure_burst(size, faulty=True)[0])
+    return SweepResult(
+        title=(
+            f"DEG: {BURST}-message burst bandwidth, healthy vs "
+            f"myri10g flapping ({FLAP_PERIOD:.0f}us period, "
+            f"{FLAP_DUTY:.0%} duty)"
+        ),
+        x_sizes=list(SIZES),
+        series=[
+            Series(label="healthy", values=healthy),
+            Series(label="flapping", values=degraded),
+        ],
+        y_label="aggregate bandwidth, MB/s",
+    )
+
+
+def collect(json_path: Optional[str] = None) -> Dict:
+    """The BENCH_PR2.json payload: per-size healthy/degraded numbers."""
+    points = []
+    for size in SIZES:
+        h_bw, _, _, _ = _measure_burst(size, faulty=False)
+        d_bw, retries, n_degraded, last_t = _measure_burst(size, faulty=True)
+        points.append(
+            {
+                "size": size,
+                "healthy_mbps": h_bw,
+                "degraded_mbps": d_bw,
+                "retained_fraction": d_bw / h_bw,
+                "retries_issued": retries,
+                "messages_degraded": n_degraded,
+                "last_completion_us": last_t,
+            }
+        )
+    payload = {
+        "schema": 1,
+        "pr": 2,
+        "description": (
+            "Degraded-mode scenario for the fault-injection PR: "
+            f"{BURST}-message bursts on the paper testbed (hetero_split) "
+            f"with the myri10g rail flapping at {FLAP_DUTY:.0%} duty "
+            f"({FLAP_PERIOD:.0f}us period, both endpoints), watchdog "
+            f"timeout {TIMEOUT}, schedule seed {SEED}.  Deterministic: "
+            "re-running 'python -m repro.bench.cli faults --json PATH' "
+            "reproduces these numbers exactly."
+        ),
+        "harness": "python -m repro.bench.cli faults --json PATH",
+        "scenario": {
+            "burst": BURST,
+            "flap_nic": FLAP_NIC,
+            "flap_period_us": FLAP_PERIOD,
+            "flap_duty": FLAP_DUTY,
+            "timeout": TIMEOUT,
+            "seed": SEED,
+        },
+        "points": points,
+    }
+    if json_path:
+        import json
+
+        with open(json_path, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return payload

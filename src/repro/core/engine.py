@@ -11,15 +11,33 @@ Measurement semantics
 last chunk.  Sender and receiver live in one simulator, so this global
 observation is exact — it replaces the clock-synchronization/ping-pong-
 halving gymnastics of real-testbed measurements.
+
+Fault awareness (see ``repro.faults`` and ``docs/faults.md``)
+-------------------------------------------------------------
+Down rails are excluded from planning; transfers aborted by a NIC-down
+event are re-planned 1:1 onto surviving rails (same offset and size, so
+receiver-side chunk accounting never changes).  With a resilience
+``timeout`` configured, a per-message watchdog detects silently lost
+packets (drop rules, deliveries into a dead NIC, stalled rendezvous
+handshakes) and retries them with bounded exponential backoff; when the
+budget runs out, the message finishes with a :class:`DegradedSend`
+outcome instead of hanging.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.estimator import NicEstimator
-from repro.core.packets import Message, MessageStatus, RecvHandle, TransferMode
+from repro.core.packets import (
+    DegradedSend,
+    Message,
+    MessageStatus,
+    RecvHandle,
+    TransferMode,
+)
 from repro.core.prediction import CompletionPredictor
 from repro.core.rendezvous import (
     make_aggregated_eager,
@@ -38,7 +56,23 @@ from repro.pioman.progress import PiomanEngine
 from repro.pioman.requests import SendRequest
 from repro.simtime import SimEvent
 from repro.threading.marcel import MarcelScheduler
-from repro.util.errors import ConfigurationError, ProtocolError
+from repro.util.errors import ConfigurationError, ProtocolError, SchedulingError
+from repro.util.units import parse_size, parse_time
+
+_TERMINAL = (MessageStatus.COMPLETE, MessageStatus.DEGRADED)
+
+
+@dataclass(frozen=True)
+class RetryRecord:
+    """One replacement transfer issued for a lost/aborted one."""
+
+    time: float
+    msg_id: int
+    kind: str
+    old_transfer: int
+    new_transfer: int
+    rail: str
+    reason: str  # "nic-down" | "timeout" | "recovery"
 
 
 class NmadEngine:
@@ -65,6 +99,18 @@ class NmadEngine:
         Forwarded to the auto-built PIOMan engine: let receive-side
         processing spill onto idle cores (the paper's future-work
         improvement; see :class:`~repro.pioman.PiomanEngine`).
+    timeout:
+        Per-message watchdog interval (µs, or a ``"500us"``/``"2ms"``
+        string).  ``None`` (default) disables timeout-based loss
+        detection entirely — healthy runs are byte-identical with or
+        without the fault subsystem compiled in.
+    max_retries:
+        Retry budget per message; exhausting it yields a
+        :class:`DegradedSend` outcome instead of a hang.
+    backoff_base / backoff_factor / backoff_max:
+        Exponential backoff of the watchdog re-check after a retry:
+        ``delay = min(backoff_max, backoff_base * backoff_factor**n)``.
+        ``backoff_base`` defaults to ``timeout``; ``backoff_max`` to 32x.
     """
 
     def __init__(
@@ -76,6 +122,11 @@ class NmadEngine:
         pioman: Optional[PiomanEngine] = None,
         marcel: Optional[MarcelScheduler] = None,
         multicore_rx: bool = False,
+        timeout: Union[float, str, None] = None,
+        max_retries: int = 8,
+        backoff_base: Union[float, str, None] = None,
+        backoff_factor: float = 2.0,
+        backoff_max: Union[float, str, None] = None,
     ) -> None:
         if not machine.nics:
             raise ConfigurationError(f"{machine.name} has no NICs")
@@ -106,13 +157,55 @@ class NmadEngine:
                 if nic not in self._routes[peer.machine.name]:
                     self._routes[peer.machine.name].append(nic)
             nic.idle_listeners.append(self.scheduler.on_nic_idle)
+            nic.down_listeners.append(self._on_nic_down)
+            nic.up_listeners.append(self._on_nic_up)
         # receive-side state
         self._posted_recvs: List[RecvHandle] = []
         self._unexpected: List[Message] = []
         self._pending_rdv: List[Tuple[Message, Nic]] = []
+        # resilience knobs (None timeout = watchdogs off)
+        self.timeout = None if timeout is None else parse_time(timeout)
+        if self.timeout is not None and self.timeout <= 0:
+            raise ConfigurationError(f"resilience timeout must be > 0: {timeout}")
+        if max_retries < 0:
+            raise ConfigurationError(f"negative max_retries: {max_retries}")
+        self.max_retries = max_retries
+        self.backoff_factor = float(backoff_factor)
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError(
+                f"backoff factor must be >= 1, got {backoff_factor}"
+            )
+        self.backoff_base = (
+            parse_time(backoff_base)
+            if backoff_base is not None
+            else (self.timeout or 0.0)
+        )
+        self.backoff_max = (
+            parse_time(backoff_max)
+            if backoff_max is not None
+            else 32.0 * (self.timeout or 0.0)
+        )
+        if self.timeout is not None:
+            # A zero backoff would re-fire the watchdog in the same
+            # instant forever; refuse outright.
+            if self.backoff_base <= 0:
+                raise ConfigurationError(
+                    f"backoff_base must be > 0 with a timeout: {backoff_base}"
+                )
+            if self.backoff_max < self.backoff_base:
+                raise ConfigurationError(
+                    f"backoff_max ({backoff_max}) below backoff_base"
+                )
+        # fault state
+        self._watchdogs: Dict[int, object] = {}  # msg_id -> ScheduledEvent
+        self._stranded: List[Transfer] = []  # lost, no up rail to retry on
+        self._stalled_rdv_data: List[Message] = []  # ACK'd, all rails down
+        self.retry_log: List[RetryRecord] = []
         # counters
         self.messages_sent = 0
         self.messages_completed = 0
+        self.messages_degraded = 0
+        self.retries_issued = 0
         self.bytes_sent = 0
 
     def __repr__(self) -> str:
@@ -125,9 +218,15 @@ class NmadEngine:
     # application layer API
     # ------------------------------------------------------------------ #
 
-    def isend(self, dest: str, size: int, tag: int = 0) -> Message:
+    def isend(self, dest: str, size: Union[int, str], tag: int = 0) -> Message:
         """Enqueue a send and return immediately (the application keeps
-        computing; the scheduler activates at the end of the instant)."""
+        computing; the scheduler activates at the end of the instant).
+
+        ``size`` accepts plain bytes or ``"4K"``-style strings — this is
+        the one size-parsing choke point; Session and Communicator just
+        forward.
+        """
+        size = parse_size(size)
         if dest not in self._routes:
             raise ConfigurationError(
                 f"no rail from {self.machine.name} to {dest!r}; reachable: "
@@ -140,6 +239,8 @@ class NmadEngine:
         self.messages_sent += 1
         self.bytes_sent += size
         self.scheduler.enqueue(msg)
+        if self.timeout is not None:
+            self._arm_watchdog(msg, 0, self.timeout, self._progress_of(msg))
         return msg
 
     def post_recv(
@@ -183,12 +284,44 @@ class NmadEngine:
             ) from None
         return True
 
-    def rails_to(self, dest: str) -> List[Nic]:
-        """Local NICs wired towards ``dest`` (strategy-facing)."""
+    def rails_to(self, dest: str, msg: Optional[Message] = None) -> List[Nic]:
+        """Local *up* NICs wired towards ``dest`` (strategy-facing).
+
+        Down rails are excluded; pass ``msg`` to record why each skipped
+        rail was avoided (surfaced by ``trace.explain``).  Raises when no
+        rail is up — callers that can wait should check :meth:`sendable`
+        first (the out-list scheduler does).
+        """
+        rails = self._routes.get(dest)
+        if not rails:
+            raise ConfigurationError(f"no rail towards {dest!r}")
+        up = [n for n in rails if n.is_up]
+        if msg is not None and len(up) < len(rails):
+            for n in rails:
+                if not n.is_up:
+                    msg.note_rail_avoided(n.qualified_name, "down", self.sim.now)
+        if not up:
+            raise SchedulingError(
+                f"all rails from {self.machine.name} towards {dest!r} are down"
+            )
+        return up
+
+    def all_rails_to(self, dest: str) -> List[Nic]:
+        """Every local NIC wired towards ``dest``, up or not."""
         rails = self._routes.get(dest)
         if not rails:
             raise ConfigurationError(f"no rail towards {dest!r}")
         return list(rails)
+
+    def sendable(self, msg: Message) -> bool:
+        """Can ``msg`` be planned right now (any up rail towards dest)?"""
+        rails = self._routes.get(msg.dest, ())
+        if any(n.is_up for n in rails):
+            return True
+        msg.note_rail_avoided(
+            "all rails", f"down towards {msg.dest}", self.sim.now
+        )
+        return False
 
     # ------------------------------------------------------------------ #
     # submission helpers (called by strategies)
@@ -294,12 +427,18 @@ class NmadEngine:
 
     def _on_rdv_req(self, transfer: Transfer, nic: Nic) -> None:
         msg: Message = transfer.payload["message"]
+        if msg.status is not MessageStatus.RDV_REQUESTED:
+            # Stale REQ: the data phase already started (a retried REQ
+            # raced its original, or the send was already given up on).
+            return
         for handle in self._posted_recvs:
             if handle.matches(msg):
                 self._send_rdv_ack(msg, nic)
                 return
         # No buffer yet: the rendezvous waits for a matching post_recv.
-        self._pending_rdv.append((msg, nic))
+        # A duplicate REQ (handshake retry) must not enqueue twice.
+        if not any(m is msg for m, _ in self._pending_rdv):
+            self._pending_rdv.append((msg, nic))
 
     def _send_rdv_ack(self, msg: Message, nic: Nic) -> None:
         ack = make_rdv_ack(msg)
@@ -314,6 +453,19 @@ class NmadEngine:
                 f"RDV_ACK for msg {msg.msg_id} arrived at {self.machine.name}, "
                 f"but the sender is {msg.src}"
             )
+        if msg.status is not MessageStatus.RDV_REQUESTED:
+            # Duplicate ACK (handshake retry) — the data phase is already
+            # planned, or the send was given up on.  One-shot it.
+            return
+        self._launch_rdv_data(msg)
+
+    def _launch_rdv_data(self, msg: Message) -> None:
+        if not self.sendable(msg):
+            # Every rail died between REQ and ACK; park the data phase
+            # until a recovery event (or let the watchdog give up).
+            if msg not in self._stalled_rdv_data:
+                self._stalled_rdv_data.append(msg)
+            return
         plan = self.strategy.plan_rdv_data(msg)
         msg.status = MessageStatus.IN_TRANSFER
         msg.expect_chunks(len(plan.nics))
@@ -329,9 +481,14 @@ class NmadEngine:
             self._complete_message(msg)
 
     def _complete_message(self, msg: Message) -> None:
+        if msg.status is MessageStatus.DEGRADED:
+            # Last chunk straggled in after the sender already gave up;
+            # the DegradedSend outcome stands (done was triggered there).
+            return
         msg.status = MessageStatus.COMPLETE
         msg.t_complete = self.sim.now
         self.messages_completed += 1
+        self._cancel_watchdog(msg)
         assert msg.done is not None
         msg.done.trigger(msg)
         for handle in self._posted_recvs:
@@ -342,6 +499,235 @@ class NmadEngine:
                 handle.done.trigger(msg)
                 return
         self._unexpected.append(msg)
+
+    # ------------------------------------------------------------------ #
+    # fault handling: rerouting, retries, watchdogs (docs/faults.md)
+    # ------------------------------------------------------------------ #
+
+    def _on_nic_down(self, nic: Nic, aborted: List[Transfer]) -> None:
+        """A local rail died; re-plan what it stranded onto survivors.
+
+        Deferred by one zero-delay event so the NIC finishes its own
+        abort bookkeeping (and every listener sees a consistent state)
+        before replacement submissions hit the event queue.
+        """
+        for t in aborted:
+            if t.src_node in ("", self.machine.name):
+                self.sim.schedule(0.0, self._resubmit_transfer, t, "nic-down")
+
+    def _on_nic_up(self, nic: Nic) -> None:
+        """A rail recovered: drain work parked while everything was down."""
+        stranded, self._stranded = self._stranded, []
+        for t in stranded:
+            if not t.retried and t.t_delivered is None:
+                self._resubmit_transfer(t, "recovery")
+        stalled, self._stalled_rdv_data = self._stalled_rdv_data, []
+        for msg in stalled:
+            if msg.status is MessageStatus.RDV_REQUESTED:
+                self._launch_rdv_data(msg)
+
+    def _resubmit_transfer(self, old: Transfer, reason: str) -> bool:
+        """Issue a 1:1 replacement for a lost transfer on a surviving rail.
+
+        Same offset, size and chunk indices, so receiver-side chunk
+        accounting is untouched.  Returns True when a replacement was
+        submitted (or none was needed), False when the transfer is now
+        parked (no up rail) or the message was degraded.
+        """
+        if old.retried or old.t_delivered is not None:
+            return True
+        msgs = self._messages_of(old)
+        primary = msgs[0]
+        if primary.status in _TERMINAL:
+            old.retried = True
+            return True
+        if primary.retries >= self.max_retries:
+            self._degrade_message(
+                primary,
+                f"retry budget ({self.max_retries}) exhausted "
+                f"resending {old.kind.value}",
+            )
+            return False
+        if old.kind is TransferKind.RDV_ACK and old.src_node != self.machine.name:
+            # The lost ACK belongs to the receiver; the sender-side remedy
+            # is to repeat the REQ — the receiver dedups and re-acks.
+            if primary.status is not MessageStatus.RDV_REQUESTED:
+                old.retried = True
+                return True
+            new = make_rdv_req(primary)
+            new.retry_of = old.transfer_id
+        else:
+            new = self._clone_transfer(old)
+        for n in self._routes.get(new.dst_node, ()):
+            if not n.is_up:
+                primary.note_rail_avoided(n.qualified_name, "down", self.sim.now)
+        nic = self._retry_rail(new)
+        if nic is None:
+            if old not in self._stranded:
+                self._stranded.append(old)
+            return False
+        old.retried = True
+        for m in msgs:
+            m.retries += 1
+            m.transfers.append(new)
+        self.retries_issued += 1
+        self.retry_log.append(
+            RetryRecord(
+                time=self.sim.now,
+                msg_id=primary.msg_id,
+                kind=new.kind.value,
+                old_transfer=old.transfer_id,
+                new_transfer=new.transfer_id,
+                rail=nic.qualified_name,
+                reason=reason,
+            )
+        )
+        nic.submit(new, self.app_core)
+        return True
+
+    @staticmethod
+    def _messages_of(transfer: Transfer) -> List[Message]:
+        msgs = transfer.payload.get("messages")
+        if msgs:
+            return list(msgs)
+        return [transfer.payload["message"]]
+
+    @staticmethod
+    def _clone_transfer(old: Transfer) -> Transfer:
+        return Transfer(
+            kind=old.kind,
+            size=old.size,
+            msg_id=old.msg_id,
+            tag=old.tag,
+            dst_node=old.dst_node,
+            chunk_index=old.chunk_index,
+            chunk_count=old.chunk_count,
+            offset=old.offset,
+            payload=dict(old.payload),
+            aggregated_ids=old.aggregated_ids,
+            retry_of=old.transfer_id,
+        )
+
+    def _retry_rail(self, transfer: Transfer) -> Optional[Nic]:
+        """Best surviving rail for a replacement transfer, or None."""
+        rails = [n for n in self._routes.get(transfer.dst_node, ()) if n.is_up]
+        if transfer.kind is TransferKind.EAGER:
+            rails = [n for n in rails if transfer.size <= n.profile.eager_limit]
+        if not rails:
+            return None
+        if self.predictor is not None:
+            mode = (
+                TransferMode.RENDEZVOUS
+                if transfer.kind is TransferKind.RDV_DATA
+                else TransferMode.EAGER
+            )
+            return min(
+                rails,
+                key=lambda n: self.predictor.predict(n, transfer.size, mode),
+            )
+        return min(rails, key=lambda n: n.busy_until)
+
+    def _degrade_message(self, msg: Message, reason: str) -> None:
+        """Give up on a send: DegradedSend outcome, ``done`` fires, no hang."""
+        if msg.status in _TERMINAL:
+            return
+        msg.status = MessageStatus.DEGRADED
+        msg.outcome = DegradedSend(
+            msg_id=msg.msg_id,
+            reason=reason,
+            retries=msg.retries,
+            bytes_received=msg.bytes_received,
+            size=msg.size,
+        )
+        self.messages_degraded += 1
+        self._cancel_watchdog(msg)
+        if msg.done is not None and not msg.done.triggered:
+            msg.done.trigger(msg)
+
+    # -- watchdog ----------------------------------------------------------
+
+    @staticmethod
+    def _progress_of(msg: Message) -> Tuple[str, int, int]:
+        return (msg.status.value, msg.chunks_received, len(msg.transfers))
+
+    def _arm_watchdog(
+        self, msg: Message, attempt: int, delay: float, last_progress
+    ) -> None:
+        self._watchdogs[msg.msg_id] = self.sim.schedule(
+            delay, self._watchdog_fire, msg, attempt, last_progress
+        )
+
+    def _cancel_watchdog(self, msg: Message) -> None:
+        ev = self._watchdogs.pop(msg.msg_id, None)
+        if ev is not None:
+            self.sim.cancel(ev)
+
+    def _backoff(self, attempt: int) -> float:
+        if attempt > 64:  # factor**attempt overflows a double long after
+            return self.backoff_max  # the ladder is pinned at the cap anyway
+        return min(
+            self.backoff_max, self.backoff_base * self.backoff_factor ** attempt
+        )
+
+    def _watchdog_fire(self, msg: Message, attempt: int, last_progress) -> None:
+        """Periodic loss check for one in-flight message.
+
+        Retries (and the exponential backoff ladder) are only consumed
+        when lost work is actually found; a message that is merely slow —
+        or legitimately waiting for its receiver — is re-checked at the
+        base interval as long as it keeps making progress.
+        """
+        self._watchdogs.pop(msg.msg_id, None)
+        if msg.status in _TERMINAL:
+            return
+        lost = [
+            t
+            for t in msg.transfers
+            if (t.aborted or t.dropped)
+            and not t.retried
+            and t.t_delivered is None
+        ]
+        progress = self._progress_of(msg)
+        if not lost:
+            if progress != last_progress:
+                self._arm_watchdog(msg, 0, self.timeout, progress)
+            elif attempt >= self.max_retries:
+                self._degrade_message(
+                    msg,
+                    f"no progress across {attempt + 1} timeout windows",
+                )
+            else:
+                self._arm_watchdog(
+                    msg, attempt + 1, self._backoff(attempt), progress
+                )
+            return
+        if msg.retries >= self.max_retries:
+            self._degrade_message(
+                msg,
+                f"retry budget ({self.max_retries}) exhausted with "
+                f"{len(lost)} transfer(s) lost",
+            )
+            return
+        reissued = False
+        for t in lost:
+            if msg.status in _TERMINAL:
+                return
+            if self._resubmit_transfer(t, "timeout"):
+                reissued = True
+        if msg.status in _TERMINAL:
+            return
+        progress = self._progress_of(msg)
+        if not reissued and progress == last_progress and attempt >= self.max_retries:
+            # Nothing could be reissued (every rail down, work stranded)
+            # and nothing else moved for the whole strike budget: stop
+            # waiting for a recovery that may never come.
+            self._degrade_message(
+                msg,
+                f"no usable rail across {attempt + 1} timeout windows "
+                f"({len(lost)} transfer(s) stranded)",
+            )
+            return
+        self._arm_watchdog(msg, attempt + 1, self._backoff(attempt), progress)
 
     # ------------------------------------------------------------------ #
 

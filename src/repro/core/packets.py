@@ -35,6 +35,28 @@ class MessageStatus(enum.Enum):
     RDV_REQUESTED = "rdv-req"    # rendezvous request in flight
     IN_TRANSFER = "in-transfer"  # chunks submitted to NICs
     COMPLETE = "complete"        # fully processed at the receiver
+    DEGRADED = "degraded"        # gave up after the retry budget ran out
+
+
+@dataclass(frozen=True)
+class DegradedSend:
+    """Terminal outcome of a send that exhausted its retry budget.
+
+    The contract (see docs/faults.md): instead of hanging, the engine
+    triggers ``msg.done`` with the message in status ``DEGRADED`` and
+    this record attached as ``msg.outcome``.  ``bytes_received`` says how
+    much of the payload made it before the engine gave up.
+    """
+
+    msg_id: int
+    reason: str
+    retries: int
+    bytes_received: int
+    size: int
+
+    @property
+    def delivered_fraction(self) -> float:
+        return self.bytes_received / self.size if self.size else 0.0
 
 
 @dataclass
@@ -63,6 +85,14 @@ class Message:
     t_post: Optional[float] = None       # isend instant
     t_complete: Optional[float] = None   # receiver done instant
 
+    # fault handling (see repro.faults and docs/faults.md)
+    #: replacement transfers issued so far for lost/aborted chunks
+    retries: int = 0
+    #: set (with status DEGRADED) when the engine gave up on this send
+    outcome: Optional[DegradedSend] = None
+    #: human-readable notes on rails the planner avoided and why
+    rail_notes: List[str] = field(default_factory=list)
+
     # how the engine transferred it (filled by strategies; read by tests)
     rails_used: List[str] = field(default_factory=list)
     chunk_sizes: List[int] = field(default_factory=list)
@@ -87,6 +117,21 @@ class Message:
         if self.t_post is None or self.t_complete is None:
             return None
         return self.t_complete - self.t_post
+
+    def note_rail_avoided(
+        self, rail: str, reason: str, now: Optional[float] = None
+    ) -> None:
+        """Record why the planner skipped a rail (read by trace.explain).
+
+        Deduplicated on (rail, reason): re-planning every activation while
+        a fault holds produces one note, stamped with its first occurrence.
+        """
+        key = f"{rail}: {reason}"
+        for existing in self.rail_notes:
+            if existing.startswith(key):
+                return
+        stamp = "" if now is None else f" (first at t={now:.2f}us)"
+        self.rail_notes.append(key + stamp)
 
     # ------------------------------------------------------------------ #
     # receiver-side accounting

@@ -14,11 +14,11 @@ import itertools
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.estimator import NicEstimator
+from repro.core.estimator import NicEstimator, SampleTable
 from repro.core.packets import TransferMode
 from repro.core.split import SplitResult, dichotomy_split, waterfill_split
 from repro.networks.nic import Nic
-from repro.util.errors import ConfigurationError, SamplingError
+from repro.util.errors import ConfigurationError, SamplingError, SchedulingError
 
 
 @dataclass
@@ -41,6 +41,49 @@ class RailPlan:
 
 #: cap on the per-predictor plan cache before it is reset wholesale
 _PLAN_CACHE_LIMIT = 8_192
+
+
+class _ScaledTable:
+    """A sampled curve stretched by a degradation factor.
+
+    A NIC running at ``bw_factor`` of its nominal bandwidth takes
+    ``1/bw_factor`` times as long per transfer, so times scale up and the
+    inverse (bytes movable within ``t``) scales the time down first.
+    """
+
+    __slots__ = ("_table", "_factor")
+
+    def __init__(self, table: SampleTable, bw_factor: float) -> None:
+        self._table = table
+        self._factor = bw_factor
+
+    def __call__(self, size: float) -> float:
+        return self._table(size) / self._factor
+
+    def inverse(self, time: float) -> float:
+        return self._table.inverse(time * self._factor)
+
+
+class _ScaledEstimator:
+    """Degradation-aware view of an immutable :class:`NicEstimator`.
+
+    The split solvers only touch ``name``, ``transfer_time`` and the
+    ``eager``/``dma`` tables, so this thin wrapper is all a degraded rail
+    needs; the wrapped estimator's memo tables keep doing the heavy
+    lifting underneath.
+    """
+
+    __slots__ = ("_est", "_factor", "name", "eager", "dma")
+
+    def __init__(self, est: NicEstimator, bw_factor: float) -> None:
+        self._est = est
+        self._factor = bw_factor
+        self.name = est.name
+        self.eager = _ScaledTable(est.eager, bw_factor)
+        self.dma = _ScaledTable(est.dma, bw_factor)
+
+    def transfer_time(self, size: int, mode: TransferMode) -> float:
+        return self._est.transfer_time(size, mode) / self._factor
 
 
 class CompletionPredictor:
@@ -74,6 +117,7 @@ class CompletionPredictor:
         self.estimators = dict(estimators)
         self.offset_quantum = offset_quantum
         self._plan_cache: Dict[tuple, tuple] = {}
+        self._scaled_cache: Dict[Tuple[str, float], _ScaledEstimator] = {}
         self.plan_cache_hits = 0
         self.plan_cache_misses = 0
 
@@ -97,6 +141,22 @@ class CompletionPredictor:
                 f"sampled: {sorted(self.estimators)}"
             ) from None
 
+    def _planning_estimator(self, nic: Nic):
+        """The estimator as planning should see it *right now*: the
+        sampled curves, stretched when the NIC is currently degraded.
+        Healthy NICs get the raw (shared, memoized) estimator so the
+        fault-free path stays bit-identical."""
+        est = self.estimator_for(nic)
+        factor = nic.bw_factor
+        if factor == 1.0:
+            return est
+        key = (nic.profile.name, factor)
+        scaled = self._scaled_cache.get(key)
+        if scaled is None or scaled._est is not est:
+            scaled = _ScaledEstimator(est, factor)
+            self._scaled_cache[key] = scaled
+        return scaled
+
     # ------------------------------------------------------------------ #
     # point predictions
     # ------------------------------------------------------------------ #
@@ -105,12 +165,21 @@ class CompletionPredictor:
         """µs until the NIC's transmit engine frees up (0 when idle)."""
         return nic.busy_until - nic.sim.now
 
+    def _rail_offset(self, nic: Nic) -> float:
+        """Busy offset plus any fault-injected delivery latency.  The
+        addition is skipped entirely on healthy rails so the fault-free
+        arithmetic stays bit-identical."""
+        off = self.busy_offset(nic)
+        extra = nic.extra_latency
+        return off if extra == 0.0 else off + extra
+
     def predict(self, nic: Nic, size: int, mode: TransferMode) -> float:
         """Predicted completion (µs from now) of a chunk on this NIC,
-        including the wait for the NIC to become idle (Fig. 2)."""
-        return self.busy_offset(nic) + self.estimator_for(nic).transfer_time(
-            size, mode
-        )
+        including the wait for the NIC to become idle (Fig. 2) and the
+        slowdown of any active degradation fault."""
+        return self._rail_offset(nic) + self._planning_estimator(
+            nic
+        ).transfer_time(size, mode)
 
     # ------------------------------------------------------------------ #
     # rail-subset selection + split (the full §II-B decision)
@@ -138,10 +207,20 @@ class CompletionPredictor:
         nics = list(nics)
         if not nics:
             raise ConfigurationError("plan over zero NICs")
+        # Safety net behind the engine's rails_to filtering: never plan
+        # bytes onto a rail that is currently down.
+        up = [n for n in nics if n.is_up]
+        if not up:
+            raise SchedulingError(
+                f"no up rail to plan over: {[n.qualified_name for n in nics]}"
+            )
+        nics = up
         limit = len(nics) if max_rails is None else max(1, min(max_rails, len(nics)))
 
         # Split-decision cache: same shape → same plan, skip the solvers.
-        offsets = tuple(self.busy_offset(n) for n in nics)
+        # Degradation factors are part of the shape — a rail at half
+        # bandwidth must not reuse plans computed while it was healthy.
+        offsets = tuple(self._rail_offset(n) for n in nics)
         cache_key = (
             tuple(n.name for n in nics),
             size,
@@ -149,6 +228,7 @@ class CompletionPredictor:
             tuple(self._quantize(off) for off in offsets),
             limit,
             fixed_cost,
+            tuple(n.bw_factor for n in nics),
         )
         cached = self._plan_cache.get(cache_key)
         if cached is not None:
@@ -170,7 +250,7 @@ class CompletionPredictor:
         self.plan_cache_misses += 1
 
         all_rails = [
-            (self.estimator_for(n), off) for n, off in zip(nics, offsets)
+            (self._planning_estimator(n), off) for n, off in zip(nics, offsets)
         ]
         best: Optional[Tuple[float, int, Tuple[int, ...], SplitResult]] = None
         for k in range(1, limit + 1):

@@ -48,14 +48,24 @@ class OptimizerScheduler:
         self.request_activation()
 
     def peek_ready(self) -> Optional[Message]:
-        return self._outlist[0] if self._outlist else None
+        """First *sendable* queued message (skips messages whose every
+        rail is down — they stay parked until a recovery event)."""
+        for msg in self._outlist:
+            if self.engine.sendable(msg):
+                return msg
+        return None
 
     def pop_ready(self) -> Optional[Message]:
-        return self._outlist.popleft() if self._outlist else None
+        for msg in self._outlist:
+            if self.engine.sendable(msg):
+                self._outlist.remove(msg)
+                return msg
+        return None
 
     def iter_ready(self) -> Iterator[Message]:
-        """Snapshot iteration (safe to :meth:`remove` while iterating)."""
-        return iter(list(self._outlist))
+        """Snapshot iteration over sendable messages (safe to
+        :meth:`remove` while iterating)."""
+        return iter([m for m in self._outlist if self.engine.sendable(m)])
 
     def remove(self, msg: Message) -> None:
         try:

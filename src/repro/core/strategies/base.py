@@ -67,9 +67,10 @@ class Strategy:
 
     # -- rail helpers -------------------------------------------------------
 
-    def rails_to(self, dest: str) -> List[Nic]:
+    def rails_to(self, dest: str, msg: Optional[Message] = None) -> List[Nic]:
+        """Up rails towards ``dest``; pass ``msg`` to record avoided rails."""
         assert self.engine is not None, "strategy not attached"
-        return self.engine.rails_to(dest)
+        return self.engine.rails_to(dest, msg)
 
     def fastest_rail(self, dest: str, size: int, mode: TransferMode) -> Nic:
         """Rail with the smallest predicted completion for this transfer.

@@ -124,7 +124,7 @@ class MulticoreSplitStrategy(HeteroSplitStrategy):
         # issuing core counts as available — it submits the first chunk.
         rails = [
             n
-            for n in self.rails_to(msg.dest)
+            for n in self.rails_to(msg.dest, msg)
             if msg.size <= n.profile.eager_limit or n.is_idle
         ]
         idle_rails = [n for n in rails if n.is_idle] or rails

@@ -36,13 +36,23 @@ class SingleRailStrategy(Strategy):
         super().__init__(rdv_threshold=rdv_threshold)
         self.rail = rail
 
-    def _rail_for(self, dest: str) -> Nic:
-        rails = self.rails_to(dest)
+    def _rail_for(self, dest: str, msg: Optional[Message] = None) -> Nic:
+        rails = self.rails_to(dest, msg)
         if self.rail is None:
             return max(rails, key=lambda n: n.profile.dma_rate)
         for nic in rails:
             if self.rail in (nic.profile.name, nic.name):
                 return nic
+        # The pinned rail exists but is down: fail over to the best
+        # surviving rail rather than wedging the send.
+        assert self.engine is not None
+        for nic in self.engine.all_rails_to(dest):
+            if self.rail in (nic.profile.name, nic.name):
+                if msg is not None:
+                    msg.note_rail_avoided(
+                        nic.qualified_name, "down (failover)", nic.sim.now
+                    )
+                return max(rails, key=lambda n: n.profile.dma_rate)
         raise ConfigurationError(
             f"no rail {self.rail!r} towards {dest}; have "
             f"{[n.name for n in rails]}"
@@ -52,7 +62,7 @@ class SingleRailStrategy(Strategy):
         assert self.engine is not None
         scheduler = self.engine.scheduler
         while (msg := scheduler.pop_ready()) is not None:
-            nic = self._rail_for(msg.dest)
+            nic = self._rail_for(msg.dest, msg)
             if msg.mode is TransferMode.RENDEZVOUS:
                 self.engine.start_rendezvous(msg, control_nic=nic)
             else:
@@ -62,7 +72,7 @@ class SingleRailStrategy(Strategy):
         from repro.core.prediction import RailPlan
         from repro.core.split import SplitResult
 
-        nic = self._rail_for(msg.dest)
+        nic = self._rail_for(msg.dest, msg)
         return RailPlan(
             nics=[nic],
             sizes=[msg.size],

@@ -49,7 +49,7 @@ class IsoSplitStrategy(_SplitBase):
         from repro.core.prediction import RailPlan
         from repro.core.split import SplitResult, equal_split
 
-        rails = self.rails_to(msg.dest)
+        rails = self.rails_to(msg.dest, msg)
         sizes = equal_split(msg.size, len(rails))
         used = [(n, s) for n, s in zip(rails, sizes) if s > 0]
         return RailPlan(
@@ -80,7 +80,7 @@ class StaticRatioStrategy(_SplitBase):
         from repro.core.prediction import RailPlan
         from repro.core.split import SplitResult, ratio_split
 
-        rails = self.rails_to(msg.dest)
+        rails = self.rails_to(msg.dest, msg)
         weights = [
             self.predictor.estimator_for(n).plateau_bandwidth() for n in rails
         ]
@@ -144,7 +144,7 @@ class HeteroSplitStrategy(_SplitBase):
         return self._blind_cache[1]
 
     def plan_rdv_data(self, msg: Message):
-        rails = self.rails_to(msg.dest)
+        rails = self.rails_to(msg.dest, msg)
         predictor = self.predictor
         if not self.use_idle_prediction:
             # Ablation: blind the planner to NIC occupancy.

@@ -1,0 +1,22 @@
+"""Deterministic fault injection for the simulated multirail engine.
+
+The paper assumes healthy rails; this package drops that assumption
+without giving up reproducibility.  A :class:`FaultSchedule` describes
+*what* breaks (NIC down/up windows, bandwidth/latency degradation,
+eager-packet loss, stalled rendezvous handshakes) and *when*; a
+:class:`FaultInjector` replays it through the ordinary event queue, so a
+faulty run is exactly as deterministic as a healthy one.
+
+See ``docs/faults.md`` for the full model, including how the engine
+re-plans stranded chunks and the ``DegradedSend`` retry contract.
+"""
+
+from repro.faults.schedule import FaultAction, FaultSchedule
+from repro.faults.injector import FaultInjector, install_faults
+
+__all__ = [
+    "FaultAction",
+    "FaultSchedule",
+    "FaultInjector",
+    "install_faults",
+]

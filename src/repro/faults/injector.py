@@ -1,0 +1,131 @@
+"""Turn a :class:`FaultSchedule` into plain simulator events.
+
+The injector is the only piece of the fault subsystem that touches the
+simulation: at :meth:`FaultInjector.arm` time it walks the schedule in
+deterministic order and books one ``schedule_at`` per action.  From then
+on faults are ordinary events interleaved with the engine's own — two
+runs of the same cluster + schedule produce bit-identical traces.
+
+Packet-loss rules get a ``random.Random`` seeded from the schedule seed
+plus the rule's identity, so loss draws are reproducible and independent
+of unrelated schedule edits.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List
+
+from repro.faults.schedule import FaultAction, FaultSchedule
+from repro.networks.nic import DropRule, Nic
+from repro.networks.transfer import TransferKind
+from repro.util.errors import ConfigurationError
+
+
+class FaultInjector:
+    """Arms one fault schedule against one set of NICs."""
+
+    def __init__(self, nics: Iterable[Nic], schedule: FaultSchedule) -> None:
+        self.schedule = schedule
+        self._by_qualified: Dict[str, Nic] = {}
+        self._by_name: Dict[str, List[Nic]] = {}
+        for nic in nics:
+            self._by_qualified[nic.qualified_name] = nic
+            self._by_name.setdefault(nic.name, []).append(nic)
+        if not self._by_qualified:
+            raise ConfigurationError("fault injector needs at least one NIC")
+        self.sim = next(iter(self._by_qualified.values())).sim
+        #: count of fault actions that have fired so far
+        self.faults_fired: int = 0
+        self._armed = False
+
+    def __repr__(self) -> str:
+        return (
+            f"<FaultInjector {len(self.schedule)} actions, "
+            f"{self.faults_fired} fired>"
+        )
+
+    # ------------------------------------------------------------------ #
+    # resolution
+    # ------------------------------------------------------------------ #
+
+    def resolve(self, name: str) -> List[Nic]:
+        """NICs a schedule entry addresses (qualified or bare name)."""
+        if name in self._by_qualified:
+            return [self._by_qualified[name]]
+        if name in self._by_name:
+            return list(self._by_name[name])
+        raise ConfigurationError(
+            f"fault schedule names unknown NIC {name!r}; "
+            f"known: {sorted(self._by_qualified)}"
+        )
+
+    # ------------------------------------------------------------------ #
+    # arming
+    # ------------------------------------------------------------------ #
+
+    def arm(self) -> "FaultInjector":
+        """Book every schedule action as a simulator event (idempotent)."""
+        if self._armed:
+            return self
+        self._armed = True
+        for index, action in enumerate(self.schedule.sorted_actions()):
+            for nic in self.resolve(action.nic):  # resolves eagerly: typos
+                # surface at arm time, not mid-run
+                self.sim.schedule_at(
+                    max(action.time, self.sim.now),
+                    self._fire,
+                    action,
+                    nic,
+                    index,
+                )
+        return self
+
+    def _fire(self, action: FaultAction, nic: Nic, index: int) -> None:
+        self.faults_fired += 1
+        if action.action == "down":
+            nic.fail()
+        elif action.action == "up":
+            nic.recover()
+        elif action.action == "degrade":
+            nic.degrade(
+                bw_factor=action.params.get("bw_factor", 1.0),
+                extra_latency=action.params.get("extra_latency", 0.0),
+            )
+        elif action.action == "restore":
+            nic.restore()
+        elif action.action == "drop_start":
+            label = action.params.get("label", "loss")
+            kinds = frozenset(
+                TransferKind(k) for k in action.params.get("kinds", ["eager"])
+            )
+            rng = random.Random(
+                f"{self.schedule.seed}:{nic.qualified_name}:{label}:{index}"
+            )
+            nic.drop_rules.append(
+                DropRule(
+                    kinds,
+                    action.params.get("probability", 1.0),
+                    rng,
+                    label=label,
+                )
+            )
+        elif action.action == "drop_stop":
+            label = action.params.get("label", "loss")
+            nic.drop_rules = [
+                r for r in nic.drop_rules if r.label != label
+            ]
+        else:  # pragma: no cover - schedule validation rejects these
+            raise ConfigurationError(f"unknown fault action {action.action!r}")
+
+
+def install_faults(cluster, schedule: FaultSchedule) -> FaultInjector:
+    """Build and arm an injector over every NIC of a built cluster."""
+    nics = [
+        nic
+        for machine in cluster.machines.values()
+        for nic in machine.nics
+    ]
+    injector = FaultInjector(nics, schedule).arm()
+    cluster.fault_injector = injector
+    return injector

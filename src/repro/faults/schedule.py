@@ -1,0 +1,277 @@
+"""Declarative fault schedules: what breaks, where, and when.
+
+A :class:`FaultSchedule` is a plain list of timestamped
+:class:`FaultAction` records plus a seed.  It never touches the
+simulator — :class:`~repro.faults.injector.FaultInjector` turns it into
+ordinary scheduled events, which is what keeps faulty runs
+bit-reproducible: the schedule is data, the injection is deterministic
+event delivery, and every random draw (packet loss) comes from an RNG
+seeded from ``(schedule.seed, rule identity)``.
+
+NIC addressing: actions name NICs either fully qualified
+(``"node0.myri10g0"``) or bare (``"myri10g0"``), in which case the
+action applies to that NIC on *every* node — convenient for killing both
+endpoints of a point-to-point rail at once.
+
+Times accept anything :func:`repro.util.units.parse_time` does
+(``"2ms"``, ``"500us"``, plain µs floats).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.util.errors import ConfigurationError
+from repro.util.units import parse_time
+
+#: actions a schedule may contain, with their recognised parameters
+_ACTIONS = {
+    "down": (),
+    "up": (),
+    "degrade": ("bw_factor", "extra_latency"),
+    "restore": (),
+    "drop_start": ("probability", "kinds", "label"),
+    "drop_stop": ("label",),
+}
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One timestamped fault transition aimed at one NIC (or NIC name)."""
+
+    time: float
+    nic: str
+    action: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ConfigurationError(f"fault scheduled in the past: {self.time}")
+        if self.action not in _ACTIONS:
+            raise ConfigurationError(
+                f"unknown fault action {self.action!r}; "
+                f"known: {sorted(_ACTIONS)}"
+            )
+        unknown = set(self.params) - set(_ACTIONS[self.action])
+        if unknown:
+            raise ConfigurationError(
+                f"fault action {self.action!r} does not take {sorted(unknown)}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "time": self.time,
+            "nic": self.nic,
+            "action": self.action,
+        }
+        if self.params:
+            out["params"] = dict(self.params)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultAction":
+        if not isinstance(data, dict):
+            raise ConfigurationError(f"fault entry must be a mapping, got {data!r}")
+        unknown = set(data) - {"time", "nic", "action", "params"}
+        if unknown:
+            raise ConfigurationError(
+                f"unknown fault entry keys: {sorted(unknown)}"
+            )
+        for key in ("time", "nic", "action"):
+            if key not in data:
+                raise ConfigurationError(f"fault entry missing {key!r}: {data!r}")
+        return cls(
+            time=parse_time(data["time"]),
+            nic=str(data["nic"]),
+            action=str(data["action"]),
+            params=dict(data.get("params", {})),
+        )
+
+
+class FaultSchedule:
+    """Builder for deterministic fault timelines.
+
+    All mutators return ``self`` for chaining::
+
+        schedule = (
+            FaultSchedule(seed=7)
+            .nic_down("node0.myri10g0", at="1ms", duration="500us")
+            .degrade("quadrics0", at=0.0, bw_factor=0.5)
+            .eager_loss("node1.myri10g0", probability=0.1, start="2ms")
+        )
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self.actions: List[FaultAction] = []
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+    def __repr__(self) -> str:
+        return f"<FaultSchedule seed={self.seed} actions={len(self.actions)}>"
+
+    def _add(self, time, nic: str, action: str, **params) -> "FaultSchedule":
+        self.actions.append(
+            FaultAction(parse_time(time), str(nic), action, params)
+        )
+        return self
+
+    # ------------------------------------------------------------------ #
+    # link up/down
+    # ------------------------------------------------------------------ #
+
+    def nic_down(self, nic: str, at, duration=None) -> "FaultSchedule":
+        """Take ``nic`` down at ``at``; back up after ``duration`` if given."""
+        start = parse_time(at)
+        self._add(start, nic, "down")
+        if duration is not None:
+            self._add(start + parse_time(duration), nic, "up")
+        return self
+
+    def nic_up(self, nic: str, at) -> "FaultSchedule":
+        return self._add(at, nic, "up")
+
+    def flapping(
+        self,
+        nic: str,
+        period,
+        duty: float = 0.5,
+        start=0.0,
+        cycles: int = 1,
+    ) -> "FaultSchedule":
+        """A flapping link: each ``period``, down for ``duty`` of it.
+
+        ``duty`` is the *down* fraction — ``duty=0.5`` means the rail is
+        dead half the time.  Expands to ``cycles`` explicit down/up pairs
+        so the resulting schedule round-trips through config files.
+        """
+        if not 0.0 < duty < 1.0:
+            raise ConfigurationError(f"flapping duty must be in (0, 1), got {duty}")
+        if cycles < 1:
+            raise ConfigurationError(f"flapping needs >= 1 cycle, got {cycles}")
+        p = parse_time(period)
+        if p <= 0:
+            raise ConfigurationError(f"flapping period must be positive, got {p}")
+        t = parse_time(start)
+        for _ in range(cycles):
+            self.nic_down(nic, at=t, duration=duty * p)
+            t += p
+        return self
+
+    # ------------------------------------------------------------------ #
+    # degradation
+    # ------------------------------------------------------------------ #
+
+    def degrade(
+        self,
+        nic: str,
+        at,
+        bw_factor: float = 1.0,
+        extra_latency=0.0,
+        duration=None,
+    ) -> "FaultSchedule":
+        """Stretch ``nic``'s timings from ``at`` (optionally for ``duration``)."""
+        start = parse_time(at)
+        self._add(
+            start,
+            nic,
+            "degrade",
+            bw_factor=float(bw_factor),
+            extra_latency=parse_time(extra_latency),
+        )
+        if duration is not None:
+            self._add(start + parse_time(duration), nic, "restore")
+        return self
+
+    def restore(self, nic: str, at) -> "FaultSchedule":
+        return self._add(at, nic, "restore")
+
+    # ------------------------------------------------------------------ #
+    # packet loss
+    # ------------------------------------------------------------------ #
+
+    def eager_loss(
+        self,
+        nic: str,
+        probability: float,
+        start=0.0,
+        stop=None,
+        label: str = "eager-loss",
+    ) -> "FaultSchedule":
+        """Drop outgoing eager packets with ``probability`` from ``start``."""
+        return self._loss(
+            nic, probability, ("eager",), start, stop, label
+        )
+
+    def rdv_stall(
+        self,
+        nic: str,
+        probability: float,
+        start=0.0,
+        stop=None,
+        label: str = "rdv-stall",
+    ) -> "FaultSchedule":
+        """Lose rendezvous control packets (stalled handshakes)."""
+        return self._loss(
+            nic, probability, ("rdv-req", "rdv-ack"), start, stop, label
+        )
+
+    def _loss(
+        self, nic: str, probability: float, kinds, start, stop, label: str
+    ) -> "FaultSchedule":
+        if not 0.0 <= probability <= 1.0:
+            raise ConfigurationError(
+                f"drop probability {probability} outside [0, 1]"
+            )
+        t0 = parse_time(start)
+        self._add(
+            t0,
+            nic,
+            "drop_start",
+            probability=float(probability),
+            kinds=list(kinds),
+            label=label,
+        )
+        if stop is not None:
+            self._add(parse_time(stop), nic, "drop_stop", label=label)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # (de)serialization — the config-file round trip
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "events": [a.to_dict() for a in self.actions],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultSchedule":
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"faults section must be a mapping, got {data!r}"
+            )
+        unknown = set(data) - {"seed", "events"}
+        if unknown:
+            raise ConfigurationError(
+                f"unknown faults keys: {sorted(unknown)}"
+            )
+        schedule = cls(seed=int(data.get("seed", 0)))
+        events = data.get("events", [])
+        if not isinstance(events, list):
+            raise ConfigurationError(
+                f"faults events must be a list, got {events!r}"
+            )
+        for entry in events:
+            schedule.actions.append(FaultAction.from_dict(entry))
+        return schedule
+
+    def sorted_actions(self) -> List[FaultAction]:
+        """Actions in firing order: by time, ties by insertion order."""
+        indexed = sorted(
+            enumerate(self.actions), key=lambda pair: (pair[1].time, pair[0])
+        )
+        return [a for _, a in indexed]

@@ -17,12 +17,19 @@ Send pipelines (see package docstring for the full timing model):
 * *rendezvous data* — the core only programs the DMA; the NIC is busy for
   ``size/dma_rate`` with no CPU involvement;
 * *control* — a tiny post on the core, negligible NIC time.
+
+Fault model (``repro.faults``): a NIC can be taken *down* (transfers
+pending on its transmit engine are aborted; deliveries addressed to it
+are dropped) and *degraded* (transmit times stretched by ``1/bw_factor``,
+``extra_latency`` added per delivery).  Deterministic drop rules model
+eager-packet loss and stalled rendezvous handshakes.  All state changes
+are plain simulator events, so faulty runs stay bit-reproducible.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, TYPE_CHECKING
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
 
 from repro.hardware.core import Core
 from repro.hardware.machine import Machine
@@ -46,6 +53,48 @@ class NicWork:
     size: int
 
 
+@dataclass
+class FaultWindow:
+    """One closed interval during which a fault held (trace-facing)."""
+
+    start: float
+    end: float
+    kind: str  # "down" or "degraded"
+
+
+class DropRule:
+    """Deterministic packet-drop rule active on one NIC.
+
+    ``kinds`` restricts which :class:`TransferKind` values the rule may
+    drop; ``probability`` draws from the rule's own seeded RNG — the
+    draws happen in event order, so two runs of the same schedule drop
+    exactly the same packets.
+    """
+
+    def __init__(
+        self,
+        kinds: frozenset,
+        probability: float,
+        rng,
+        label: str = "loss",
+    ) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ConfigurationError(f"drop probability {probability} outside [0, 1]")
+        self.kinds = kinds
+        self.probability = probability
+        self.rng = rng
+        self.label = label
+        self.drops = 0
+
+    def should_drop(self, transfer: Transfer) -> bool:
+        if transfer.kind not in self.kinds:
+            return False
+        if self.probability >= 1.0 or self.rng.random() < self.probability:
+            self.drops += 1
+            return True
+        return False
+
+
 class Nic:
     """One network interface card on one machine."""
 
@@ -64,10 +113,27 @@ class Nic:
         self.work_log: List[NicWork] = []
         self.bytes_sent: int = 0
         self.transfers_sent: int = 0
+        # -- fault/degradation state (driven by repro.faults) --
+        self._up: bool = True
+        self.bw_factor: float = 1.0
+        self.extra_latency: float = 0.0
+        self.drop_rules: List[DropRule] = []
+        self.fault_log: List[FaultWindow] = []
+        self._open_faults: Dict[str, float] = {}  # kind -> window start
+        self._pending: List[Transfer] = []  # submitted, transmit not drained
+        self.down_listeners: List[Callable[["Nic", List[Transfer]], None]] = []
+        self.up_listeners: List[Callable[["Nic"], None]] = []
+        self.transfers_aborted: int = 0
+        self.transfers_dropped: int = 0
         machine._attach_nic(self)
 
     def __repr__(self) -> str:
-        state = "idle" if self.is_idle else f"busy until {self._busy_until:.2f}"
+        if not self._up:
+            state = "DOWN"
+        elif self.is_idle:
+            state = "idle"
+        else:
+            state = f"busy until {self._busy_until:.2f}"
         return f"<Nic {self.qualified_name} ({self.profile.name}) {state}>"
 
     @property
@@ -80,12 +146,27 @@ class Nic:
 
     @property
     def is_idle(self) -> bool:
-        """No transmit in flight, nothing queued, no declared work left."""
+        """No transmit in flight, nothing queued, no declared work left.
+
+        A down NIC is never idle — greedy/idle-driven strategies must not
+        try to feed it.
+        """
         return (
-            self._tx.in_use == 0
+            self._up
+            and self._tx.in_use == 0
             and self._tx.queued == 0
             and self.sim.now >= self._busy_until
         )
+
+    @property
+    def is_up(self) -> bool:
+        """Link state: False while a scheduled NIC-down fault holds."""
+        return self._up
+
+    @property
+    def is_degraded(self) -> bool:
+        """True while a degradation fault stretches this NIC's timings."""
+        return self.bw_factor != 1.0 or self.extra_latency != 0.0
 
     @property
     def busy_until(self) -> float:
@@ -132,6 +213,98 @@ class Nic:
         self.sim.spawn(body(), name=f"{self.qualified_name}.background")
 
     # ------------------------------------------------------------------ #
+    # fault state machine (driven by repro.faults.FaultInjector)
+    # ------------------------------------------------------------------ #
+
+    def fail(self) -> List[Transfer]:
+        """Take the link down.  Idempotent while already down.
+
+        Every transfer whose transmit phase has not drained yet is
+        aborted (its ``tx_done`` fires so offloading cores unblock, its
+        ``done`` never fires) and handed to the ``down_listeners`` — the
+        engine re-plans the stranded bytes onto surviving rails.
+        """
+        if not self._up:
+            return []
+        self._up = False
+        self._open_faults["down"] = self.sim.now
+        aborted = [t for t in self._pending if t.t_tx_done is None]
+        for t in aborted:
+            t.aborted = True
+            # Unblock offloading cores immediately; the pipeline process
+            # notices the abort at its next resumption and bails.
+            if t.tx_done is not None and not t.tx_done.triggered:
+                t.tx_done.trigger(t)
+        self.transfers_aborted += len(aborted)
+        for listener in list(self.down_listeners):
+            listener(self, list(aborted))
+        return aborted
+
+    def recover(self) -> None:
+        """Bring the link back up.  Idempotent while already up."""
+        if self._up:
+            return
+        self._up = True
+        start = self._open_faults.pop("down", self.sim.now)
+        self.fault_log.append(FaultWindow(start, self.sim.now, "down"))
+        for listener in list(self.up_listeners):
+            listener(self)
+        self._maybe_notify_idle()
+
+    def degrade(self, bw_factor: float = 1.0, extra_latency: float = 0.0) -> None:
+        """Stretch this NIC's timings: transmit phases take ``1/bw_factor``
+        longer, every delivery pays ``extra_latency`` extra µs."""
+        if bw_factor <= 0.0 or bw_factor > 1.0:
+            raise ConfigurationError(
+                f"degradation bw_factor must be in (0, 1], got {bw_factor}"
+            )
+        if extra_latency < 0.0:
+            raise ConfigurationError(f"negative extra latency: {extra_latency}")
+        if not self.is_degraded:
+            self._open_faults["degraded"] = self.sim.now
+        self.bw_factor = bw_factor
+        self.extra_latency = extra_latency
+
+    def restore(self) -> None:
+        """End a degradation window (no-op when not degraded)."""
+        if not self.is_degraded:
+            return
+        self.bw_factor = 1.0
+        self.extra_latency = 0.0
+        start = self._open_faults.pop("degraded", self.sim.now)
+        self.fault_log.append(FaultWindow(start, self.sim.now, "degraded"))
+
+    def fault_windows(self, now: Optional[float] = None) -> List[FaultWindow]:
+        """Closed fault windows plus any still-open ones clipped at ``now``."""
+        now = self.sim.now if now is None else now
+        out = list(self.fault_log)
+        for kind, start in self._open_faults.items():
+            if now > start:
+                out.append(FaultWindow(start, now, kind))
+        out.sort(key=lambda w: (w.start, w.end))
+        return out
+
+    def _drop_outgoing(self, transfer: Transfer) -> bool:
+        """Evaluate the active drop rules against an outgoing transfer."""
+        for rule in self.drop_rules:
+            if rule.should_drop(transfer):
+                transfer.dropped = True
+                self.transfers_dropped += 1
+                return True
+        return False
+
+    def _abort_transfer(self, transfer: Transfer) -> None:
+        """Mark a transfer dead on this NIC and unblock its submitter."""
+        transfer.aborted = True
+        self.transfers_aborted += 1
+        if transfer.tx_done is None:
+            transfer.tx_done = SimEvent(
+                self.sim, name=f"transfer{transfer.transfer_id}.tx_done"
+            )
+        if not transfer.tx_done.triggered:
+            transfer.tx_done.trigger(transfer)
+
+    # ------------------------------------------------------------------ #
     # send pipelines
     # ------------------------------------------------------------------ #
 
@@ -164,6 +337,16 @@ class Nic:
             # engine's protocol constructors always set it).
             transfer.dst_node = self.wire.peer_of(self).machine.name
 
+        if not self._up:
+            # Submitting into a dead link aborts inline: tx_done fires so
+            # offloading cores unblock, down_listeners get the transfer so
+            # the engine can re-plan it, and done never fires here.
+            self._abort_transfer(transfer)
+            for listener in list(self.down_listeners):
+                listener(self, [transfer])
+            return transfer.done
+
+        self._pending.append(transfer)
         if transfer.kind is TransferKind.EAGER:
             if transfer.size > self.profile.eager_limit:
                 raise SchedulingError(
@@ -176,7 +359,7 @@ class Nic:
                 name=f"{self.qualified_name}.eager{transfer.transfer_id}",
             )
         elif transfer.kind is TransferKind.RDV_DATA:
-            self._declare(self.profile.rdv_nic_time(transfer.size))
+            self._declare(self._rdv_tx_time(transfer.size))
             self.sim.spawn(
                 self._rdv_pipeline(transfer, core),
                 name=f"{self.qualified_name}.rdv{transfer.transfer_id}",
@@ -194,14 +377,20 @@ class Nic:
         if transfer.kind is TransferKind.EAGER:
             return self._eager_tx_time(transfer.size)
         if transfer.kind is TransferKind.RDV_DATA:
-            return self.profile.rdv_nic_time(transfer.size)
+            return self._rdv_tx_time(transfer.size)
         return 0.0
 
     # -- pipelines ---------------------------------------------------------
 
     def _eager_tx_time(self, size: int) -> float:
         """Transmit-engine hold for an eager packet: the PIO copy window."""
-        return self.profile.pio_copy_time(size)
+        t = self.profile.pio_copy_time(size)
+        return t if self.bw_factor == 1.0 else t / self.bw_factor
+
+    def _rdv_tx_time(self, size: int) -> float:
+        """Transmit-engine hold for a rendezvous DMA chunk."""
+        t = self.profile.rdv_nic_time(size)
+        return t if self.bw_factor == 1.0 else t / self.bw_factor
 
     def _eager_pipeline(self, transfer: Transfer, core: Core):
         # Fixed acquisition order (core, then NIC) rules out deadlock; the
@@ -210,11 +399,18 @@ class Nic:
         post = self.profile.post_overhead
         copy = self._eager_tx_time(transfer.size)
         yield from core.occupy(post, label=f"post:{self.name}")
+        if transfer.aborted:
+            self._finish_aborted(transfer)
+            return
         # Declare the copy before waiting for the transmit engine so
         # strategy queries already see the core as committed to it.
         core.declare(copy)
         req = self._tx.request()
         yield req
+        if transfer.aborted:
+            self._tx.release(req)
+            self._finish_aborted(transfer)
+            return
 
         def stamp_start():
             transfer.t_cpu_start = self.sim.now
@@ -228,10 +424,17 @@ class Nic:
         yield from core.occupy(
             self.profile.rdv_send_cpu(), label=f"rdv-setup:{self.name}"
         )
+        if transfer.aborted:
+            self._finish_aborted(transfer)
+            return
         req = self._tx.request()
         yield req
+        if transfer.aborted:
+            self._tx.release(req)
+            self._finish_aborted(transfer)
+            return
         transfer.t_wire_start = self.sim.now
-        yield Timeout(self.profile.rdv_nic_time(transfer.size))
+        yield Timeout(self._rdv_tx_time(transfer.size))
         self._tx.release(req)
         self._finish_tx(transfer, start=transfer.t_wire_start)
 
@@ -239,19 +442,45 @@ class Nic:
         yield from core.occupy(
             self.profile.control_send_cpu(), label=f"ctrl:{self.name}"
         )
+        if transfer.aborted:
+            self._finish_aborted(transfer)
+            return
         transfer.t_wire_start = self.sim.now
         self._finish_tx(transfer, start=self.sim.now)
 
     def _finish_tx(self, transfer: Transfer, start: float) -> None:
         transfer.t_tx_done = self.sim.now
+        if transfer in self._pending:
+            self._pending.remove(transfer)
         self.work_log.append(
             NicWork(start, self.sim.now, transfer.kind, transfer.size)
         )
+        if transfer.aborted:
+            # The link died mid-transmit: the engine was held but the
+            # bytes never reached the wire.
+            if transfer.tx_done is not None and not transfer.tx_done.triggered:
+                transfer.tx_done.trigger(transfer)
+            self._maybe_notify_idle()
+            return
+        if self._drop_outgoing(transfer):
+            # Lossy-link fault: the packet leaves the NIC but vanishes.
+            if transfer.tx_done is not None and not transfer.tx_done.triggered:
+                transfer.tx_done.trigger(transfer)
+            self._maybe_notify_idle()
+            return
         self.bytes_sent += transfer.size
         self.transfers_sent += 1
         assert self.wire is not None
         self.wire.transmit(self, transfer)
-        if transfer.tx_done is not None:
+        if transfer.tx_done is not None and not transfer.tx_done.triggered:
+            transfer.tx_done.trigger(transfer)
+        self._maybe_notify_idle()
+
+    def _finish_aborted(self, transfer: Transfer) -> None:
+        """Drain an aborted transfer out of the pipeline bookkeeping."""
+        if transfer in self._pending:
+            self._pending.remove(transfer)
+        if transfer.tx_done is not None and not transfer.tx_done.triggered:
             transfer.tx_done.trigger(transfer)
         self._maybe_notify_idle()
 

@@ -120,7 +120,17 @@ class Switch:
         delivery = max(start + drain, sim.now + self.switch_latency)
         self._port_free[id(dst)] = delivery
         self.packets_forwarded += 1
-        sim.schedule_at(delivery, dst._on_delivery, transfer)
+        sim.schedule_at(delivery + src.extra_latency, self._deliver, dst, transfer)
+
+    @staticmethod
+    def _deliver(dst: Nic, transfer: Transfer) -> None:
+        # Up-ness is a delivery-time property: packets racing a NIC-down
+        # event lose deterministically (see Wire._deliver).
+        if not dst.is_up:
+            transfer.dropped = True
+            dst.transfers_dropped += 1
+            return
+        dst._on_delivery(transfer)
 
     def _resolve(self, src: Nic, dst_node: str) -> Nic:
         for port in self._ports:

@@ -65,6 +65,17 @@ class Transfer:
     t_complete: Optional[float] = None   # receive-side processing done
     nic_name: Optional[str] = None
 
+    # -- fault fields (see repro.faults) --
+    #: send-side NIC went down before the transmit phase drained
+    aborted: bool = False
+    #: lost in flight (drop rule on the sender, or receiver down on arrival)
+    dropped: bool = False
+    #: a replacement transfer has been issued for this one (guards against
+    #: double retries)
+    retried: bool = False
+    #: transfer_id of the lost transfer this one replaces, if any
+    retry_of: Optional[int] = None
+
     #: triggered (with this Transfer) when receive-side processing is done
     done: Optional[SimEvent] = None
     #: triggered (with this Transfer) when the send side finished its

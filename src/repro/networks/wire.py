@@ -59,7 +59,23 @@ class Wire:
         """Deliver ``transfer`` to the peer after the wire latency.
 
         Called by the sending NIC the instant its transmit phase ends; the
-        last byte lands ``wire_latency`` later.
+        last byte lands ``wire_latency`` later (plus any degradation
+        latency active on the sender).  Whether the peer is up is checked
+        at the *delivery* instant — a packet in flight toward a NIC that
+        dies before it lands is lost.
         """
         peer = self.peer_of(src)
-        src.sim.schedule(src.profile.wire_latency, peer._on_delivery, transfer)
+        src.sim.schedule(
+            src.profile.wire_latency + src.extra_latency,
+            self._deliver,
+            peer,
+            transfer,
+        )
+
+    @staticmethod
+    def _deliver(peer: "Nic", transfer: "Transfer") -> None:
+        if not peer.is_up:
+            transfer.dropped = True
+            peer.transfers_dropped += 1
+            return
+        peer._on_delivery(transfer)

@@ -43,6 +43,8 @@ class Simulator:
         self._push = self._queue.push
         self._running = False
         self._processes: int = 0  # live process count, for diagnostics
+        #: total events executed over this simulator's lifetime
+        self.events_processed: int = 0
 
     # ------------------------------------------------------------------ #
     # scheduling
@@ -108,6 +110,7 @@ class Simulator:
                 f"clock would move backwards: {self.now} -> {ev.time}"
             )
         self.now = ev.time
+        self.events_processed += 1
         ev.callback(*ev.args)
         return True
 
@@ -126,6 +129,7 @@ class Simulator:
         # event; pop_due folds them into one.
         pop_due = self._queue.pop_due
         now = self.now
+        n = 0
         try:
             while (ev := pop_due(until)) is not None:
                 t = ev.time
@@ -134,9 +138,11 @@ class Simulator:
                         f"clock would move backwards: {now} -> {t}"
                     )
                 now = self.now = t
+                n += 1
                 ev.callback(*ev.args)
         finally:
             self._running = False
+            self.events_processed += n
         if until is not None and self.now < until:
             self.now = until
         return self.now

@@ -44,6 +44,15 @@ def explain(msg: Message) -> str:
             f"posted t={msg.t_post:.2f}us, completed t={msg.t_complete:.2f}us "
             f"(latency {msg.latency:.2f}us)"
         )
+    if msg.retries:
+        lines.append(f"retries: {msg.retries}")
+    if msg.outcome is not None:
+        lines.append(
+            f"DEGRADED: {msg.outcome.reason} — delivered "
+            f"{format_size(msg.outcome.bytes_received)} of "
+            f"{format_size(msg.outcome.size)} "
+            f"({msg.outcome.delivered_fraction:.0%})"
+        )
     header = (
         f"  {'kind':<9} {'size':>7} {'rail':<18} {'submit':>9} "
         f"{'queue':>7} {'tx':>7} {'flight':>7} {'rxproc':>7}"
@@ -54,11 +63,24 @@ def explain(msg: Message) -> str:
         assert isinstance(t, Transfer)
         rail = (t.nic_name or "?").split(".")[-1]
         submit = f"{t.t_submit:9.2f}" if t.t_submit is not None else "        ?"
+        flags = []
+        if t.aborted:
+            flags.append("LOST(nic-down)")
+        elif t.dropped:
+            flags.append("LOST(dropped)")
+        if t.retry_of is not None:
+            flags.append(f"RETRY(of #{t.retry_of})")
+        flag_str = ("  " + " ".join(flags)) if flags else ""
         lines.append(
             f"  {t.kind.value:<9} {format_size(t.size):>7} {rail:<18} {submit} "
             f"{_phase(t.t_submit, t.t_wire_start):>7} "
             f"{_phase(t.t_wire_start, t.t_tx_done):>7} "
             f"{_phase(t.t_tx_done, t.t_delivered):>7} "
             f"{_phase(t.t_delivered, t.t_complete):>7}"
+            f"{flag_str}"
         )
+    if msg.rail_notes:
+        lines.append("rails avoided:")
+        for note in msg.rail_notes:
+            lines.append(f"  - {note}")
     return "\n".join(lines)

@@ -3,11 +3,15 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.hardware.machine import Machine
 from repro.util.errors import ConfigurationError
 from repro.util.units import format_time_us
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.cluster import Cluster
+    from repro.core.engine import NmadEngine
 
 
 @dataclass(frozen=True)
@@ -68,9 +72,19 @@ class Timeline:
     # ------------------------------------------------------------------ #
 
     @classmethod
-    def from_machine(cls, machine: Machine) -> "Timeline":
+    def from_machine(
+        cls, machine: Machine, engine: Optional["NmadEngine"] = None
+    ) -> "Timeline":
         """Lanes ``core<i>`` from the work logs, ``nic:<name>`` from the
-        transmit logs.  Zero-length records are dropped."""
+        transmit logs.  Zero-length records are dropped.
+
+        NICs with a fault history additionally get a ``fault:<name>``
+        lane of down/degraded windows (still-open windows are clipped at
+        the current clock).  Pass the node's ``engine`` to also get a
+        ``retry`` lane with one zero-length marker per reissued
+        transfer — faults and recovery actions then line up visually
+        against the transmit lanes they perturbed.
+        """
         tl = cls()
         for core in machine.cores:
             lane = f"core{core.core_id}"
@@ -84,6 +98,38 @@ class Timeline:
             for w in nic.work_log:
                 if w.end > w.start:
                     tl.add(lane, Interval(w.start, w.end, w.kind.value))
+            windows = nic.fault_windows(nic.sim.now)
+            if windows:
+                fault_lane = f"fault:{nic.name}"
+                tl._lanes.setdefault(fault_lane, [])
+                for fw in windows:
+                    tl.add(fault_lane, Interval(fw.start, fw.end, fw.kind))
+        if engine is not None and engine.retry_log:
+            tl._lanes.setdefault("retry", [])
+            for rec in engine.retry_log:
+                tl.add(
+                    "retry",
+                    Interval(
+                        rec.time,
+                        rec.time,
+                        f"msg{rec.msg_id} {rec.kind} {rec.reason}",
+                    ),
+                )
+        return tl
+
+    @classmethod
+    def from_cluster(cls, cluster: "Cluster") -> "Timeline":
+        """One timeline over every node, lanes prefixed ``<node>/``.
+
+        Includes each node's fault and retry lanes, so a cluster-wide
+        degraded run reads as a single Gantt chart.
+        """
+        tl = cls()
+        for name in sorted(cluster.machines):
+            machine = cluster.machines[name]
+            sub = cls.from_machine(machine, engine=cluster.engines.get(name))
+            for lane, intervals in sub._lanes.items():
+                tl._lanes[f"{name}/{lane}"] = list(intervals)
         return tl
 
     # ------------------------------------------------------------------ #

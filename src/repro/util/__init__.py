@@ -16,6 +16,7 @@ from repro.util.units import (
     MiB,
     GiB,
     parse_size,
+    parse_time,
     format_size,
     format_time_us,
     bytes_per_us_to_mbps,
@@ -39,6 +40,7 @@ __all__ = [
     "MiB",
     "GiB",
     "parse_size",
+    "parse_time",
     "format_size",
     "format_time_us",
     "bytes_per_us_to_mbps",

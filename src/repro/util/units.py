@@ -67,6 +67,44 @@ def parse_size(text: "str | int") -> int:
     return int(out)
 
 
+_TIME_SUFFIXES = {
+    "": 1.0,  # bare numbers are already µs
+    "US": 1.0,
+    "µS": 1.0,
+    "MS": 1_000.0,
+    "S": 1_000_000.0,
+}
+
+_TIME_RE = re.compile(r"^\s*([0-9]*\.?[0-9]+)\s*([A-Za-zµ]*)\s*$")
+
+
+def parse_time(text: "str | float | int") -> float:
+    """Parse a human-readable duration to µs (``"500us"``, ``"2ms"``, 1.5).
+
+    Bare numbers (int/float or digit-only strings) are taken as µs —
+    the library's native time unit — so existing float call sites keep
+    working through the same choke point.
+
+    >>> parse_time("2ms")
+    2000.0
+    >>> parse_time(37.5)
+    37.5
+    """
+    if isinstance(text, (int, float)) and not isinstance(text, bool):
+        value = float(text)
+        if value < 0:
+            raise ValueError(f"negative duration: {text}")
+        return value
+    m = _TIME_RE.match(str(text))
+    if not m:
+        raise ValueError(f"unparsable duration: {text!r}")
+    value, suffix = m.groups()
+    mult = _TIME_SUFFIXES.get(suffix.upper())
+    if mult is None:
+        raise ValueError(f"unknown time suffix {suffix!r} in {text!r}")
+    return float(value) * mult
+
+
 def format_size(nbytes: int) -> str:
     """Format a byte count the way the paper labels its axes (4K, 8M...).
 

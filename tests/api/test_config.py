@@ -129,3 +129,67 @@ class TestValidation:
         path.write_text("{nope")
         with pytest.raises(ConfigurationError, match="not valid JSON"):
             builder_from_config(str(path))
+
+    def test_unsupported_version_rejected(self):
+        with pytest.raises(ConfigurationError, match="unsupported config version"):
+            builder_from_config(paper_config(version=99))
+
+    def test_version_one_accepted(self):
+        builder_from_config(paper_config(version=1, sampling=False))
+
+
+class TestFaultsSection:
+    def schedule_dict(self):
+        from repro.faults import FaultSchedule
+
+        return FaultSchedule(seed=7).nic_down(
+            "node0.myri10g0", at=150.0, duration=2000.0
+        ).to_dict()
+
+    def test_faults_config_round_trip(self, profile_file):
+        config = paper_config(
+            sampling={"profile_file": profile_file},
+            faults=self.schedule_dict(),
+            resilience={"timeout": "200us", "max_retries": 4},
+        )
+        cluster = load_cluster(config)
+        assert cluster.fault_injector is not None
+        assert cluster.fault_injector.schedule.to_dict() == self.schedule_dict()
+        eng = cluster.engine("node0")
+        assert eng.timeout == 200.0
+        assert eng.max_retries == 4
+        # the built cluster actually survives the scheduled outage
+        a, b = cluster.sessions("node0", "node1")
+        b.irecv(source="node0")
+        msg = a.isend("node1", "4M")
+        result = cluster.run()
+        assert msg.status is MessageStatus.COMPLETE
+        assert result.faults_fired == 2
+
+    def test_faulty_config_runs_are_deterministic(self, profile_file):
+        def run_once():
+            config = paper_config(
+                sampling={"profile_file": profile_file},
+                faults=self.schedule_dict(),
+                resilience={"timeout": "200us"},
+            )
+            cluster = load_cluster(config)
+            a, b = cluster.sessions("node0", "node1")
+            b.irecv(source="node0")
+            msg = a.isend("node1", "4M")
+            result = cluster.run()
+            return msg.t_complete, result.events_processed
+
+        assert run_once() == run_once()
+
+    def test_bad_faults_section_rejected(self):
+        with pytest.raises(ConfigurationError, match="faults"):
+            builder_from_config(paper_config(faults=["not", "a", "dict"]))
+        with pytest.raises(ConfigurationError, match="unknown faults keys"):
+            builder_from_config(paper_config(faults={"surprise": 1}))
+
+    def test_bad_resilience_section_rejected(self):
+        with pytest.raises(ConfigurationError, match="resilience"):
+            builder_from_config(paper_config(resilience="fast please"))
+        with pytest.raises(ConfigurationError, match="unknown resilience keys"):
+            builder_from_config(paper_config(resilience={"retry_hard": True}))
