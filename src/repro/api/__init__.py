@@ -32,6 +32,7 @@ from repro.api.session import Session
 from repro.api.config import builder_from_config, load_cluster
 from repro.api.mpi import Communicator, MpiWorld
 from repro.faults import FaultSchedule
+from repro.obs import Observability
 
 __all__ = [
     "Cluster",
@@ -43,4 +44,5 @@ __all__ = [
     "Communicator",
     "MpiWorld",
     "FaultSchedule",
+    "Observability",
 ]

@@ -23,6 +23,7 @@ from repro.networks.drivers.base import Driver
 from repro.networks.drivers import make_driver
 from repro.networks.nic import Nic
 from repro.networks.wire import Wire
+from repro.obs import NULL_OBS, Observability
 from repro.simtime import Simulator
 from repro.util.errors import ConfigurationError
 
@@ -81,6 +82,8 @@ class Cluster:
         self.profiles = profiles
         #: armed by :func:`repro.faults.install_faults` (None = no faults)
         self.fault_injector: Optional[FaultInjector] = None
+        #: cluster-wide observability hub (NULL_OBS = disabled, the default)
+        self.obs: Observability = NULL_OBS
 
     def __repr__(self) -> str:
         return f"<Cluster nodes={sorted(self.machines)}>"
@@ -140,7 +143,45 @@ class Cluster:
         self.profiles = fresh
         for engine in self.engines.values():
             engine.predictor = CompletionPredictor(fresh.estimators)
+            engine.predictor.bind_obs(engine.obs, engine.machine.name)
         return fresh
+
+    # ------------------------------------------------------------------ #
+    # observability front-door (see docs/observability.md)
+    # ------------------------------------------------------------------ #
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """Name-sorted counters/gauges/histograms at the current instant.
+
+        Gauges (utilization, queue depths, predictor cache rates) are
+        refreshed from the live cluster before snapshotting; counters and
+        histograms accumulate as the simulation runs.
+        """
+        self.obs.sample_cluster(self)
+        return self.obs.metrics.snapshot()
+
+    def accuracy_snapshot(self) -> Dict[str, Any]:
+        """Predicted-vs-actual transfer-time statistics (see
+        :class:`repro.obs.PredictionAccuracy`)."""
+        return self.obs.accuracy.snapshot()
+
+    def accuracy_report(self) -> str:
+        """Human-readable per-rail/per-size prediction-error table."""
+        return self.obs.accuracy.report()
+
+    def chrome_trace(self) -> Dict[str, Any]:
+        """The run so far as a Chrome ``trace_event`` JSON object."""
+        from repro.obs.chrome_export import chrome_trace
+
+        return chrome_trace(self.obs.tracer)
+
+    def export_chrome_trace(self, target) -> int:
+        """Write the Chrome trace to ``target`` (path or file object);
+        returns the number of events written.  Load the file in
+        ``chrome://tracing`` or https://ui.perfetto.dev."""
+        from repro.obs.chrome_export import export_chrome_trace
+
+        return export_chrome_trace(self.obs.tracer, target)
 
 
 class ClusterBuilder:
@@ -160,6 +201,7 @@ class ClusterBuilder:
         self._multicore_rx = False
         self._faults: Optional[FaultSchedule] = None
         self._resilience: Dict[str, Any] = {}
+        self._observability: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------ #
     # configuration
@@ -301,6 +343,39 @@ class ClusterBuilder:
         }
         return self
 
+    def observability(
+        self,
+        enabled: bool = True,
+        trace: bool = True,
+        metrics: bool = True,
+        accuracy: bool = True,
+        trace_limit: Optional[int] = None,
+    ) -> "ClusterBuilder":
+        """Attach a cluster-wide :class:`repro.obs.Observability` hub.
+
+        Off by default — and the disabled path is bit-identical to a
+        build without this call (all hooks are record-only and guarded).
+        ``trace``/``metrics``/``accuracy`` toggle the three telemetry
+        planes individually; ``trace_limit`` bounds the event buffer
+        (oldest runs keep, newest drop, counted deterministically).
+        """
+        if not enabled:
+            self._observability = None
+            return self
+        spec: Dict[str, Any] = {
+            "trace": trace,
+            "metrics": metrics,
+            "accuracy": accuracy,
+        }
+        if trace_limit is not None:
+            if trace_limit < 1:
+                raise ConfigurationError(
+                    f"trace_limit must be positive, got {trace_limit}"
+                )
+            spec["trace_limit"] = trace_limit
+        self._observability = spec
+        return self
+
     # ------------------------------------------------------------------ #
     # build
     # ------------------------------------------------------------------ #
@@ -343,6 +418,11 @@ class ClusterBuilder:
             drivers += [d for _, d, _ in self._switches]
             profiles = ProfileStore.sample_drivers(drivers, sampler=self._sampler)
 
+        obs = (
+            Observability(**self._observability)
+            if self._observability is not None
+            else NULL_OBS
+        )
         engines: Dict[str, NmadEngine] = {}
         for name, machine in self._machines.items():
             spec = self._per_node_strategy.get(name, self._strategy)
@@ -352,9 +432,11 @@ class ClusterBuilder:
                 estimators=profiles.estimators if profiles else None,
                 app_core_id=self._app_core_id,
                 multicore_rx=self._multicore_rx,
+                obs=obs,
                 **self._resilience,
             )
         cluster = Cluster(self.sim, self._machines, engines, profiles)
+        cluster.obs = obs
         if self._faults is not None:
             install_faults(cluster, self._faults)
         return cluster

@@ -21,7 +21,8 @@ Downstream users describe a testbed once and rebuild it everywhere::
         {"time": 150.0, "nic": "node0.myri10g0", "action": "down"},
         {"time": 650.0, "nic": "node0.myri10g0", "action": "up"}
       ]},
-      "resilience": {"timeout": "200us", "max_retries": 8}
+      "resilience": {"timeout": "200us", "max_retries": 8},
+      "observability": {"trace": true, "metrics": true, "accuracy": true}
     }
 
 ``version`` is optional (defaults to 1); unknown top-level keys and
@@ -59,6 +60,7 @@ _TOP_LEVEL_KEYS = {
     "sampling",
     "faults",
     "resilience",
+    "observability",
 }
 
 #: config schema versions this loader understands
@@ -71,6 +73,8 @@ _RESILIENCE_KEYS = {
     "backoff_factor",
     "backoff_max",
 }
+
+_OBSERVABILITY_KEYS = {"trace", "metrics", "accuracy", "trace_limit"}
 
 
 def _load_dict(source: ConfigSource) -> Dict[str, Any]:
@@ -176,6 +180,26 @@ def builder_from_config(source: ConfigSource) -> ClusterBuilder:
                 f"known: {sorted(_RESILIENCE_KEYS)}"
             )
         builder.resilience(**resilience)
+
+    observability = config.get("observability")
+    if observability is not None:
+        if observability is True:
+            builder.observability()
+        elif observability is False:
+            builder.observability(enabled=False)
+        elif isinstance(observability, dict):
+            bad = set(observability) - _OBSERVABILITY_KEYS
+            if bad:
+                raise ConfigurationError(
+                    f"unknown observability keys {sorted(bad)}; "
+                    f"known: {sorted(_OBSERVABILITY_KEYS)}"
+                )
+            builder.observability(**observability)
+        else:
+            raise ConfigurationError(
+                f"'observability' must be true, false, or a dict of "
+                f"{sorted(_OBSERVABILITY_KEYS)}; got {observability!r}"
+            )
     return builder
 
 

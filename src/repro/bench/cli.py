@@ -8,6 +8,8 @@ Usage::
     python -m repro.bench.cli sweep --sizes 64K,1M,8M --strategies hetero_split,iso_split
     python -m repro.bench.cli perf --smoke
     python -m repro.bench.cli faults --demo
+    python -m repro.bench.cli metrics --json -
+    python -m repro.bench.cli accuracy --faults
 
 ``run`` regenerates a registered paper artefact and prints its table;
 ``sweep`` is a free-form bandwidth sweep for ad-hoc exploration;
@@ -15,7 +17,10 @@ Usage::
 fails when event throughput regresses >30% vs the committed
 ``BENCH_PR1.json`` trajectory — see docs/performance.md);
 ``faults`` showcases the fault-injection subsystem (``--demo`` narrates
-a NIC dying mid-transfer; ``--json`` regenerates ``BENCH_PR2.json``).
+a NIC dying mid-transfer; ``--json`` regenerates ``BENCH_PR2.json``);
+``metrics`` and ``accuracy`` run instrumented demo scenarios and print
+(or dump as JSON — see docs/observability.md for the schemas) the
+telemetry the ``repro.obs`` subsystem collects.
 """
 
 from __future__ import annotations
@@ -91,6 +96,39 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="run the DEG flapping scenario and dump the BENCH_PR2-shaped "
         "payload as JSON",
+    )
+
+    metrics = sub.add_parser(
+        "metrics", help="run an instrumented scenario; print its metrics"
+    )
+    metrics.add_argument(
+        "--faults",
+        action="store_true",
+        help="inject the flapping-rail schedule (retry/degradation counters)",
+    )
+    metrics.add_argument(
+        "--json",
+        metavar="PATH",
+        help="dump the metrics snapshot as JSON ('-' for stdout)",
+    )
+    metrics.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="also write the Chrome trace_event JSON (load in Perfetto)",
+    )
+
+    accuracy = sub.add_parser(
+        "accuracy", help="prediction-accuracy telemetry demo scenario"
+    )
+    accuracy.add_argument(
+        "--faults",
+        action="store_true",
+        help="degrade a rail under the predictor's feet (nonzero error)",
+    )
+    accuracy.add_argument(
+        "--json",
+        metavar="PATH",
+        help="dump the accuracy snapshot as JSON ('-' for stdout)",
     )
     return parser
 
@@ -224,6 +262,116 @@ def _cmd_faults(demo: bool, json_path: Optional[str] = None) -> int:
     return 0
 
 
+def _dump_json(payload, path: str, label: str) -> None:
+    import json
+
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if path == "-":
+        print(text)
+    else:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"{label} written to {path}")
+
+
+def _metrics_cluster(faults: bool):
+    """The canonical instrumented scenario: the paper testbed pushing a
+    size ladder both ways — with a flapping fast rail when asked."""
+    from repro.api import ClusterBuilder, FaultSchedule
+
+    builder = ClusterBuilder.paper_testbed(strategy="hetero_split")
+    builder.observability()
+    if faults:
+        schedule = FaultSchedule(seed=11).flapping(
+            "node0.myri10g0", period=400.0, duty=0.5, start=100.0, cycles=4
+        )
+        builder.faults(schedule).resilience(timeout="200us")
+    cluster = builder.build()
+    a, b = cluster.sessions("node0", "node1")
+    for size in ("4K", "64K", "1M", "4M"):
+        b.irecv(source="node0")
+        a.isend("node1", size)
+        a.irecv(source="node1")
+        b.isend("node0", size)
+    cluster.run()
+    return cluster
+
+
+def _cmd_metrics(
+    faults: bool, json_path: Optional[str], trace_path: Optional[str]
+) -> int:
+    cluster = _metrics_cluster(faults)
+    snap = cluster.metrics_snapshot()
+    print(
+        f"scenario: paper testbed, 4K..4M both ways"
+        f"{' + flapping node0.myri10g0' if faults else ''}"
+    )
+    print(f"simulated time: {cluster.sim.now:.2f}us")
+    print()
+    print("counters:")
+    for name, value in snap["counters"].items():
+        print(f"  {name:<44} {value:g}")
+    print("gauges:")
+    for name, value in snap["gauges"].items():
+        print(f"  {name:<44} {value:g}")
+    print("histograms:")
+    for name, hist in snap["histograms"].items():
+        mean = hist["total"] / hist["count"] if hist["count"] else 0.0
+        print(
+            f"  {name:<44} n={hist['count']} mean={mean:.2f} "
+            f"max={hist['max']:g}"
+        )
+    if json_path:
+        _dump_json(snap, json_path, "metrics snapshot")
+    if trace_path:
+        events = cluster.export_chrome_trace(trace_path)
+        print(f"chrome trace ({events} events) written to {trace_path}")
+    return 0
+
+
+def _accuracy_cluster(faults: bool):
+    """Two identical Myri-10G rails: chunk sizes stay on the sampling
+    grid, so fault-free prediction error is pure float noise.  With
+    ``--faults`` one rail is silently degraded at t=0 — the stale
+    estimator now mispredicts it by a reproducible margin (ablation A8's
+    premise, measured instead of eyeballed)."""
+    from repro.api import ClusterBuilder, FaultSchedule
+    from repro.hardware.topology import CpuTopology
+
+    builder = ClusterBuilder(strategy="hetero_split")
+    builder.add_node("node0", topology=CpuTopology.paper_testbed())
+    builder.add_node("node1", topology=CpuTopology.paper_testbed())
+    builder.add_rail("myri10g", "node0", "node1")
+    builder.add_rail("myri10g", "node0", "node1")
+    builder.observability()
+    if faults:
+        builder.faults(
+            FaultSchedule(seed=3).degrade(
+                "node0.myri10g0", at=0.0, bw_factor=0.5, extra_latency=2.0
+            )
+        )
+    cluster = builder.build()
+    a, b = cluster.sessions("node0", "node1")
+    for size in ("4K", "16K", "2M", "8M"):
+        b.irecv(source="node0")
+        a.isend("node1", size)
+        cluster.run()
+    return cluster
+
+
+def _cmd_accuracy(faults: bool, json_path: Optional[str]) -> int:
+    cluster = _accuracy_cluster(faults)
+    print(
+        "scenario: dual identical myri10g rails, pow2 sizes 4K/16K/2M/8M"
+        + (" + node0.myri10g0 degraded 2x at t=0" if faults else "")
+    )
+    print()
+    print(cluster.accuracy_report())
+    if json_path:
+        _dump_json(cluster.accuracy_snapshot(), json_path, "accuracy snapshot")
+    return 0
+
+
 def _faults_demo() -> None:
     """The acceptance scenario, narrated: a 4 MiB hetero-split send loses
     its fast rail mid-transfer and completes on the surviving one."""
@@ -265,6 +413,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_perf(args.smoke, json_path=args.json)
         if args.command == "faults":
             return _cmd_faults(args.demo, json_path=args.json)
+        if args.command == "metrics":
+            return _cmd_metrics(args.faults, args.json, args.trace)
+        if args.command == "accuracy":
+            return _cmd_accuracy(args.faults, args.json)
     except BrokenPipeError:  # e.g. `... | head` closed the pipe; not an error
         return 0
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover

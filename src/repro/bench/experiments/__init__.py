@@ -11,6 +11,7 @@ T2          §III-D/§IV in-text micro-measurements and plateaus
 A1..A10     design-choice ablations (DESIGN.md §5)
 S1          §II-A stream-multiplexing claim (supplementary)
 DEG         degraded-mode bandwidth: one rail flapping at 50% duty
+OBS         observability overhead: hooks off vs fully enabled
 ==========  ========================================================
 
 Every module exposes ``run(...) -> SweepResult`` (or a small dataclass
@@ -26,6 +27,7 @@ from repro.bench.experiments import (
     fig4,
     fig8,
     fig9,
+    obs_overhead,
     streams,
     text_tables,
 )
@@ -51,11 +53,13 @@ experiment_registry = {
     "A11": ablations.run_a11_aggregation_window,
     "S1": streams.run,
     "DEG": degraded.run,
+    "OBS": obs_overhead.run,
 }
 
 __all__ = [
     "experiment_registry",
     "degraded",
+    "obs_overhead",
     "fig1",
     "fig3",
     "fig4",

@@ -52,6 +52,7 @@ from repro.hardware.core import Core
 from repro.hardware.machine import Machine
 from repro.networks.nic import Nic
 from repro.networks.transfer import Transfer, TransferKind
+from repro.obs import NULL_OBS, Observability
 from repro.pioman.progress import PiomanEngine
 from repro.pioman.requests import SendRequest
 from repro.simtime import SimEvent
@@ -111,6 +112,10 @@ class NmadEngine:
         Exponential backoff of the watchdog re-check after a retry:
         ``delay = min(backoff_max, backoff_base * backoff_factor**n)``.
         ``backoff_base`` defaults to ``timeout``; ``backoff_max`` to 32x.
+    obs:
+        Shared :class:`~repro.obs.Observability` bundle (tracer, metrics,
+        accuracy telemetry).  ``None`` (default) uses the no-op singleton
+        — every hook site then costs a single attribute read.
     """
 
     def __init__(
@@ -127,6 +132,7 @@ class NmadEngine:
         backoff_base: Union[float, str, None] = None,
         backoff_factor: float = 2.0,
         backoff_max: Union[float, str, None] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         if not machine.nics:
             raise ConfigurationError(f"{machine.name} has no NICs")
@@ -136,6 +142,9 @@ class NmadEngine:
         self.machine = machine
         self.sim = machine.sim
         self.app_core: Core = machine.cores[app_core_id]
+        #: shared observability bundle (the null singleton when off);
+        #: installed onto this node's PIOMan engine and NICs below
+        self.obs = obs if obs is not None else NULL_OBS
         self.marcel = marcel or MarcelScheduler(machine)
         self.pioman = pioman or PiomanEngine(
             machine,
@@ -145,9 +154,12 @@ class NmadEngine:
         )
         self.pioman.bind()
         self.pioman.rx_dispatch = self._on_transfer
+        self.pioman.obs = self.obs
         self.predictor = (
             CompletionPredictor(estimators) if estimators else None
         )
+        if self.predictor is not None:
+            self.predictor.bind_obs(self.obs, machine.name)
         self.scheduler = OptimizerScheduler(self)
         self.strategy = strategy
         strategy.attach(self)
@@ -159,6 +171,7 @@ class NmadEngine:
             nic.idle_listeners.append(self.scheduler.on_nic_idle)
             nic.down_listeners.append(self._on_nic_down)
             nic.up_listeners.append(self._on_nic_up)
+            nic.obs = self.obs
         # receive-side state
         self._posted_recvs: List[RecvHandle] = []
         self._unexpected: List[Message] = []
@@ -238,6 +251,20 @@ class NmadEngine:
         msg.mode = self.strategy.choose_mode(msg)
         self.messages_sent += 1
         self.bytes_sent += size
+        obs = self.obs
+        if obs.on:
+            node = self.machine.name
+            obs.metrics.counter(f"engine.{node}.messages_sent").inc()
+            obs.metrics.counter(f"engine.{node}.bytes_sent").inc(size)
+            if obs.tracer.enabled:
+                obs.tracer.async_begin(
+                    node, "messages", f"msg{msg.msg_id}", msg.msg_id,
+                    self.sim.now, cat="message",
+                    args={
+                        "dest": dest, "size": size, "tag": tag,
+                        "mode": msg.mode.value,
+                    },
+                )
         self.scheduler.enqueue(msg)
         if self.timeout is not None:
             self._arm_watchdog(msg, 0, self.timeout, self._progress_of(msg))
@@ -327,6 +354,29 @@ class NmadEngine:
     # submission helpers (called by strategies)
     # ------------------------------------------------------------------ #
 
+    def _predict_chunk(self, transfer: Transfer, nic: Nic) -> None:
+        """Stamp accuracy-telemetry predictions on an outgoing data chunk.
+
+        Only called when observability is on and a predictor exists.
+        Purely passive: the estimator lookups are memoized value lookups
+        that change no planning state, so simulated timestamps are
+        unmoved with or without the stamps.
+        """
+        if transfer.kind.is_control:
+            return
+        mode = (
+            TransferMode.RENDEZVOUS
+            if transfer.kind is TransferKind.RDV_DATA
+            else TransferMode.EAGER
+        )
+        predictor = self.predictor
+        transfer.predicted_time = predictor.planning_transfer_time(
+            nic, transfer.size, mode
+        )
+        transfer.predicted_completion = self.sim.now + predictor.predict(
+            nic, transfer.size, mode
+        )
+
     def submit_eager_chunks(
         self,
         msg: Message,
@@ -349,6 +399,9 @@ class NmadEngine:
         msg.rails_used = [nic.qualified_name for nic, _ in chunks]
         msg.chunk_sizes = list(sizes)
         msg.transfers.extend(transfers)
+        if self.obs.on and self.predictor is not None:
+            for t, (nic, _) in zip(transfers, chunks):
+                self._predict_chunk(t, nic)
         if offload and len(chunks) > 1:
             requests = [
                 SendRequest(transfer=t, nic=nic)
@@ -388,6 +441,8 @@ class NmadEngine:
             self.app_core.run(agg_cost, label="aggregate")
         for m in msgs:
             m.transfers.append(packet)
+        if self.obs.on and self.predictor is not None:
+            self._predict_chunk(packet, nic)
         nic.submit(packet, self.app_core)
 
     def start_rendezvous(self, msg: Message, control_nic: Nic) -> None:
@@ -404,6 +459,8 @@ class NmadEngine:
     # ------------------------------------------------------------------ #
 
     def _on_transfer(self, transfer: Transfer, nic: Nic) -> None:
+        if self.obs.on:
+            self._observe_arrival(transfer, nic)
         if transfer.kind is TransferKind.EAGER:
             self._on_eager(transfer)
         elif transfer.kind is TransferKind.RDV_REQ:
@@ -414,6 +471,61 @@ class NmadEngine:
             self._on_rdv_data(transfer)
         else:  # pragma: no cover - exhaustive over TransferKind
             raise ProtocolError(f"unknown transfer kind {transfer.kind}")
+
+    def _observe_arrival(self, transfer: Transfer, nic: Nic) -> None:
+        """Record one fully-processed transfer (receiver side, purely
+        passive): lifecycle span, counters, prediction-accuracy pairing.
+
+        ``t_complete`` is already stamped (PIOMan's ``_rx_done`` runs
+        before the dispatch), so the whole submit→complete interval is
+        known here.
+        """
+        obs = self.obs
+        src = transfer.src_node or "?"
+        rail = transfer.nic_name or nic.qualified_name
+        tr = obs.tracer
+        if (
+            tr.enabled
+            and transfer.t_submit is not None
+            and transfer.t_complete is not None
+        ):
+            # Emit the id-matched pair in one go; the exporter re-sorts
+            # by timestamp, so recording both at arrival time is safe.
+            lane = f"rail:{rail.split('.')[-1]}"
+            span_args = {
+                "msg": transfer.msg_id,
+                "size": transfer.size,
+                "rail": rail,
+                "chunk": f"{transfer.chunk_index + 1}/{transfer.chunk_count}",
+            }
+            tr.async_begin(
+                src, lane, transfer.kind.value, transfer.transfer_id,
+                transfer.t_submit, cat="transfer", args=span_args,
+            )
+            tr.async_end(
+                src, lane, transfer.kind.value, transfer.transfer_id,
+                transfer.t_complete, cat="transfer",
+            )
+        acc = obs.accuracy
+        if (
+            acc.enabled
+            and transfer.predicted_time is not None
+            and transfer.t_complete is not None
+        ):
+            start = (
+                transfer.t_service_start
+                if transfer.t_service_start is not None
+                else transfer.t_submit
+            )
+            acc.record(
+                rail=rail,
+                mode=transfer.kind.value,
+                size=transfer.size,
+                predicted=transfer.predicted_time,
+                actual=transfer.t_complete - start,
+                predicted_completion=transfer.predicted_completion,
+                actual_completion=transfer.t_complete,
+            )
 
     def _on_eager(self, transfer: Transfer) -> None:
         if transfer.aggregated_ids:
@@ -471,8 +583,11 @@ class NmadEngine:
         msg.expect_chunks(len(plan.nics))
         msg.rails_used = [n.qualified_name for n in plan.nics]
         msg.chunk_sizes = list(plan.sizes)
+        stamp = self.obs.on and self.predictor is not None
         for t, nic in zip(make_rdv_chunks(msg, plan.sizes), plan.nics):
             msg.transfers.append(t)
+            if stamp:
+                self._predict_chunk(t, nic)
             nic.submit(t, self.app_core)
 
     def _on_rdv_data(self, transfer: Transfer) -> None:
@@ -488,6 +603,21 @@ class NmadEngine:
         msg.status = MessageStatus.COMPLETE
         msg.t_complete = self.sim.now
         self.messages_completed += 1
+        obs = self.obs
+        if obs.on:
+            # Account completions on the *sender's* lane so the series
+            # lines up with its messages_sent (this runs receiver-side).
+            obs.metrics.counter(f"engine.{msg.src}.messages_completed").inc()
+            if msg.t_post is not None:
+                obs.metrics.histogram(
+                    f"engine.{msg.src}.message_latency_us"
+                ).observe(self.sim.now - msg.t_post)
+            if obs.tracer.enabled:
+                obs.tracer.async_end(
+                    msg.src, "messages", f"msg{msg.msg_id}", msg.msg_id,
+                    self.sim.now, cat="message",
+                    args={"retries": msg.retries},
+                )
         self._cancel_watchdog(msg)
         assert msg.done is not None
         msg.done.trigger(msg)
@@ -582,6 +712,25 @@ class NmadEngine:
                 reason=reason,
             )
         )
+        obs = self.obs
+        if obs.on:
+            node = self.machine.name
+            obs.metrics.counter(f"engine.{node}.retries_issued").inc()
+            obs.metrics.counter(f"engine.{node}.retries_{reason}").inc()
+            if obs.tracer.enabled:
+                obs.tracer.instant(
+                    node, "faults", "retry", self.sim.now, cat="fault",
+                    args={
+                        "msg": primary.msg_id,
+                        "kind": new.kind.value,
+                        "old_transfer": old.transfer_id,
+                        "new_transfer": new.transfer_id,
+                        "rail": nic.qualified_name,
+                        "reason": reason,
+                    },
+                )
+            if self.predictor is not None:
+                self._predict_chunk(new, nic)
         nic.submit(new, self.app_core)
         return True
 
@@ -640,6 +789,27 @@ class NmadEngine:
             size=msg.size,
         )
         self.messages_degraded += 1
+        obs = self.obs
+        if obs.on:
+            node = self.machine.name
+            obs.metrics.counter(f"engine.{node}.messages_degraded").inc()
+            if obs.tracer.enabled:
+                obs.tracer.instant(
+                    node, "faults", "degraded", self.sim.now, cat="fault",
+                    args={
+                        "msg": msg.msg_id,
+                        "reason": reason,
+                        "retries": msg.retries,
+                        "bytes_received": msg.bytes_received,
+                    },
+                )
+                # Close the message's async span so the trace validates
+                # even when a send is given up on.
+                obs.tracer.async_end(
+                    msg.src, "messages", f"msg{msg.msg_id}", msg.msg_id,
+                    self.sim.now, cat="message",
+                    args={"degraded": True},
+                )
         self._cancel_watchdog(msg)
         if msg.done is not None and not msg.done.triggered:
             msg.done.trigger(msg)

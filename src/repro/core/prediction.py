@@ -120,6 +120,16 @@ class CompletionPredictor:
         self._scaled_cache: Dict[Tuple[str, float], _ScaledEstimator] = {}
         self.plan_cache_hits = 0
         self.plan_cache_misses = 0
+        # observability (bound by the owning engine; None = untraced)
+        self._obs = None
+        self._obs_node = ""
+
+    def bind_obs(self, obs, node: str) -> None:
+        """Attach an :class:`~repro.obs.Observability` bundle; plan
+        decisions are then traced under ``node``'s lanes.  Re-bound by
+        ``Cluster.resample`` when fresh estimators swap the predictor."""
+        self._obs = obs
+        self._obs_node = node
 
     def invalidate_plan_cache(self) -> None:
         """Drop every cached split decision (hit/miss counters survive)."""
@@ -181,6 +191,14 @@ class CompletionPredictor:
             nic
         ).transfer_time(size, mode)
 
+    def planning_transfer_time(
+        self, nic: Nic, size: int, mode: TransferMode
+    ) -> float:
+        """Pure service-time prediction for one chunk (no busy offset,
+        no fault latency) — the quantity the accuracy telemetry pairs
+        with the chunk's measured pipeline time."""
+        return self._planning_estimator(nic).transfer_time(size, mode)
+
     # ------------------------------------------------------------------ #
     # rail-subset selection + split (the full §II-B decision)
     # ------------------------------------------------------------------ #
@@ -241,12 +259,17 @@ class CompletionPredictor:
             )
             subset = [nics[i] for i in subset_idx]
             used = [(n, s) for n, s in zip(subset, split.sizes) if s > 0]
-            return RailPlan(
+            plan = RailPlan(
                 nics=[n for n, _ in used],
                 sizes=[s for _, s in used],
                 predicted_completion=completion,
                 split=split,
             )
+            if self._obs is not None and self._obs.on:
+                self._trace_plan(
+                    nics, offsets, size, mode, plan, iterations, cached=True
+                )
+            return plan
         self.plan_cache_misses += 1
 
         all_rails = [
@@ -287,9 +310,67 @@ class CompletionPredictor:
         )
         subset = [nics[i] for i in subset_idx]
         used = [(n, s) for n, s in zip(subset, split.sizes) if s > 0]
-        return RailPlan(
+        plan = RailPlan(
             nics=[n for n, _ in used],
             sizes=[s for _, s in used],
             predicted_completion=completion,
             split=split,
+        )
+        if self._obs is not None and self._obs.on:
+            self._trace_plan(
+                nics, offsets, size, mode, plan, split.iterations, cached=False
+            )
+        return plan
+
+    def _trace_plan(
+        self,
+        considered: Sequence[Nic],
+        offsets: Sequence[float],
+        size: int,
+        mode: TransferMode,
+        plan: RailPlan,
+        iterations: int,
+        cached: bool,
+    ) -> None:
+        """Record one §II-B decision: rails considered, rails discarded
+        (the Fig. 2 path), split ratio, dichotomy iterations."""
+        from repro.obs.metrics import DEFAULT_DEPTH_BUCKETS
+
+        obs = self._obs
+        node = self._obs_node
+        obs.metrics.counter(f"predictor.{node}.plans").inc()
+        obs.metrics.counter(
+            f"predictor.{node}.plan_cache_{'hits' if cached else 'misses'}"
+        ).inc()
+        obs.metrics.histogram(
+            f"predictor.{node}.rails_per_plan", bounds=DEFAULT_DEPTH_BUCKETS
+        ).observe(len(plan.nics))
+        tr = obs.tracer
+        if not tr.enabled:
+            return
+        chosen = {n.qualified_name for n in plan.nics}
+        discarded = [
+            {
+                "rail": n.qualified_name,
+                "busy_offset_us": off,
+                # The Fig. 2 rule: the chosen subset is predicted to
+                # finish before this rail would help.
+                "reason": "predicted-slower",
+            }
+            for n, off in zip(considered, offsets)
+            if n.qualified_name not in chosen
+        ]
+        tr.instant(
+            node, "planner", "plan", considered[0].sim.now, cat="decision",
+            args={
+                "size": size,
+                "mode": mode.value,
+                "considered": [n.qualified_name for n in considered],
+                "busy_offsets_us": list(offsets),
+                "chosen": sorted(chosen),
+                "chunk_sizes": list(plan.sizes),
+                "iterations": iterations,
+                "predicted_completion_us": plan.predicted_completion,
+                "cache": "hit" if cached else "miss",
+            },
         )

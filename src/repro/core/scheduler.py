@@ -101,6 +101,16 @@ class OptimizerScheduler:
         self._in_activation = True
         try:
             self.activations += 1
+            obs = self.engine.obs
+            if obs.on:
+                from repro.obs.metrics import DEFAULT_DEPTH_BUCKETS
+
+                node = self.engine.machine.name
+                obs.metrics.counter(f"scheduler.{node}.activations").inc()
+                obs.metrics.histogram(
+                    f"scheduler.{node}.outlist_depth",
+                    bounds=DEFAULT_DEPTH_BUCKETS,
+                ).observe(len(self._outlist))
             self.engine.strategy.schedule_outlist()
         finally:
             self._in_activation = False

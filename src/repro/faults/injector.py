@@ -19,6 +19,7 @@ from typing import Dict, Iterable, List
 from repro.faults.schedule import FaultAction, FaultSchedule
 from repro.networks.nic import DropRule, Nic
 from repro.networks.transfer import TransferKind
+from repro.obs import NULL_OBS
 from repro.util.errors import ConfigurationError
 
 
@@ -38,6 +39,8 @@ class FaultInjector:
         #: count of fault actions that have fired so far
         self.faults_fired: int = 0
         self._armed = False
+        #: observability hub; install_faults swaps in the cluster-wide one
+        self.obs = NULL_OBS
 
     def __repr__(self) -> str:
         return (
@@ -83,6 +86,23 @@ class FaultInjector:
 
     def _fire(self, action: FaultAction, nic: Nic, index: int) -> None:
         self.faults_fired += 1
+        obs = self.obs
+        if obs.on:
+            obs.metrics.counter("faults.fired").inc()
+            obs.metrics.counter(f"faults.{action.action}").inc()
+            if obs.tracer.enabled:
+                obs.tracer.instant(
+                    nic.machine.name,
+                    f"nic:{nic.name}",
+                    f"fault:{action.action}",
+                    self.sim.now,
+                    cat="fault",
+                    args={
+                        "nic": nic.qualified_name,
+                        "index": index,
+                        "params": dict(action.params),
+                    },
+                )
         if action.action == "down":
             nic.fail()
         elif action.action == "up":
@@ -126,6 +146,8 @@ def install_faults(cluster, schedule: FaultSchedule) -> FaultInjector:
         for machine in cluster.machines.values()
         for nic in machine.nics
     ]
-    injector = FaultInjector(nics, schedule).arm()
+    injector = FaultInjector(nics, schedule)
+    injector.obs = getattr(cluster, "obs", NULL_OBS)
+    injector.arm()
     cluster.fault_injector = injector
     return injector

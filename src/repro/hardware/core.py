@@ -109,11 +109,14 @@ class Core:
     # occupancy
     # ------------------------------------------------------------------ #
 
-    def occupy(self, cost: float, label: str = "work"):
+    def occupy(self, cost: float, label: str = "work", on_start=None):
         """Process-style occupancy: ``yield from core.occupy(cost)``.
 
         Declares ``cost`` up front (feeding :attr:`busy_until`), waits for
         the core FIFO, holds it for ``cost`` µs, then releases.
+        ``on_start`` (if given) is called the instant the core is actually
+        acquired — mirroring :meth:`hold_declared`, for callers that need
+        to timestamp the true start of service.
         """
         if cost < 0:
             raise SchedulingError(f"negative occupancy cost: {cost}")
@@ -121,6 +124,8 @@ class Core:
         req = self._res.request()
         yield req
         start = self.sim.now
+        if on_start is not None:
+            on_start()
         yield Timeout(cost)
         self._res.release(req)
         self._record(start, self.sim.now, label)

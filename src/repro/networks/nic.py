@@ -35,6 +35,7 @@ from repro.hardware.core import Core
 from repro.hardware.machine import Machine
 from repro.networks.profile import NetworkProfile
 from repro.networks.transfer import Transfer, TransferKind
+from repro.obs import NULL_OBS
 from repro.simtime import Resource, SimEvent, Simulator, Timeout
 from repro.util.errors import ConfigurationError, SchedulingError
 
@@ -125,6 +126,9 @@ class Nic:
         self.up_listeners: List[Callable[["Nic"], None]] = []
         self.transfers_aborted: int = 0
         self.transfers_dropped: int = 0
+        #: observability bundle; installed by the owning engine (guarded
+        #: call sites — the shared null bundle costs one attribute read)
+        self.obs = NULL_OBS
         machine._attach_nic(self)
 
     def __repr__(self) -> str:
@@ -236,6 +240,17 @@ class Nic:
             if t.tx_done is not None and not t.tx_done.triggered:
                 t.tx_done.trigger(t)
         self.transfers_aborted += len(aborted)
+        obs = self.obs
+        if obs.on:
+            obs.metrics.counter(f"nic.{self.qualified_name}.down").inc()
+            obs.metrics.counter(f"nic.{self.qualified_name}.aborted").inc(
+                len(aborted)
+            )
+            obs.tracer.instant(
+                self.machine.name, f"nic:{self.name}", "nic-down",
+                self.sim.now, cat="fault",
+                args={"aborted": [t.transfer_id for t in aborted]},
+            )
         for listener in list(self.down_listeners):
             listener(self, list(aborted))
         return aborted
@@ -247,6 +262,14 @@ class Nic:
         self._up = True
         start = self._open_faults.pop("down", self.sim.now)
         self.fault_log.append(FaultWindow(start, self.sim.now, "down"))
+        obs = self.obs
+        if obs.on:
+            obs.metrics.counter(f"nic.{self.qualified_name}.up").inc()
+            obs.tracer.instant(
+                self.machine.name, f"nic:{self.name}", "nic-up",
+                self.sim.now, cat="fault",
+                args={"downtime_us": self.sim.now - start},
+            )
         for listener in list(self.up_listeners):
             listener(self)
         self._maybe_notify_idle()
@@ -264,6 +287,14 @@ class Nic:
             self._open_faults["degraded"] = self.sim.now
         self.bw_factor = bw_factor
         self.extra_latency = extra_latency
+        obs = self.obs
+        if obs.on:
+            obs.metrics.counter(f"nic.{self.qualified_name}.degrade").inc()
+            obs.tracer.instant(
+                self.machine.name, f"nic:{self.name}", "nic-degrade",
+                self.sim.now, cat="fault",
+                args={"bw_factor": bw_factor, "extra_latency": extra_latency},
+            )
 
     def restore(self) -> None:
         """End a degradation window (no-op when not degraded)."""
@@ -273,6 +304,14 @@ class Nic:
         self.extra_latency = 0.0
         start = self._open_faults.pop("degraded", self.sim.now)
         self.fault_log.append(FaultWindow(start, self.sim.now, "degraded"))
+        obs = self.obs
+        if obs.on:
+            obs.metrics.counter(f"nic.{self.qualified_name}.restore").inc()
+            obs.tracer.instant(
+                self.machine.name, f"nic:{self.name}", "nic-restore",
+                self.sim.now, cat="fault",
+                args={"degraded_us": self.sim.now - start},
+            )
 
     def fault_windows(self, now: Optional[float] = None) -> List[FaultWindow]:
         """Closed fault windows plus any still-open ones clipped at ``now``."""
@@ -290,6 +329,20 @@ class Nic:
             if rule.should_drop(transfer):
                 transfer.dropped = True
                 self.transfers_dropped += 1
+                obs = self.obs
+                if obs.on:
+                    obs.metrics.counter(
+                        f"nic.{self.qualified_name}.dropped"
+                    ).inc()
+                    obs.tracer.instant(
+                        self.machine.name, f"nic:{self.name}", "packet-drop",
+                        self.sim.now, cat="fault",
+                        args={
+                            "transfer": transfer.transfer_id,
+                            "kind": transfer.kind.value,
+                            "rule": rule.label,
+                        },
+                    )
                 return True
         return False
 
@@ -297,6 +350,8 @@ class Nic:
         """Mark a transfer dead on this NIC and unblock its submitter."""
         transfer.aborted = True
         self.transfers_aborted += 1
+        if self.obs.on:
+            self.obs.metrics.counter(f"nic.{self.qualified_name}.aborted").inc()
         if transfer.tx_done is None:
             transfer.tx_done = SimEvent(
                 self.sim, name=f"transfer{transfer.transfer_id}.tx_done"
@@ -398,7 +453,13 @@ class Nic:
         # the hardware does.
         post = self.profile.post_overhead
         copy = self._eager_tx_time(transfer.size)
-        yield from core.occupy(post, label=f"post:{self.name}")
+
+        def stamp_service():
+            transfer.t_service_start = self.sim.now
+
+        yield from core.occupy(
+            post, label=f"post:{self.name}", on_start=stamp_service
+        )
         if transfer.aborted:
             self._finish_aborted(transfer)
             return
@@ -421,8 +482,13 @@ class Nic:
         self._finish_tx(transfer, start=transfer.t_cpu_start)
 
     def _rdv_pipeline(self, transfer: Transfer, core: Core):
+        def stamp_service():
+            transfer.t_service_start = self.sim.now
+
         yield from core.occupy(
-            self.profile.rdv_send_cpu(), label=f"rdv-setup:{self.name}"
+            self.profile.rdv_send_cpu(),
+            label=f"rdv-setup:{self.name}",
+            on_start=stamp_service,
         )
         if transfer.aborted:
             self._finish_aborted(transfer)
@@ -439,8 +505,13 @@ class Nic:
         self._finish_tx(transfer, start=transfer.t_wire_start)
 
     def _control_pipeline(self, transfer: Transfer, core: Core):
+        def stamp_service():
+            transfer.t_service_start = self.sim.now
+
         yield from core.occupy(
-            self.profile.control_send_cpu(), label=f"ctrl:{self.name}"
+            self.profile.control_send_cpu(),
+            label=f"ctrl:{self.name}",
+            on_start=stamp_service,
         )
         if transfer.aborted:
             self._finish_aborted(transfer)
@@ -455,6 +526,21 @@ class Nic:
         self.work_log.append(
             NicWork(start, self.sim.now, transfer.kind, transfer.size)
         )
+        obs = self.obs
+        if obs.on and obs.tracer.enabled and start is not None:
+            # Transmit-engine occupancy: serialized per NIC, so these X
+            # events never overlap within one lane.
+            obs.tracer.complete(
+                self.machine.name, f"nic:{self.name}",
+                f"tx:{transfer.kind.value}", start, self.sim.now - start,
+                cat="tx",
+                args={
+                    "transfer": transfer.transfer_id,
+                    "msg": transfer.msg_id,
+                    "size": transfer.size,
+                    "aborted": transfer.aborted,
+                },
+            )
         if transfer.aborted:
             # The link died mid-transmit: the engine was held but the
             # bytes never reached the wire.
@@ -470,6 +556,11 @@ class Nic:
             return
         self.bytes_sent += transfer.size
         self.transfers_sent += 1
+        if obs.on:
+            obs.metrics.counter(f"nic.{self.qualified_name}.transfers").inc()
+            obs.metrics.counter(f"nic.{self.qualified_name}.bytes").inc(
+                transfer.size
+            )
         assert self.wire is not None
         self.wire.transmit(self, transfer)
         if transfer.tx_done is not None and not transfer.tx_done.triggered:

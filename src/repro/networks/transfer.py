@@ -58,12 +58,20 @@ class Transfer:
     # -- timing fields, filled in by the NIC/engine as the transfer runs --
     transfer_id: int = field(default_factory=lambda: next(_transfer_ids))
     t_submit: Optional[float] = None     # handed to the NIC queue
+    t_service_start: Optional[float] = None  # send core acquired (pipeline start)
     t_cpu_start: Optional[float] = None  # send core began post/copy
     t_wire_start: Optional[float] = None
     t_tx_done: Optional[float] = None    # transmit phase drained (sender)
     t_delivered: Optional[float] = None  # last byte at peer NIC
     t_complete: Optional[float] = None   # receive-side processing done
     nic_name: Optional[str] = None
+
+    # -- prediction fields (repro.obs accuracy telemetry; None when the
+    #    sending engine has observability off or no predictor) --
+    #: planning estimator's pure service-time prediction (µs, no offsets)
+    predicted_time: Optional[float] = None
+    #: absolute predicted completion instant (busy offset included)
+    predicted_completion: Optional[float] = None
 
     # -- fault fields (see repro.faults) --
     #: send-side NIC went down before the transmit phase drained

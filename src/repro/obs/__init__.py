@@ -1,0 +1,179 @@
+"""Observability: structured tracing, metrics, prediction accuracy.
+
+One :class:`Observability` instance is shared by every engine, NIC,
+scheduler and fault injector of a cluster (``ClusterBuilder
+.observability()`` wires it; the config file's ``observability:``
+section does the same declaratively).  It bundles the three telemetry
+surfaces:
+
+* :attr:`Observability.tracer` — span-based structured tracer
+  (:mod:`repro.obs.tracer`), exported as Chrome ``trace_event`` JSON by
+  :mod:`repro.obs.chrome_export`;
+* :attr:`Observability.metrics` — counters / gauges / fixed-bucket
+  histograms (:mod:`repro.obs.metrics`);
+* :attr:`Observability.accuracy` — predicted-vs-actual transfer-time
+  telemetry (:mod:`repro.obs.accuracy`).
+
+Overhead contract: when observability is off (the default), every hook
+site guards on ``obs.on`` — one attribute read — and the shared
+:data:`NULL_OBS` singleton's components are no-ops.  The tracer and
+accuracy recorders are **purely passive**: they read simulated state but
+never schedule events, occupy resources or alter control flow, so
+enabling them moves *no simulated timestamp* (the determinism tests
+assert this bit-for-bit).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.obs.accuracy import (
+    NULL_ACCURACY,
+    NullAccuracy,
+    PredictionAccuracy,
+    size_bucket,
+)
+from repro.obs.chrome_export import (
+    chrome_trace,
+    dumps_chrome_trace,
+    export_chrome_trace,
+    validate_chrome_trace,
+)
+from repro.obs.metrics import (
+    DEFAULT_DEPTH_BUCKETS,
+    DEFAULT_TIME_BUCKETS_US,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRICS,
+    NullMetrics,
+)
+from repro.obs.tracer import DEFAULT_TRACE_LIMIT, NULL_TRACER, NullTracer, Tracer
+
+
+class Observability:
+    """The bundle handed to every instrumented layer.
+
+    Parameters
+    ----------
+    enabled:
+        Master switch.  ``False`` builds the null bundle (also available
+        as the shared :data:`NULL_OBS`).
+    trace / metrics / accuracy:
+        Disable individual surfaces while keeping the others.
+    trace_limit:
+        Cap on recorded trace events before deterministic dropping
+        (``None`` = unbounded).
+    """
+
+    __slots__ = ("on", "tracer", "metrics", "accuracy")
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        trace: bool = True,
+        metrics: bool = True,
+        accuracy: bool = True,
+        trace_limit: Optional[int] = DEFAULT_TRACE_LIMIT,
+    ) -> None:
+        self.on = bool(enabled)
+        self.tracer = Tracer(trace_limit) if self.on and trace else NULL_TRACER
+        self.metrics = MetricsRegistry() if self.on and metrics else NULL_METRICS
+        self.accuracy = (
+            PredictionAccuracy() if self.on and accuracy else NULL_ACCURACY
+        )
+
+    def __repr__(self) -> str:
+        if not self.on:
+            return "<Observability off>"
+        return (
+            f"<Observability trace={self.tracer.enabled} "
+            f"events={len(self.tracer.events)} accuracy={self.accuracy.enabled}>"
+        )
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        return cls(enabled=False)
+
+    # ------------------------------------------------------------------ #
+    # snapshots
+    # ------------------------------------------------------------------ #
+
+    def sample_cluster(self, cluster) -> None:
+        """Refresh sampled-state gauges from a built cluster.
+
+        Live counters are incremented at the event sites; gauges capture
+        point-in-time state (utilization, queue depths, cache hit rates)
+        and are only meaningful after this call.
+        """
+        if not self.on:
+            return
+        m = self.metrics
+        m.gauge("sim.now_us").set(cluster.sim.now)
+        m.gauge("sim.events_processed").set(cluster.sim.events_processed)
+        for name in sorted(cluster.machines):
+            machine = cluster.machines[name]
+            for nic in machine.nics:
+                q = nic.qualified_name
+                m.gauge(f"nic.{q}.utilization").set(nic.utilization())
+                m.gauge(f"nic.{q}.queue_depth").set(nic._tx.queued)
+                m.gauge(f"nic.{q}.busy_offset_us").set(
+                    nic.busy_until - nic.sim.now
+                )
+                m.gauge(f"nic.{q}.degraded").set(1.0 if nic.is_degraded else 0.0)
+                m.gauge(f"nic.{q}.up").set(1.0 if nic.is_up else 0.0)
+            for core in machine.cores:
+                m.gauge(f"core.{name}.{core.core_id}.busy_us").set(core.busy_time)
+        for name in sorted(cluster.engines):
+            engine = cluster.engines[name]
+            m.gauge(f"scheduler.{name}.outlist_depth").set(len(engine.scheduler))
+            if engine.predictor is not None:
+                m.gauge(f"predictor.{name}.plan_cache_hits").set(
+                    engine.predictor.plan_cache_hits
+                )
+                m.gauge(f"predictor.{name}.plan_cache_misses").set(
+                    engine.predictor.plan_cache_misses
+                )
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Deterministic dump of every surface (schema in
+        ``docs/observability.md``)."""
+        return {
+            "enabled": self.on,
+            "metrics": self.metrics.snapshot(),
+            "accuracy": self.accuracy.snapshot(),
+            "trace": {
+                "events": len(self.tracer.events),
+                "dropped": self.tracer.dropped,
+            },
+        }
+
+
+#: the shared disabled bundle — the default for every engine/NIC/injector
+NULL_OBS = Observability.disabled()
+
+__all__ = [
+    "Observability",
+    "NULL_OBS",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "DEFAULT_TRACE_LIMIT",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_TIME_BUCKETS_US",
+    "DEFAULT_DEPTH_BUCKETS",
+    "PredictionAccuracy",
+    "NullAccuracy",
+    "NULL_ACCURACY",
+    "size_bucket",
+    "chrome_trace",
+    "dumps_chrome_trace",
+    "export_chrome_trace",
+    "validate_chrome_trace",
+]

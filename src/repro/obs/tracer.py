@@ -1,0 +1,202 @@
+"""Span-based structured tracer for the simulation's virtual time.
+
+The tracer records *facts about simulated instants* — never wall-clock
+time — so two runs of the same cluster produce byte-identical event
+lists.  Events follow the Chrome ``trace_event`` vocabulary:
+
+* ``complete`` (phase ``X``) — a closed interval on one lane (a NIC
+  transmit, a receive-processing slice);
+* ``instant`` (phase ``i``) — a point decision (a plan, a fault, an
+  offload signal);
+* ``async_begin``/``async_end`` (phases ``b``/``e``) — an id-matched
+  span that may overlap others on the same lane (message lifecycles,
+  transfer lifecycles);
+* ``counter`` (phase ``C``) — a sampled value series.
+
+Hot call sites guard on :attr:`Tracer.enabled` (a plain attribute read)
+and the disabled path is the :class:`NullTracer` singleton whose methods
+are no-ops — near-zero overhead when tracing is off.
+
+``pid``/``tid`` are recorded as the *node name* and a human-readable
+*lane* string; :mod:`repro.obs.chrome_export` maps them to the integers
+the Chrome JSON format wants and emits the matching metadata events.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+#: default cap on recorded events before the tracer starts dropping
+#: (deterministic: based purely on the event count, never on memory)
+DEFAULT_TRACE_LIMIT = 1_000_000
+
+
+class Tracer:
+    """Recording tracer: appends event dicts to an in-memory list."""
+
+    __slots__ = ("events", "limit", "dropped", "_seq")
+
+    #: guarded by every call site; class attribute so the check is cheap
+    enabled = True
+
+    def __init__(self, limit: Optional[int] = DEFAULT_TRACE_LIMIT) -> None:
+        self.events: List[Dict[str, Any]] = []
+        self.limit = limit
+        self.dropped = 0
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        return f"<Tracer {len(self.events)} events, {self.dropped} dropped>"
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.dropped = 0
+        self._seq = 0
+
+    # ------------------------------------------------------------------ #
+    # recording primitives
+    # ------------------------------------------------------------------ #
+
+    def _push(self, event: Dict[str, Any]) -> None:
+        if self.limit is not None and len(self.events) >= self.limit:
+            self.dropped += 1
+            return
+        event["seq"] = self._seq
+        self._seq += 1
+        self.events.append(event)
+
+    def complete(
+        self,
+        node: str,
+        lane: str,
+        name: str,
+        ts: float,
+        dur: float,
+        cat: str = "span",
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """A closed ``[ts, ts+dur]`` interval on one lane (phase ``X``)."""
+        ev: Dict[str, Any] = {
+            "ph": "X", "name": name, "cat": cat,
+            "pid": node, "tid": lane, "ts": ts, "dur": dur,
+        }
+        if args:
+            ev["args"] = args
+        self._push(ev)
+
+    def instant(
+        self,
+        node: str,
+        lane: str,
+        name: str,
+        ts: float,
+        cat: str = "event",
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """A point event on one lane (phase ``i``, thread scope)."""
+        ev: Dict[str, Any] = {
+            "ph": "i", "name": name, "cat": cat,
+            "pid": node, "tid": lane, "ts": ts, "s": "t",
+        }
+        if args:
+            ev["args"] = args
+        self._push(ev)
+
+    def async_begin(
+        self,
+        node: str,
+        lane: str,
+        name: str,
+        span_id: int,
+        ts: float,
+        cat: str = "message",
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Open an id-matched span (phase ``b``); close with
+        :meth:`async_end` using the same ``(cat, span_id, name)``."""
+        ev: Dict[str, Any] = {
+            "ph": "b", "name": name, "cat": cat,
+            "pid": node, "tid": lane, "ts": ts, "id": span_id,
+        }
+        if args:
+            ev["args"] = args
+        self._push(ev)
+
+    def async_end(
+        self,
+        node: str,
+        lane: str,
+        name: str,
+        span_id: int,
+        ts: float,
+        cat: str = "message",
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        ev: Dict[str, Any] = {
+            "ph": "e", "name": name, "cat": cat,
+            "pid": node, "tid": lane, "ts": ts, "id": span_id,
+        }
+        if args:
+            ev["args"] = args
+        self._push(ev)
+
+    def counter(
+        self,
+        node: str,
+        name: str,
+        ts: float,
+        values: Dict[str, float],
+        cat: str = "metric",
+    ) -> None:
+        """A sampled value series point (phase ``C``)."""
+        self._push(
+            {
+                "ph": "C", "name": name, "cat": cat,
+                "pid": node, "tid": "counters", "ts": ts,
+                "args": dict(values),
+            }
+        )
+
+
+class NullTracer:
+    """The disabled tracer: every method is a no-op.
+
+    Shared as the :data:`NULL_TRACER` singleton; stateless, so one
+    instance serves every engine of every cluster.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+    events: List[Dict[str, Any]] = []
+    dropped = 0
+
+    def __len__(self) -> int:
+        return 0
+
+    def __repr__(self) -> str:
+        return "<NullTracer>"
+
+    def clear(self) -> None:
+        pass
+
+    def complete(self, *args, **kwargs) -> None:
+        pass
+
+    def instant(self, *args, **kwargs) -> None:
+        pass
+
+    def async_begin(self, *args, **kwargs) -> None:
+        pass
+
+    def async_end(self, *args, **kwargs) -> None:
+        pass
+
+    def counter(self, *args, **kwargs) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()

@@ -83,4 +83,28 @@ def explain(msg: Message) -> str:
         lines.append("rails avoided:")
         for note in msg.rail_notes:
             lines.append(f"  - {note}")
+    predicted = [
+        t
+        for t in msg.transfers
+        if t.predicted_time is not None and t.t_complete is not None
+    ]
+    if predicted:
+        lines.append("prediction accuracy (per data chunk, service time):")
+        lines.append(
+            f"  {'kind':<9} {'rail':<18} {'predicted':>10} {'actual':>10} "
+            f"{'error':>9}"
+        )
+        for t in sorted(predicted, key=lambda t: t.t_submit or 0.0):
+            start = t.t_service_start if t.t_service_start is not None else t.t_submit
+            actual = t.t_complete - (start or 0.0)
+            err = (
+                (actual - t.predicted_time) / t.predicted_time
+                if t.predicted_time > 0
+                else 0.0
+            )
+            rail = (t.nic_name or "?").split(".")[-1]
+            lines.append(
+                f"  {t.kind.value:<9} {rail:<18} {t.predicted_time:9.2f}u "
+                f"{actual:9.2f}u {err:+8.2%}"
+            )
     return "\n".join(lines)

@@ -8,8 +8,9 @@ from __future__ import annotations
 
 import csv
 import io
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Iterable, Union
+from typing import Iterable, Iterator, Union
 
 from repro.core.packets import Message
 from repro.trace.timeline import Timeline
@@ -18,16 +19,25 @@ from repro.util.errors import ConfigurationError
 PathOrBuffer = Union[str, Path, io.TextIOBase]
 
 
-def _open(target: PathOrBuffer):
+@contextmanager
+def _open_target(target: PathOrBuffer) -> Iterator[io.TextIOBase]:
+    """Yield a writable text stream for ``target``.
+
+    Paths are opened UTF-8 with ``newline=""`` (the csv module supplies
+    its own line endings) and closed on exit — even when the writer
+    raises mid-export.  Existing streams pass through and stay open;
+    closing them is the caller's business.
+    """
     if isinstance(target, (str, Path)):
-        return open(target, "w", newline=""), True
-    return target, False
+        with open(target, "w", encoding="utf-8", newline="") as stream:
+            yield stream
+    else:
+        yield target
 
 
 def export_timeline_csv(timeline: Timeline, target: PathOrBuffer) -> int:
     """Write ``lane,start_us,end_us,label`` rows; returns the row count."""
-    stream, owned = _open(target)
-    try:
+    with _open_target(target) as stream:
         writer = csv.writer(stream)
         writer.writerow(["lane", "start_us", "end_us", "label"])
         rows = 0
@@ -36,9 +46,6 @@ def export_timeline_csv(timeline: Timeline, target: PathOrBuffer) -> int:
                 writer.writerow([lane, f"{iv.start:.6f}", f"{iv.end:.6f}", iv.label])
                 rows += 1
         return rows
-    finally:
-        if owned:
-            stream.close()
 
 
 def export_messages_csv(messages: Iterable[Message], target: PathOrBuffer) -> int:
@@ -47,8 +54,7 @@ def export_messages_csv(messages: Iterable[Message], target: PathOrBuffer) -> in
     Columns: id, src, dest, tag, size, mode, status, t_post, t_complete,
     latency, rails (``+``-joined), chunks (``+``-joined).
     """
-    stream, owned = _open(target)
-    try:
+    with _open_target(target) as stream:
         writer = csv.writer(stream)
         writer.writerow(
             [
@@ -76,9 +82,6 @@ def export_messages_csv(messages: Iterable[Message], target: PathOrBuffer) -> in
             )
             rows += 1
         return rows
-    finally:
-        if owned:
-            stream.close()
 
 
 def load_timeline_csv(source: Union[str, Path]) -> Timeline:
@@ -89,7 +92,7 @@ def load_timeline_csv(source: Union[str, Path]) -> Timeline:
     if not path.exists():
         raise ConfigurationError(f"no timeline file {path}")
     timeline = Timeline()
-    with open(path, newline="") as stream:
+    with open(path, encoding="utf-8", newline="") as stream:
         reader = csv.DictReader(stream)
         required = {"lane", "start_us", "end_us", "label"}
         if reader.fieldnames is None or not required <= set(reader.fieldnames):

@@ -72,3 +72,59 @@ class TestSweep:
     def test_unknown_strategy_rejected(self, capsys):
         assert main(["sweep", "--strategies", "teleport"]) == 2
         assert "unknown strategy" in capsys.readouterr().err
+
+
+class TestMetricsCommand:
+    def test_prints_counters_and_gauges(self, capsys):
+        assert main(["metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "engine.node0.messages_sent" in out
+        assert "nic.node0.myri10g0.utilization" in out
+
+    def test_json_to_stdout_is_parseable(self, capsys):
+        import json
+
+        assert main(["metrics", "--json", "-"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert set(payload) == {"counters", "gauges", "histograms"}
+
+    def test_json_and_trace_files(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        mpath = tmp_path / "metrics.json"
+        tpath = tmp_path / "trace.json"
+        assert main(
+            ["metrics", "--json", str(mpath), "--trace", str(tpath)]
+        ) == 0
+        assert json.loads(mpath.read_text())["counters"]
+        trace = json.loads(tpath.read_text())
+        assert validate_chrome_trace(trace) == []
+
+    def test_faults_variant_reports_retries(self, capsys):
+        assert main(["metrics", "--faults"]) == 0
+        out = capsys.readouterr().out
+        assert "faults.fired" in out
+
+
+class TestAccuracyCommand:
+    def test_fault_free_error_is_tiny(self, capsys):
+        import json
+
+        assert main(["accuracy", "--json", "-"]) == 0
+        out = capsys.readouterr().out
+        assert "prediction accuracy" in out
+        payload = json.loads(out[out.index("{"):])
+        for stats in payload["per_rail"].values():
+            assert stats["transfer"]["mean_abs_rel_error"] < 1e-6
+
+    def test_faults_variant_shows_error(self, capsys):
+        import json
+
+        assert main(["accuracy", "--faults", "--json", "-"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        degraded = payload["per_rail"]["node0.myri10g0"]["transfer"]
+        assert degraded["mean_abs_rel_error"] > 1e-8

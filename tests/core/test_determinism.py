@@ -63,6 +63,56 @@ class TestDoubleRunBitIdentity:
         assert first == second == third
 
 
+class TestObservabilityDeterminism:
+    """Telemetry itself must be deterministic: a faulty, fully
+    instrumented cluster run twice yields byte-identical metrics
+    snapshots and Chrome trace JSON."""
+
+    @staticmethod
+    def _faulty_instrumented_run():
+        import itertools
+        import json
+
+        import repro.core.packets as packets
+        import repro.networks.transfer as transfer
+        from repro.api import ClusterBuilder, FaultSchedule
+        from repro.obs import dumps_chrome_trace
+
+        # Message/transfer ids come from process-global allocators; the
+        # trace embeds them, so rewind both to mimic a fresh process.
+        packets._msg_seq = itertools.count()
+        transfer._transfer_ids = itertools.count()
+
+        schedule = FaultSchedule(seed=11).flapping(
+            "node0.myri10g0", period=400.0, duty=0.5, start=100.0, cycles=4
+        )
+        cluster = (
+            ClusterBuilder.paper_testbed(strategy="hetero_split")
+            .observability()
+            .faults(schedule)
+            .resilience(timeout="200us")
+            .build()
+        )
+        a, b = cluster.sessions("node0", "node1")
+        for size in (4 * KiB, 64 * KiB, 1 * MiB, 4 * MiB):
+            b.irecv(source="node0")
+            a.isend("node1", size)
+            a.irecv(source="node1")
+            b.isend("node0", size)
+        cluster.run()
+        metrics_json = json.dumps(cluster.metrics_snapshot(), sort_keys=True)
+        accuracy_json = json.dumps(cluster.accuracy_snapshot(), sort_keys=True)
+        trace_json = dumps_chrome_trace(cluster.obs.tracer)
+        return metrics_json, accuracy_json, trace_json
+
+    def test_faulty_run_telemetry_is_byte_identical(self):
+        first = self._faulty_instrumented_run()
+        second = self._faulty_instrumented_run()
+        assert first[0] == second[0]  # metrics snapshot
+        assert first[1] == second[1]  # accuracy snapshot
+        assert first[2] == second[2]  # chrome trace JSON
+
+
 @pytest.mark.parametrize("size", [64 * KiB, 1 * MiB, 8 * MiB])
 def test_single_transfer_reruns_identically(size):
     from repro.bench.runners import measure_oneway

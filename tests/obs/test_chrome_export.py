@@ -1,0 +1,89 @@
+"""Chrome trace_event export: structure, validation, byte determinism."""
+
+import io
+import json
+
+from repro.obs import (
+    Tracer,
+    chrome_trace,
+    dumps_chrome_trace,
+    export_chrome_trace,
+    validate_chrome_trace,
+)
+
+
+def _demo_tracer():
+    tr = Tracer()
+    tr.async_begin("node0", "messages", "msg0", span_id=0, ts=0.0)
+    tr.complete("node0", "nic:myri0", "tx:eager", ts=1.0, dur=4.0,
+                args={"size": 4096})
+    tr.instant("node1", "planner", "plan", ts=2.0, cat="decision")
+    tr.async_end("node0", "messages", "msg0", span_id=0, ts=9.0)
+    return tr
+
+
+class TestChromeTrace:
+    def test_metadata_and_integer_ids(self):
+        trace = chrome_trace(_demo_tracer())
+        events = trace["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        names = {(e["name"], e["args"]["name"]) for e in meta}
+        assert ("process_name", "node0") in names
+        assert ("thread_name", "nic:myri0") in names
+        for ev in events:
+            assert isinstance(ev["pid"], int) and isinstance(ev["tid"], int)
+
+    def test_events_sorted_by_ts(self):
+        tr = Tracer()
+        tr.instant("n", "l", "late", ts=10.0)
+        tr.instant("n", "l", "early", ts=1.0)
+        body = [e for e in chrome_trace(tr)["traceEvents"] if e["ph"] != "M"]
+        assert [e["name"] for e in body] == ["early", "late"]
+
+    def test_validates_clean(self):
+        assert validate_chrome_trace(chrome_trace(_demo_tracer())) == []
+
+    def test_byte_identical_across_runs(self):
+        assert dumps_chrome_trace(_demo_tracer()) == dumps_chrome_trace(
+            _demo_tracer()
+        )
+
+    def test_export_to_stream_and_path(self, tmp_path):
+        buf = io.StringIO()
+        n = export_chrome_trace(_demo_tracer(), buf)
+        assert n == len(json.loads(buf.getvalue())["traceEvents"])
+        path = tmp_path / "trace.json"
+        export_chrome_trace(_demo_tracer(), path)
+        assert json.loads(path.read_text()) == json.loads(buf.getvalue())
+
+
+class TestValidation:
+    def test_catches_unmatched_async_begin(self):
+        tr = Tracer()
+        tr.async_begin("n", "l", "msg1", span_id=1, ts=0.0)
+        problems = validate_chrome_trace(chrome_trace(tr))
+        assert any("never ended" in p for p in problems)
+
+    def test_catches_unsorted_ts(self):
+        trace = {
+            "traceEvents": [
+                {"ph": "i", "name": "a", "pid": 1, "tid": 1, "ts": 5.0, "s": "t"},
+                {"ph": "i", "name": "b", "pid": 1, "tid": 1, "ts": 1.0, "s": "t"},
+            ]
+        }
+        assert any("sorted" in p for p in validate_chrome_trace(trace))
+
+    def test_catches_negative_duration(self):
+        trace = {
+            "traceEvents": [
+                {"ph": "X", "name": "a", "pid": 1, "tid": 1, "ts": 0.0, "dur": -1.0},
+            ]
+        }
+        assert validate_chrome_trace(trace)
+
+    def test_catches_missing_fields(self):
+        trace = {"traceEvents": [{"ph": "i", "ts": 0.0}]}
+        assert validate_chrome_trace(trace)
+
+    def test_rejects_non_list(self):
+        assert validate_chrome_trace({}) == ["traceEvents is not a list"]

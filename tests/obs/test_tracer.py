@@ -1,0 +1,74 @@
+"""Tracer primitives: recording, limits, the null singleton."""
+
+import pytest
+
+from repro.obs import NULL_TRACER, Tracer
+
+
+class TestRecording:
+    def test_complete_event_shape(self):
+        tr = Tracer()
+        tr.complete("node0", "nic:myri0", "tx:eager", ts=10.0, dur=2.5,
+                    cat="tx", args={"size": 4096})
+        (ev,) = tr.events
+        assert ev["ph"] == "X"
+        assert ev["pid"] == "node0"
+        assert ev["tid"] == "nic:myri0"
+        assert ev["ts"] == 10.0 and ev["dur"] == 2.5
+        assert ev["args"] == {"size": 4096}
+
+    def test_instant_carries_thread_scope(self):
+        tr = Tracer()
+        tr.instant("node0", "faults", "retry", ts=5.0)
+        assert tr.events[0]["ph"] == "i"
+        assert tr.events[0]["s"] == "t"
+
+    def test_async_pair_shares_id(self):
+        tr = Tracer()
+        tr.async_begin("node0", "messages", "msg3", span_id=3, ts=1.0)
+        tr.async_end("node0", "messages", "msg3", span_id=3, ts=9.0)
+        begin, end = tr.events
+        assert (begin["ph"], end["ph"]) == ("b", "e")
+        assert begin["id"] == end["id"] == 3
+
+    def test_seq_is_record_order(self):
+        tr = Tracer()
+        tr.instant("n", "l", "a", ts=2.0)
+        tr.instant("n", "l", "b", ts=1.0)  # out of ts order on purpose
+        assert [ev["seq"] for ev in tr.events] == [0, 1]
+
+    def test_counter_event(self):
+        tr = Tracer()
+        tr.counter("node0", "queue", ts=4.0, values={"depth": 7})
+        assert tr.events[0]["ph"] == "C"
+
+
+class TestLimit:
+    def test_drops_deterministically_past_limit(self):
+        tr = Tracer(limit=3)
+        for i in range(5):
+            tr.instant("n", "l", f"e{i}", ts=float(i))
+        assert len(tr.events) == 3
+        assert tr.dropped == 2
+        assert [ev["name"] for ev in tr.events] == ["e0", "e1", "e2"]
+
+    def test_clear_resets_everything(self):
+        tr = Tracer(limit=1)
+        tr.instant("n", "l", "a", ts=0.0)
+        tr.instant("n", "l", "b", ts=0.0)
+        tr.clear()
+        assert tr.events == [] and tr.dropped == 0
+        tr.instant("n", "l", "c", ts=0.0)
+        assert tr.events[0]["seq"] == 0
+
+
+class TestNullTracer:
+    def test_is_disabled_and_inert(self):
+        assert NULL_TRACER.enabled is False
+        NULL_TRACER.complete("n", "l", "x", ts=0.0, dur=1.0)
+        NULL_TRACER.instant("n", "l", "x", ts=0.0)
+        NULL_TRACER.async_begin("n", "l", "x", span_id=1, ts=0.0)
+        NULL_TRACER.async_end("n", "l", "x", span_id=1, ts=0.0)
+        NULL_TRACER.counter("n", "x", ts=0.0, values={"v": 1})
+        assert len(NULL_TRACER.events) == 0
+        assert NULL_TRACER.dropped == 0

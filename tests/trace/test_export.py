@@ -53,6 +53,39 @@ class TestTimelineCsv:
         assert text.startswith("lane,start_us,end_us,label")
         assert text.count("\n") == rows + 1
 
+    def test_roundtrip_labels_with_commas_and_quotes(self, tmp_path):
+        """The csv layer must quote awkward labels so they survive a
+        write/read cycle intact (and non-ASCII rides the UTF-8 open)."""
+        timeline = Timeline()
+        labels = [
+            'tx:eager, chunk 1/2 "fast"',
+            "plain",
+            'she said ""twice""',
+            "rail=myri10g,0;µs",
+        ]
+        for i, label in enumerate(labels):
+            timeline.add("lane,with,commas", Interval(float(i), i + 0.5, label))
+        path = tmp_path / "awkward.csv"
+        export_timeline_csv(timeline, path)
+        back = load_timeline_csv(path)
+        assert back.lanes == ["lane,with,commas"]
+        assert [iv.label for iv in back.intervals("lane,with,commas")] == labels
+
+    def test_exception_midway_still_closes_file(self, tmp_path):
+        """_open_target owns path-opened streams even when the writer
+        blows up midway (the old helper leaked the handle)."""
+
+        class Boom(Timeline):
+            @property
+            def lanes(self):
+                raise RuntimeError("boom")
+
+        path = tmp_path / "partial.csv"
+        with pytest.raises(RuntimeError):
+            export_timeline_csv(Boom(), path)
+        # The file was created, closed, and holds only the flushed header.
+        assert path.exists()
+
     def test_load_missing_file(self, tmp_path):
         with pytest.raises(ConfigurationError):
             load_timeline_csv(tmp_path / "ghost.csv")
