@@ -2,7 +2,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test bench-smoke perf bench check faults-demo
+.PHONY: test bench-smoke perf bench check faults-demo chaos chaos-wide
 
 # Tier-1 verify (the ROADMAP contract).
 test:
@@ -27,3 +27,12 @@ perf:
 # The opt-in pytest perf marker (excluded from tier-1 by addopts).
 bench:
 	$(PYTHON) -m pytest benchmarks/bench_kernel.py -m perf -q
+
+# Chaos soak: the fixed CI seed window under the invariant monitor
+# (exits nonzero on any violation; see docs/chaos.md).
+chaos:
+	$(PYTHON) -m repro.bench.cli chaos --seeds 50
+
+# Wider sweep (minutes, not seconds) — the workflow_dispatch CI job.
+chaos-wide:
+	$(PYTHON) -m repro.bench.cli chaos --seeds 2000 --shrink

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.core.engine import NmadEngine
+from repro.core.invariants import InvariantMonitor, InvariantViolation
 from repro.core.sampling import NetworkSampler, ProfileStore  # noqa: F401 (re-export)
 from repro.core.strategies import Strategy, make_strategy
 from repro.faults import FaultInjector, FaultSchedule, install_faults
@@ -84,6 +85,8 @@ class Cluster:
         self.fault_injector: Optional[FaultInjector] = None
         #: cluster-wide observability hub (NULL_OBS = disabled, the default)
         self.obs: Observability = NULL_OBS
+        #: cluster-wide invariant monitor (None = checking off, the default)
+        self.invariants: Optional[InvariantMonitor] = None
 
     def __repr__(self) -> str:
         return f"<Cluster nodes={sorted(self.machines)}>"
@@ -183,6 +186,50 @@ class Cluster:
 
         return export_chrome_trace(self.obs.tracer, target)
 
+    # ------------------------------------------------------------------ #
+    # drain accounting (see docs/chaos.md)
+    # ------------------------------------------------------------------ #
+
+    def drain_report(self) -> List[str]:
+        """Diagnoses for every send still non-terminal, across all nodes.
+
+        Empty after a healthy drain; each entry names a message that
+        neither completed nor degraded — a silent hang made visible.
+        """
+        out: List[str] = []
+        for name in sorted(self.engines):
+            out.extend(self.engines[name].stuck_messages())
+        return out
+
+    def check_drain(self) -> None:
+        """Audit the drained cluster: every send terminal, NICs quiet.
+
+        Routes through the invariant monitor when one is attached (the
+        full ``drain-no-stuck`` / ``nic-tx-sanity`` audit, with scenario
+        context in the violation); otherwise performs the stuck-message
+        check directly.  Raises :class:`InvariantViolation` on failure.
+        """
+        if self.invariants is not None:
+            self.invariants.check_drain(self)
+            return
+        stuck = self.drain_report()
+        if stuck:
+            raise InvariantViolation(
+                "drain-no-stuck",
+                f"{len(stuck)} message(s) non-terminal at drain: "
+                + "; ".join(stuck[:6])
+                + ("; ..." if len(stuck) > 6 else ""),
+                self.sim.now,
+            )
+
+    def drain_stuck(self) -> List[Any]:
+        """Degrade every still-pending send on every node (see
+        :meth:`NmadEngine.drain_stuck`); returns the drained messages."""
+        drained: List[Any] = []
+        for name in sorted(self.engines):
+            drained.extend(self.engines[name].drain_stuck())
+        return drained
+
 
 class ClusterBuilder:
     """Fluent builder for simulated multirail clusters."""
@@ -202,6 +249,7 @@ class ClusterBuilder:
         self._faults: Optional[FaultSchedule] = None
         self._resilience: Dict[str, Any] = {}
         self._observability: Optional[Dict[str, Any]] = None
+        self._invariants: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------ #
     # configuration
@@ -376,6 +424,34 @@ class ClusterBuilder:
         self._observability = spec
         return self
 
+    def invariants(
+        self,
+        enabled: bool = True,
+        trail_depth: Optional[int] = None,
+        strict_checksums: bool = True,
+    ) -> "ClusterBuilder":
+        """Attach a cluster-wide :class:`repro.core.invariants.InvariantMonitor`.
+
+        Off by default — and, like :meth:`observability`, the disabled
+        path is bit-identical to a build without this call: the monitor
+        is purely passive (it reads state and raises, never schedules
+        events), so enabling it moves no simulated timestamp either.
+        ``trail_depth`` bounds the violation-report observation trail;
+        ``strict_checksums`` toggles per-chunk wire-checksum verification.
+        """
+        if not enabled:
+            self._invariants = None
+            return self
+        spec: Dict[str, Any] = {"strict_checksums": strict_checksums}
+        if trail_depth is not None:
+            if trail_depth < 1:
+                raise ConfigurationError(
+                    f"trail_depth must be positive, got {trail_depth}"
+                )
+            spec["trail_depth"] = trail_depth
+        self._invariants = spec
+        return self
+
     # ------------------------------------------------------------------ #
     # build
     # ------------------------------------------------------------------ #
@@ -423,6 +499,11 @@ class ClusterBuilder:
             if self._observability is not None
             else NULL_OBS
         )
+        inv = (
+            InvariantMonitor(**self._invariants)
+            if self._invariants is not None
+            else None
+        )
         engines: Dict[str, NmadEngine] = {}
         for name, machine in self._machines.items():
             spec = self._per_node_strategy.get(name, self._strategy)
@@ -433,11 +514,15 @@ class ClusterBuilder:
                 app_core_id=self._app_core_id,
                 multicore_rx=self._multicore_rx,
                 obs=obs,
+                invariants=inv,
                 **self._resilience,
             )
         cluster = Cluster(self.sim, self._machines, engines, profiles)
         cluster.obs = obs
+        cluster.invariants = inv
         if self._faults is not None:
+            # install_faults reads cluster.invariants, set just above, so
+            # the injector's on_fault hook sees the same monitor.
             install_faults(cluster, self._faults)
         return cluster
 

@@ -22,7 +22,8 @@ Downstream users describe a testbed once and rebuild it everywhere::
         {"time": 650.0, "nic": "node0.myri10g0", "action": "up"}
       ]},
       "resilience": {"timeout": "200us", "max_retries": 8},
-      "observability": {"trace": true, "metrics": true, "accuracy": true}
+      "observability": {"trace": true, "metrics": true, "accuracy": true},
+      "invariants": {"strict_checksums": true, "trail_depth": 64}
     }
 
 ``version`` is optional (defaults to 1); unknown top-level keys and
@@ -61,6 +62,7 @@ _TOP_LEVEL_KEYS = {
     "faults",
     "resilience",
     "observability",
+    "invariants",
 }
 
 #: config schema versions this loader understands
@@ -75,6 +77,8 @@ _RESILIENCE_KEYS = {
 }
 
 _OBSERVABILITY_KEYS = {"trace", "metrics", "accuracy", "trace_limit"}
+
+_INVARIANTS_KEYS = {"strict_checksums", "trail_depth"}
 
 
 def _load_dict(source: ConfigSource) -> Dict[str, Any]:
@@ -199,6 +203,26 @@ def builder_from_config(source: ConfigSource) -> ClusterBuilder:
             raise ConfigurationError(
                 f"'observability' must be true, false, or a dict of "
                 f"{sorted(_OBSERVABILITY_KEYS)}; got {observability!r}"
+            )
+
+    invariants = config.get("invariants")
+    if invariants is not None:
+        if invariants is True:
+            builder.invariants()
+        elif invariants is False:
+            builder.invariants(enabled=False)
+        elif isinstance(invariants, dict):
+            bad = set(invariants) - _INVARIANTS_KEYS
+            if bad:
+                raise ConfigurationError(
+                    f"unknown invariants keys {sorted(bad)}; "
+                    f"known: {sorted(_INVARIANTS_KEYS)}"
+                )
+            builder.invariants(**invariants)
+        else:
+            raise ConfigurationError(
+                f"'invariants' must be true, false, or a dict of "
+                f"{sorted(_INVARIANTS_KEYS)}; got {invariants!r}"
             )
     return builder
 

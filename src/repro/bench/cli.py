@@ -10,6 +10,7 @@ Usage::
     python -m repro.bench.cli faults --demo
     python -m repro.bench.cli metrics --json -
     python -m repro.bench.cli accuracy --faults
+    python -m repro.bench.cli chaos --seeds 50
 
 ``run`` regenerates a registered paper artefact and prints its table;
 ``sweep`` is a free-form bandwidth sweep for ad-hoc exploration;
@@ -20,7 +21,11 @@ fails when event throughput regresses >30% vs the committed
 a NIC dying mid-transfer; ``--json`` regenerates ``BENCH_PR2.json``);
 ``metrics`` and ``accuracy`` run instrumented demo scenarios and print
 (or dump as JSON — see docs/observability.md for the schemas) the
-telemetry the ``repro.obs`` subsystem collects.
+telemetry the ``repro.obs`` subsystem collects;
+``chaos`` soaks seeded randomized fault scenarios under the runtime
+invariant monitor (see docs/chaos.md) and exits nonzero on any
+violation — ``--shrink`` reduces failing seeds to minimal schedules,
+``--json`` regenerates the ``BENCH_PR4.json`` payload.
 """
 
 from __future__ import annotations
@@ -129,6 +134,32 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json",
         metavar="PATH",
         help="dump the accuracy snapshot as JSON ('-' for stdout)",
+    )
+
+    chaos = sub.add_parser(
+        "chaos", help="seeded chaos soak under the invariant monitor"
+    )
+    chaos.add_argument(
+        "--seeds",
+        default="50",
+        help="seed window: a count N (seeds 0..N-1) or a range like 100-150",
+    )
+    chaos.add_argument(
+        "--intensity",
+        type=int,
+        default=None,
+        help="fault episodes per scenario (default 3)",
+    )
+    chaos.add_argument(
+        "--shrink",
+        action="store_true",
+        help="reduce every failing seed to a minimal episode schedule",
+    )
+    chaos.add_argument(
+        "--json",
+        metavar="PATH",
+        help="regenerate the BENCH_PR4-shaped payload as JSON "
+        "(fixed 50-seed window plus healthy bit-identity points)",
     )
     return parser
 
@@ -372,6 +403,47 @@ def _cmd_accuracy(faults: bool, json_path: Optional[str]) -> int:
     return 0
 
 
+def _cmd_chaos(
+    seeds_spec: str,
+    intensity: Optional[int],
+    do_shrink: bool,
+    json_path: Optional[str],
+) -> int:
+    from repro.faults import soak
+    from repro.faults.chaos import DEFAULT_INTENSITY
+
+    try:
+        if "-" in seeds_spec:
+            lo, hi = seeds_spec.split("-", 1)
+            seeds = range(int(lo), int(hi) + 1)
+        else:
+            seeds = range(int(seeds_spec))
+    except ValueError:
+        print(
+            f"bad --seeds {seeds_spec!r}: expected a count or LO-HI",
+            file=sys.stderr,
+        )
+        return 2
+    report = soak(
+        seeds,
+        intensity=intensity if intensity is not None else DEFAULT_INTENSITY,
+        shrink_failures=do_shrink,
+    )
+    print(report.summary())
+    for bad in report.violations:
+        assert bad.violation is not None
+        print()
+        print(bad.violation.report())
+    if json_path:
+        from repro.bench.experiments import chaos_soak
+
+        payload = chaos_soak.collect(json_path=json_path)
+        print(f"payload written to {json_path}")
+        if payload["soak"]["violations_on"]:
+            return 1
+    return 1 if report.violations else 0
+
+
 def _faults_demo() -> None:
     """The acceptance scenario, narrated: a 4 MiB hetero-split send loses
     its fast rail mid-transfer and completes on the surviving one."""
@@ -417,6 +489,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_metrics(args.faults, args.json, args.trace)
         if args.command == "accuracy":
             return _cmd_accuracy(args.faults, args.json)
+        if args.command == "chaos":
+            return _cmd_chaos(args.seeds, args.intensity, args.shrink, args.json)
     except BrokenPipeError:  # e.g. `... | head` closed the pipe; not an error
         return 0
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover

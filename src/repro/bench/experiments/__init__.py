@@ -12,6 +12,7 @@ A1..A10     design-choice ablations (DESIGN.md §5)
 S1          §II-A stream-multiplexing claim (supplementary)
 DEG         degraded-mode bandwidth: one rail flapping at 50% duty
 OBS         observability overhead: hooks off vs fully enabled
+CHAOS       chaos soak + invariant-checker overhead guard
 ==========  ========================================================
 
 Every module exposes ``run(...) -> SweepResult`` (or a small dataclass
@@ -21,6 +22,7 @@ reference numbers for EXPERIMENTS.md.
 
 from repro.bench.experiments import (
     ablations,
+    chaos_soak,
     degraded,
     fig1,
     fig3,
@@ -54,10 +56,12 @@ experiment_registry = {
     "S1": streams.run,
     "DEG": degraded.run,
     "OBS": obs_overhead.run,
+    "CHAOS": chaos_soak.run,
 }
 
 __all__ = [
     "experiment_registry",
+    "chaos_soak",
     "degraded",
     "obs_overhead",
     "fig1",

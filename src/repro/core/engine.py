@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.estimator import NicEstimator
+from repro.core.invariants import NULL_INVARIANTS, InvariantMonitor
 from repro.core.packets import (
     DegradedSend,
     Message,
@@ -133,6 +134,7 @@ class NmadEngine:
         backoff_factor: float = 2.0,
         backoff_max: Union[float, str, None] = None,
         obs: Optional[Observability] = None,
+        invariants: Optional[InvariantMonitor] = None,
     ) -> None:
         if not machine.nics:
             raise ConfigurationError(f"{machine.name} has no NICs")
@@ -145,6 +147,9 @@ class NmadEngine:
         #: shared observability bundle (the null singleton when off);
         #: installed onto this node's PIOMan engine and NICs below
         self.obs = obs if obs is not None else NULL_OBS
+        #: shared invariant monitor (null singleton when off) — same
+        #: guarded-hook pattern as ``obs``; see repro.core.invariants
+        self.inv = invariants if invariants is not None else NULL_INVARIANTS
         self.marcel = marcel or MarcelScheduler(machine)
         self.pioman = pioman or PiomanEngine(
             machine,
@@ -155,6 +160,7 @@ class NmadEngine:
         self.pioman.bind()
         self.pioman.rx_dispatch = self._on_transfer
         self.pioman.obs = self.obs
+        self.pioman.inv = self.inv
         self.predictor = (
             CompletionPredictor(estimators) if estimators else None
         )
@@ -172,6 +178,7 @@ class NmadEngine:
             nic.down_listeners.append(self._on_nic_down)
             nic.up_listeners.append(self._on_nic_up)
             nic.obs = self.obs
+            nic.inv = self.inv
         # receive-side state
         self._posted_recvs: List[RecvHandle] = []
         self._unexpected: List[Message] = []
@@ -220,6 +227,13 @@ class NmadEngine:
         self.messages_degraded = 0
         self.retries_issued = 0
         self.bytes_sent = 0
+        #: receiver-side deliveries ignored because their chunk interval
+        #: was already accounted (a retry racing its late original)
+        self.duplicates_suppressed = 0
+        #: in-flight deliveries cancelled because a retry superseded them
+        self.deliveries_cancelled = 0
+        #: every message this engine ever sent (drain accounting)
+        self.sent_log: List[Message] = []
 
     def __repr__(self) -> str:
         return (
@@ -248,9 +262,16 @@ class NmadEngine:
         msg = Message(src=self.machine.name, dest=dest, size=size, tag=tag)
         msg.done = SimEvent(self.sim, name=f"msg{msg.msg_id}.done")
         msg.t_post = self.sim.now
-        msg.mode = self.strategy.choose_mode(msg)
+        if self.sendable(msg):
+            msg.mode = self.strategy.choose_mode(msg)
+        # else: every rail towards dest is down right now — the mode
+        # decision is deferred to the first activation with an up rail
+        # (the scheduler backfills it); the watchdog bounds the wait.
         self.messages_sent += 1
         self.bytes_sent += size
+        self.sent_log.append(msg)
+        if self.inv.on:
+            self.inv.on_send(msg)
         obs = self.obs
         if obs.on:
             node = self.machine.name
@@ -262,7 +283,7 @@ class NmadEngine:
                     self.sim.now, cat="message",
                     args={
                         "dest": dest, "size": size, "tag": tag,
-                        "mode": msg.mode.value,
+                        "mode": msg.mode.value if msg.mode else "deferred",
                     },
                 )
         self.scheduler.enqueue(msg)
@@ -527,15 +548,39 @@ class NmadEngine:
                 actual_completion=transfer.t_complete,
             )
 
+    def _account_delivery(self, msg: Message, transfer: Transfer, nbytes: int) -> None:
+        """Receiver-side integrity gate in front of chunk accounting.
+
+        Exactly-once delivery: each (message, chunk interval) is summed
+        once, whatever raced — a retry against its late original, a
+        superseded transfer whose cancellation came too late, or a
+        duplicated handshake.  First arrival wins; later ones are
+        suppressed (counted, surfaced to the invariant monitor) instead
+        of corrupting the byte accounting.
+        """
+        inv = self.inv
+        if not msg.register_delivery(transfer.chunk_key):
+            self.duplicates_suppressed += 1
+            obs = self.obs
+            if obs.on:
+                obs.metrics.counter(
+                    f"engine.{self.machine.name}.duplicates_suppressed"
+                ).inc()
+            if inv.on:
+                inv.on_duplicate(msg, transfer, self.sim.now)
+            return
+        if inv.on:
+            inv.on_delivery(msg, transfer, self.sim.now)
+        if msg.account_chunk(nbytes):
+            self._complete_message(msg)
+
     def _on_eager(self, transfer: Transfer) -> None:
         if transfer.aggregated_ids:
             for msg in transfer.payload["messages"]:
-                if msg.account_chunk(msg.size):
-                    self._complete_message(msg)
+                self._account_delivery(msg, transfer, msg.size)
             return
         msg: Message = transfer.payload["message"]
-        if msg.account_chunk(transfer.size):
-            self._complete_message(msg)
+        self._account_delivery(msg, transfer, transfer.size)
 
     def _on_rdv_req(self, transfer: Transfer, nic: Nic) -> None:
         msg: Message = transfer.payload["message"]
@@ -592,8 +637,7 @@ class NmadEngine:
 
     def _on_rdv_data(self, transfer: Transfer) -> None:
         msg: Message = transfer.payload["message"]
-        if msg.account_chunk(transfer.size):
-            self._complete_message(msg)
+        self._account_delivery(msg, transfer, transfer.size)
 
     def _complete_message(self, msg: Message) -> None:
         if msg.status is MessageStatus.DEGRADED:
@@ -603,6 +647,8 @@ class NmadEngine:
         msg.status = MessageStatus.COMPLETE
         msg.t_complete = self.sim.now
         self.messages_completed += 1
+        if self.inv.on:
+            self.inv.on_complete(msg, self.sim.now)
         obs = self.obs
         if obs.on:
             # Account completions on the *sender's* lane so the series
@@ -697,10 +743,21 @@ class NmadEngine:
                 self._stranded.append(old)
             return False
         old.retried = True
+        # The replacement supersedes the original outright.  If the
+        # original is somehow still in flight (its drop/abort marking
+        # raced actual transmission), cancel its pending delivery — a
+        # late original must never race its own retry into the receiver.
+        old.superseded = True
+        if old.wire_event is not None:
+            self.sim.cancel(old.wire_event)
+            old.wire_event = None
+            self.deliveries_cancelled += 1
         for m in msgs:
             m.retries += 1
             m.transfers.append(new)
         self.retries_issued += 1
+        if self.inv.on:
+            self.inv.on_retry(primary, old, new, self.max_retries, self.sim.now)
         self.retry_log.append(
             RetryRecord(
                 time=self.sim.now,
@@ -789,6 +846,8 @@ class NmadEngine:
             size=msg.size,
         )
         self.messages_degraded += 1
+        if self.inv.on:
+            self.inv.on_degraded(msg, self.sim.now)
         obs = self.obs
         if obs.on:
             node = self.machine.name
@@ -898,6 +957,52 @@ class NmadEngine:
             )
             return
         self._arm_watchdog(msg, attempt + 1, self._backoff(attempt), progress)
+
+    # ------------------------------------------------------------------ #
+    # drain accounting (docs/chaos.md)
+    # ------------------------------------------------------------------ #
+
+    def stuck_messages(self) -> List[str]:
+        """Diagnoses for every send still non-terminal — a drained
+        simulator should return an empty list.
+
+        A non-empty list after ``sim.run()`` means a send neither
+        completed nor degraded: a silent hang.  The chaos soak (and
+        :meth:`InvariantMonitor.check_drain`) turn that into a structured
+        violation instead of a mystery.
+        """
+        out: List[str] = []
+        for msg in self.sent_log:
+            if msg.status in _TERMINAL:
+                continue
+            out.append(
+                f"msg {msg.msg_id} {msg.size}B {msg.src}->{msg.dest} "
+                f"tag={msg.tag} status={msg.status.value} "
+                f"chunks={msg.chunks_received}/{msg.chunks_expected} "
+                f"bytes={msg.bytes_received} retries={msg.retries}"
+            )
+        return out
+
+    def drain_stuck(self) -> List[Message]:
+        """Force every still-pending send into a DEGRADED outcome.
+
+        The end-of-run counterpart of the watchdog: whatever is left
+        hanging when the event queue went quiet gets a diagnosable
+        :class:`DegradedSend` (its ``done`` event fires) instead of
+        staying silently incomplete forever.  Returns the messages
+        drained this way.
+        """
+        drained: List[Message] = []
+        for msg in self.sent_log:
+            if msg.status in _TERMINAL:
+                continue
+            self._degrade_message(
+                msg,
+                f"stuck at drain in status {msg.status.value} "
+                f"({msg.bytes_received}/{msg.size}B received)",
+            )
+            drained.append(msg)
+        return drained
 
     # ------------------------------------------------------------------ #
 

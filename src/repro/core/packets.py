@@ -85,6 +85,16 @@ class Message:
     t_post: Optional[float] = None       # isend instant
     t_complete: Optional[float] = None   # receiver done instant
 
+    # delivery integrity (see docs/chaos.md)
+    #: next per-message wire sequence number (stamped at NIC submit; a
+    #: retry gets a fresh seq over the same chunk interval)
+    wire_seq: int = 0
+    #: chunk intervals already accounted — the receiver-side duplicate
+    #: suppression set: a retry racing its late original lands here once
+    delivered_intervals: set = field(default_factory=set)
+    #: deliveries ignored because their interval was already accounted
+    duplicates_suppressed: int = 0
+
     # fault handling (see repro.faults and docs/faults.md)
     #: replacement transfers issued so far for lost/aborted chunks
     retries: int = 0
@@ -146,6 +156,25 @@ class Message:
                 f"{self.chunks_expected} -> {count}"
             )
         self.chunks_expected = count
+
+    def next_wire_seq(self) -> int:
+        """Allocate the next wire sequence number for an outgoing chunk."""
+        seq = self.wire_seq
+        self.wire_seq = seq + 1
+        return seq
+
+    def register_delivery(self, chunk_key) -> bool:
+        """First delivery of ``chunk_key``?  Record it and return True.
+
+        Returns False for a duplicate — a retry racing its late original
+        (either order); the caller must then *not* account the chunk, so
+        a byte interval is only ever summed once (exactly-once delivery).
+        """
+        if chunk_key in self.delivered_intervals:
+            self.duplicates_suppressed += 1
+            return False
+        self.delivered_intervals.add(chunk_key)
+        return True
 
     def account_chunk(self, nbytes: int) -> bool:
         """Record one received chunk; True when the message is complete."""

@@ -101,6 +101,17 @@ class OptimizerScheduler:
         self._in_activation = True
         try:
             self.activations += 1
+            inv = self.engine.inv
+            if inv.on:
+                inv.on_activation(
+                    self.engine.machine.name, self._outlist, self.sim.now
+                )
+            for msg in self._outlist:
+                # A message posted while every rail was down carries no
+                # mode yet; decide it at the first activation that can
+                # actually send (strategies branch on msg.mode).
+                if msg.mode is None and self.engine.sendable(msg):
+                    msg.mode = self.engine.strategy.choose_mode(msg)
             obs = self.engine.obs
             if obs.on:
                 from repro.obs.metrics import DEFAULT_DEPTH_BUCKETS

@@ -9,14 +9,34 @@ faulty run is exactly as deterministic as a healthy one.
 
 See ``docs/faults.md`` for the full model, including how the engine
 re-plans stranded chunks and the ``DegradedSend`` retry contract.
+
+Chaos testing (``docs/chaos.md``): :class:`ChaosSchedule` expands a seed
+into a randomized-but-reproducible episode composition (including
+node-level crash/restart); :func:`soak` runs many seeded scenarios under
+the :class:`~repro.core.invariants.InvariantMonitor`; :func:`shrink`
+reduces a failing seed to a minimal schedule.
 """
 
 from repro.faults.schedule import FaultAction, FaultSchedule
 from repro.faults.injector import FaultInjector, install_faults
+from repro.faults.chaos import (
+    ChaosSchedule,
+    ScenarioResult,
+    SoakReport,
+    run_scenario,
+    shrink,
+    soak,
+)
 
 __all__ = [
     "FaultAction",
     "FaultSchedule",
     "FaultInjector",
     "install_faults",
+    "ChaosSchedule",
+    "ScenarioResult",
+    "SoakReport",
+    "run_scenario",
+    "shrink",
+    "soak",
 ]

@@ -1,0 +1,594 @@
+"""Chaos-soak harness: seeded randomized fault scenarios, soaked and shrunk.
+
+Where :class:`~repro.faults.schedule.FaultSchedule` is hand-written, a
+:class:`ChaosSchedule` is *generated*: a seed deterministically expands
+into a composition of fault **episodes** — flapping rails, correlated
+dual-rail outages, mid-rendezvous kills, degrade storms, loss bursts and
+node-level crash/restart (a fault class above the per-NIC faults of
+``docs/faults.md``: every rail out of one node dies and recovers
+together).  The same seed always yields the same episodes, the same
+:class:`FaultSchedule`, the same workload, and — because the whole stack
+is a deterministic discrete-event simulation — the same run, byte for
+byte.  ``ChaosSchedule(seed).to_json()`` round-trips losslessly, so a
+failing scenario travels as a small JSON blob.
+
+:func:`run_scenario` executes one seeded scenario on the paper testbed
+with the :class:`~repro.core.invariants.InvariantMonitor` armed and a
+seeded message workload racing the faults; :func:`soak` sweeps many
+seeds and reports outcomes plus scenarios/sec; :func:`shrink` reduces a
+failing seed's schedule to a minimal set of episodes that still
+reproduces the violation (greedy ddmin over episodes).
+
+See ``docs/chaos.md`` for the workflow.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.invariants import InvariantViolation
+from repro.faults.schedule import FaultSchedule
+from repro.util.errors import ConfigurationError
+
+#: episode kinds a chaos seed may draw (generation order = this order)
+EPISODE_KINDS = (
+    "flap",
+    "dual_outage",
+    "mid_rdv_kill",
+    "degrade_storm",
+    "loss_burst",
+    "node_crash",
+)
+
+#: default simulated horizon faults are generated within (µs)
+DEFAULT_HORIZON = 4000.0
+
+#: default number of fault episodes per scenario
+DEFAULT_INTENSITY = 3
+
+#: watchdog configuration for chaos runs — aggressive enough that every
+#: scenario terminates (completes or degrades) well within a drain
+CHAOS_TIMEOUT = "200us"
+CHAOS_MAX_RETRIES = 8
+
+#: workload message-size palette: eager-range and rendezvous-range mixes
+_WORKLOAD_SIZES = (
+    1024,
+    4 * 1024,
+    16 * 1024,
+    64 * 1024,
+    256 * 1024,
+    1024 * 1024,
+)
+
+
+def _round(value: float) -> float:
+    """Clamp generated times to 0.1 µs so schedules read cleanly.
+
+    Floats round-trip exactly through JSON either way; this only keeps
+    the episode parameters human-scannable in violation reports.
+    """
+    return round(value, 1)
+
+
+class ChaosSchedule:
+    """A seed, deterministically expanded into fault episodes.
+
+    Construction draws every parameter from ``random.Random(
+    f"chaos:{seed}")`` — no global randomness, no wall clock — so the same
+    ``(seed, nics, nodes, horizon, intensity)`` always yields the same
+    episodes.  ``episodes`` is plain JSON-able data; :meth:`schedule`
+    expands it (in order) into a :class:`FaultSchedule`.
+
+    Shrinking (:func:`shrink`) works on the episode list: any subset of
+    episodes is itself a valid ChaosSchedule via :meth:`from_json`.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        nics: Sequence[str] = ("myri10g0", "quadrics1"),
+        nodes: Sequence[str] = ("node0", "node1"),
+        horizon: float = DEFAULT_HORIZON,
+        intensity: int = DEFAULT_INTENSITY,
+        episodes: Optional[List[Dict[str, Any]]] = None,
+    ) -> None:
+        if horizon <= 0:
+            raise ConfigurationError(f"chaos horizon must be positive: {horizon}")
+        if intensity < 1:
+            raise ConfigurationError(f"chaos intensity must be >= 1: {intensity}")
+        if not nics or not nodes:
+            raise ConfigurationError("chaos needs at least one NIC and one node")
+        self.seed = int(seed)
+        self.nics = tuple(nics)
+        self.nodes = tuple(nodes)
+        self.horizon = float(horizon)
+        self.intensity = int(intensity)
+        self.episodes: List[Dict[str, Any]] = (
+            list(episodes) if episodes is not None else self._generate()
+        )
+
+    def __repr__(self) -> str:
+        kinds = [e["kind"] for e in self.episodes]
+        return f"<ChaosSchedule seed={self.seed} episodes={kinds}>"
+
+    def __len__(self) -> int:
+        return len(self.episodes)
+
+    # ------------------------------------------------------------------ #
+    # generation
+    # ------------------------------------------------------------------ #
+
+    def _generate(self) -> List[Dict[str, Any]]:
+        rng = random.Random(f"chaos:{self.seed}")
+        count = self.intensity + rng.randrange(self.intensity + 1)
+        episodes: List[Dict[str, Any]] = []
+        for _ in range(count):
+            kind = rng.choice(EPISODE_KINDS)
+            episodes.append(self._draw(kind, rng))
+        return episodes
+
+    def _draw(self, kind: str, rng: random.Random) -> Dict[str, Any]:
+        h = self.horizon
+        start = _round(rng.uniform(0.0, 0.7 * h))
+        if kind == "flap":
+            return {
+                "kind": kind,
+                "nic": rng.choice(self.nics),
+                "start": start,
+                "period": _round(rng.uniform(0.05 * h, 0.2 * h)),
+                "duty": round(rng.uniform(0.2, 0.7), 2),
+                "cycles": rng.randrange(2, 6),
+            }
+        if kind == "dual_outage":
+            # Correlated failure: every rail down in the same instant.
+            return {
+                "kind": kind,
+                "start": start,
+                "duration": _round(rng.uniform(0.05 * h, 0.25 * h)),
+            }
+        if kind == "mid_rdv_kill":
+            # A short, sharp kill timed into the window where rendezvous
+            # handshakes and data phases of the workload are in flight.
+            return {
+                "kind": kind,
+                "nic": rng.choice(self.nics),
+                "start": _round(rng.uniform(0.05 * h, 0.5 * h)),
+                "duration": _round(rng.uniform(0.01 * h, 0.08 * h)),
+            }
+        if kind == "degrade_storm":
+            return {
+                "kind": kind,
+                "nic": rng.choice(self.nics),
+                "start": start,
+                "bursts": rng.randrange(2, 5),
+                "period": _round(rng.uniform(0.05 * h, 0.15 * h)),
+                "bw_factor": round(rng.uniform(0.2, 0.8), 2),
+                "extra_latency": _round(rng.uniform(0.0, 5.0)),
+            }
+        if kind == "loss_burst":
+            return {
+                "kind": kind,
+                "nic": rng.choice(self.nics),
+                "start": start,
+                "duration": _round(rng.uniform(0.1 * h, 0.4 * h)),
+                "probability": round(rng.uniform(0.1, 0.9), 2),
+                "control": rng.random() < 0.4,  # stall handshakes instead
+            }
+        if kind == "node_crash":
+            return {
+                "kind": kind,
+                "node": rng.choice(self.nodes),
+                "start": start,
+                "duration": _round(rng.uniform(0.05 * h, 0.3 * h)),
+            }
+        raise ConfigurationError(f"unknown chaos episode kind {kind!r}")
+
+    # ------------------------------------------------------------------ #
+    # expansion
+    # ------------------------------------------------------------------ #
+
+    def schedule(self) -> FaultSchedule:
+        """Expand the episodes, in order, into a :class:`FaultSchedule`."""
+        sched = FaultSchedule(seed=self.seed)
+        for i, ep in enumerate(self.episodes):
+            kind = ep["kind"]
+            if kind == "flap":
+                sched.flapping(
+                    ep["nic"],
+                    period=ep["period"],
+                    duty=ep["duty"],
+                    start=ep["start"],
+                    cycles=ep["cycles"],
+                )
+            elif kind == "dual_outage":
+                for nic in self.nics:
+                    sched.nic_down(nic, at=ep["start"], duration=ep["duration"])
+            elif kind == "mid_rdv_kill":
+                sched.nic_down(ep["nic"], at=ep["start"], duration=ep["duration"])
+            elif kind == "degrade_storm":
+                t = ep["start"]
+                for _ in range(ep["bursts"]):
+                    sched.degrade(
+                        ep["nic"],
+                        at=t,
+                        bw_factor=ep["bw_factor"],
+                        extra_latency=ep["extra_latency"],
+                        duration=ep["period"] / 2.0,
+                    )
+                    t = _round(t + ep["period"])
+            elif kind == "loss_burst":
+                loss = sched.rdv_stall if ep["control"] else sched.eager_loss
+                loss(
+                    ep["nic"],
+                    probability=ep["probability"],
+                    start=ep["start"],
+                    stop=ep["start"] + ep["duration"],
+                    label=f"chaos-{i}",
+                )
+            elif kind == "node_crash":
+                sched.node_crash(ep["node"], at=ep["start"], duration=ep["duration"])
+            else:
+                raise ConfigurationError(f"unknown chaos episode kind {kind!r}")
+        return sched
+
+    # ------------------------------------------------------------------ #
+    # (de)serialization — lossless round trip
+    # ------------------------------------------------------------------ #
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "nics": list(self.nics),
+            "nodes": list(self.nodes),
+            "horizon": self.horizon,
+            "intensity": self.intensity,
+            "episodes": [dict(e) for e in self.episodes],
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "ChaosSchedule":
+        if not isinstance(data, dict):
+            raise ConfigurationError(f"chaos schedule must be a mapping: {data!r}")
+        unknown = set(data) - {
+            "seed", "nics", "nodes", "horizon", "intensity", "episodes",
+        }
+        if unknown:
+            raise ConfigurationError(f"unknown chaos keys: {sorted(unknown)}")
+        return cls(
+            seed=int(data["seed"]),
+            nics=tuple(data.get("nics", ("myri10g0", "quadrics1"))),
+            nodes=tuple(data.get("nodes", ("node0", "node1"))),
+            horizon=float(data.get("horizon", DEFAULT_HORIZON)),
+            intensity=int(data.get("intensity", DEFAULT_INTENSITY)),
+            episodes=[dict(e) for e in data.get("episodes", [])],
+        )
+
+
+# ---------------------------------------------------------------------- #
+# scenario execution
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one chaos scenario (one seed, one run)."""
+
+    seed: int
+    ok: bool
+    violation: Optional[InvariantViolation]
+    elapsed_us: float
+    messages_sent: int
+    messages_completed: int
+    messages_degraded: int
+    retries_issued: int
+    duplicates_suppressed: int
+    deliveries_cancelled: int
+    faults_fired: int
+    checks_performed: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = {
+            "seed": self.seed,
+            "ok": self.ok,
+            "elapsed_us": self.elapsed_us,
+            "messages_sent": self.messages_sent,
+            "messages_completed": self.messages_completed,
+            "messages_degraded": self.messages_degraded,
+            "retries_issued": self.retries_issued,
+            "duplicates_suppressed": self.duplicates_suppressed,
+            "deliveries_cancelled": self.deliveries_cancelled,
+            "faults_fired": self.faults_fired,
+            "checks_performed": self.checks_performed,
+        }
+        if self.violation is not None:
+            out["violation"] = self.violation.to_dict()
+        return out
+
+
+def _reset_id_counters() -> None:
+    """Restart the process-global message/transfer id counters.
+
+    Ids only need to be unique within one simulator; restarting them per
+    scenario makes every scenario self-contained — the same seed yields
+    the same ids (and therefore byte-identical traces) no matter how
+    many scenarios ran before it in this process.
+    """
+    import repro.core.packets as packets
+    import repro.networks.transfer as transfer
+
+    packets._msg_seq = itertools.count()
+    transfer._transfer_ids = itertools.count()
+
+
+def _seeded_workload(cluster, chaos: ChaosSchedule, seed: int) -> List[Any]:
+    """Post a deterministic message mix racing the fault episodes.
+
+    Every receive is posted up front (tag-matched), sends are staggered
+    through the first 60% of the horizon so faults land before, between
+    and inside transfers.  All draws come from ``random.Random(
+    f"workload:{seed}")`` — independent of the chaos draws, so editing
+    the episode generator never perturbs the workload and vice versa.
+    """
+    rng = random.Random(f"workload:{seed}")
+    sender, receiver = cluster.sessions("node0", "node1")
+    count = 6 + rng.randrange(7)
+    messages: List[Any] = []
+    send_engine = cluster.engine("node0")
+    for tag in range(count):
+        receiver.irecv(tag=tag)
+    for tag in range(count):
+        size = rng.choice(_WORKLOAD_SIZES)
+        at = _round(rng.uniform(0.0, 0.6 * chaos.horizon))
+        cluster.sim.schedule_at(
+            at,
+            lambda s=size, t=tag: messages.append(
+                send_engine.isend("node1", s, tag=t)
+            ),
+        )
+    return messages
+
+
+def run_scenario(
+    seed: int,
+    chaos: Optional[ChaosSchedule] = None,
+    strategy: str = "hetero_split",
+    horizon: float = DEFAULT_HORIZON,
+    intensity: int = DEFAULT_INTENSITY,
+    invariants: bool = True,
+) -> ScenarioResult:
+    """Run one chaos scenario: paper testbed + seeded faults + invariants.
+
+    Builds the §IV testbed with the watchdog armed and the invariant
+    monitor installed, injects ``chaos`` (generated from ``seed`` when
+    not given), drives the seeded workload to drain, then audits the
+    drained cluster.  Never raises on a violation — it is captured in
+    the returned :class:`ScenarioResult` (soak loops keep going).
+
+    ``invariants=False`` runs the same scenario without the monitor —
+    the BENCH_PR4 overhead comparison; only the drain check remains.
+    """
+    from repro.api.cluster import ClusterBuilder
+    from repro.bench.runners import default_profiles
+
+    if chaos is None:
+        chaos = ChaosSchedule(seed, horizon=horizon, intensity=intensity)
+    _reset_id_counters()
+    builder = (
+        ClusterBuilder.paper_testbed(strategy=strategy)
+        .sampling(profiles=default_profiles(("myri10g", "quadrics")))
+        .resilience(timeout=CHAOS_TIMEOUT, max_retries=CHAOS_MAX_RETRIES)
+        .faults(chaos.schedule())
+    )
+    if invariants:
+        builder.invariants()
+    cluster = builder.build()
+    monitor = cluster.invariants
+    if monitor is not None:
+        monitor.bind_context(seed=seed, schedule=chaos.to_json())
+    violation: Optional[InvariantViolation] = None
+    messages: List[Any] = []
+    try:
+        messages = _seeded_workload(cluster, chaos, seed)
+        cluster.run()
+        cluster.check_drain()
+    except InvariantViolation as exc:
+        violation = exc
+    engine = cluster.engine("node0")
+    return ScenarioResult(
+        seed=seed,
+        ok=violation is None,
+        violation=violation,
+        elapsed_us=cluster.sim.now,
+        messages_sent=len(messages),
+        messages_completed=sum(
+            e.messages_completed for e in cluster.engines.values()
+        ),
+        messages_degraded=sum(
+            e.messages_degraded for e in cluster.engines.values()
+        ),
+        retries_issued=engine.retries_issued,
+        duplicates_suppressed=sum(
+            e.duplicates_suppressed for e in cluster.engines.values()
+        ),
+        deliveries_cancelled=sum(
+            e.deliveries_cancelled for e in cluster.engines.values()
+        ),
+        faults_fired=(
+            cluster.fault_injector.faults_fired if cluster.fault_injector else 0
+        ),
+        checks_performed=monitor.checks_performed if monitor else 0,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# soak
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class SoakReport:
+    """Aggregate outcome of a multi-seed chaos soak."""
+
+    scenarios: List[ScenarioResult] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    #: minimal shrunk schedules per failing seed (when shrinking ran)
+    shrunk: Dict[int, Dict[str, Any]] = field(default_factory=dict)
+
+    @property
+    def violations(self) -> List[ScenarioResult]:
+        return [s for s in self.scenarios if not s.ok]
+
+    @property
+    def scenarios_per_sec(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return len(self.scenarios) / self.wall_seconds
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scenarios": len(self.scenarios),
+            "violations": len(self.violations),
+            "scenarios_per_sec": self.scenarios_per_sec,
+            "wall_seconds": self.wall_seconds,
+            "results": [s.to_dict() for s in self.scenarios],
+            "shrunk": {str(k): v for k, v in self.shrunk.items()},
+        }
+
+    def summary(self) -> str:
+        ok = len(self.scenarios) - len(self.violations)
+        lines = [
+            f"chaos soak: {len(self.scenarios)} scenario(s), {ok} clean, "
+            f"{len(self.violations)} violation(s), "
+            f"{self.scenarios_per_sec:.2f} scenarios/sec"
+        ]
+        for bad in self.violations:
+            assert bad.violation is not None
+            lines.append(
+                f"  seed {bad.seed}: {bad.violation.invariant} — "
+                f"{bad.violation.detail}"
+            )
+            if bad.seed in self.shrunk:
+                eps = self.shrunk[bad.seed].get("episodes", [])
+                kinds = ", ".join(e["kind"] for e in eps)
+                lines.append(
+                    f"    shrunk to {len(eps)} episode(s): {kinds}"
+                )
+        return "\n".join(lines)
+
+
+def soak(
+    seeds,
+    strategy: str = "hetero_split",
+    horizon: float = DEFAULT_HORIZON,
+    intensity: int = DEFAULT_INTENSITY,
+    shrink_failures: bool = False,
+    invariants: bool = True,
+) -> SoakReport:
+    """Run a chaos scenario per seed; collect outcomes, never abort.
+
+    ``seeds`` is an iterable of ints (or an int: ``range(seeds)``).
+    With ``shrink_failures``, every failing seed's schedule is reduced
+    to a minimal still-failing episode set (:func:`shrink`) and attached
+    to the report.
+    """
+    if isinstance(seeds, int):
+        seeds = range(seeds)
+    report = SoakReport()
+    t0 = time.perf_counter()
+    for seed in seeds:
+        result = run_scenario(
+            seed,
+            strategy=strategy,
+            horizon=horizon,
+            intensity=intensity,
+            invariants=invariants,
+        )
+        report.scenarios.append(result)
+        if not result.ok and shrink_failures:
+            minimal = shrink(
+                seed, strategy=strategy, horizon=horizon, intensity=intensity
+            )
+            report.shrunk[seed] = minimal.to_json()
+    report.wall_seconds = time.perf_counter() - t0
+    return report
+
+
+# ---------------------------------------------------------------------- #
+# shrinking
+# ---------------------------------------------------------------------- #
+
+
+def shrink(
+    seed: int,
+    strategy: str = "hetero_split",
+    horizon: float = DEFAULT_HORIZON,
+    intensity: int = DEFAULT_INTENSITY,
+    max_runs: int = 64,
+) -> ChaosSchedule:
+    """Reduce a failing seed's schedule to a minimal failing episode set.
+
+    Greedy delta-debugging over episodes: repeatedly try dropping one
+    episode; keep any drop after which the scenario still violates.
+    Terminates when no single episode can be removed (1-minimal) or
+    after ``max_runs`` scenario executions.  Returns the reduced
+    :class:`ChaosSchedule` — deterministic, so the returned schedule
+    replays the violation via ``run_scenario(seed, chaos=shrunk)``.
+    """
+    base = ChaosSchedule(seed, horizon=horizon, intensity=intensity)
+
+    def fails(episodes: List[Dict[str, Any]]) -> bool:
+        candidate = ChaosSchedule(
+            seed,
+            nics=base.nics,
+            nodes=base.nodes,
+            horizon=base.horizon,
+            intensity=base.intensity,
+            episodes=episodes,
+        )
+        return not run_scenario(seed, chaos=candidate, strategy=strategy).ok
+
+    runs = 0
+    if not fails(base.episodes):
+        # Nothing to shrink: the full schedule passes.
+        return base
+    episodes = list(base.episodes)
+    reduced = True
+    while reduced and runs < max_runs:
+        reduced = False
+        for i in range(len(episodes)):
+            trial = episodes[:i] + episodes[i + 1 :]
+            runs += 1
+            if runs >= max_runs:
+                break
+            if fails(trial):
+                episodes = trial
+                reduced = True
+                break
+    return ChaosSchedule(
+        seed,
+        nics=base.nics,
+        nodes=base.nodes,
+        horizon=base.horizon,
+        intensity=base.intensity,
+        episodes=episodes,
+    )
+
+
+__all__ = [
+    "CHAOS_MAX_RETRIES",
+    "CHAOS_TIMEOUT",
+    "ChaosSchedule",
+    "DEFAULT_HORIZON",
+    "DEFAULT_INTENSITY",
+    "EPISODE_KINDS",
+    "ScenarioResult",
+    "SoakReport",
+    "run_scenario",
+    "shrink",
+    "soak",
+]

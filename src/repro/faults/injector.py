@@ -14,8 +14,9 @@ of unrelated schedule edits.
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Tuple
 
+from repro.core.invariants import NULL_INVARIANTS
 from repro.faults.schedule import FaultAction, FaultSchedule
 from repro.networks.nic import DropRule, Nic
 from repro.networks.transfer import TransferKind
@@ -38,9 +39,14 @@ class FaultInjector:
         self.sim = next(iter(self._by_qualified.values())).sim
         #: count of fault actions that have fired so far
         self.faults_fired: int = 0
+        #: (simulated time, rule id, nic, action) per firing, in order —
+        #: the audit trail the rule-ordering regression test reads
+        self.fired_log: List[Tuple[float, int, str, str]] = []
         self._armed = False
         #: observability hub; install_faults swaps in the cluster-wide one
         self.obs = NULL_OBS
+        #: invariant monitor; install_faults swaps in the cluster-wide one
+        self.inv = NULL_INVARIANTS
 
     def __repr__(self) -> str:
         return (
@@ -53,11 +59,29 @@ class FaultInjector:
     # ------------------------------------------------------------------ #
 
     def resolve(self, name: str) -> List[Nic]:
-        """NICs a schedule entry addresses (qualified or bare name)."""
+        """NICs a schedule entry addresses.
+
+        Accepts a qualified name (``"node0.myri10g0"``), a bare NIC name
+        (``"myri10g0"``, that NIC on every node) or a node wildcard
+        (``"node0.*"``, every NIC of one node — node crash/restart).
+        """
         if name in self._by_qualified:
             return [self._by_qualified[name]]
         if name in self._by_name:
             return list(self._by_name[name])
+        if name.endswith(".*"):
+            node = name[:-2]
+            nics = [
+                nic
+                for nic in self._by_qualified.values()
+                if nic.machine.name == node
+            ]
+            if nics:
+                return nics
+            raise ConfigurationError(
+                f"fault schedule names unknown node {node!r}; known nodes: "
+                f"{sorted({n.machine.name for n in self._by_qualified.values()})}"
+            )
         raise ConfigurationError(
             f"fault schedule names unknown NIC {name!r}; "
             f"known: {sorted(self._by_qualified)}"
@@ -68,11 +92,19 @@ class FaultInjector:
     # ------------------------------------------------------------------ #
 
     def arm(self) -> "FaultInjector":
-        """Book every schedule action as a simulator event (idempotent)."""
+        """Book every schedule action as a simulator event (idempotent).
+
+        Rule ids are assigned here, in ``sorted_actions()`` order (time,
+        then schedule insertion order), and the events are booked in
+        rule-id order — the simulator breaks same-instant ties by booking
+        sequence, so two rules at one timestamp always apply in rule-id
+        order, independent of event-heap internals.  The invariant
+        monitor's ``fault-rule-order`` check audits exactly this.
+        """
         if self._armed:
             return self
         self._armed = True
-        for index, action in enumerate(self.schedule.sorted_actions()):
+        for rule_id, action in enumerate(self.schedule.sorted_actions()):
             for nic in self.resolve(action.nic):  # resolves eagerly: typos
                 # surface at arm time, not mid-run
                 self.sim.schedule_at(
@@ -80,12 +112,17 @@ class FaultInjector:
                     self._fire,
                     action,
                     nic,
-                    index,
+                    rule_id,
                 )
         return self
 
-    def _fire(self, action: FaultAction, nic: Nic, index: int) -> None:
+    def _fire(self, action: FaultAction, nic: Nic, rule_id: int) -> None:
         self.faults_fired += 1
+        self.fired_log.append(
+            (self.sim.now, rule_id, nic.qualified_name, action.action)
+        )
+        if self.inv.on:
+            self.inv.on_fault(rule_id, action, self.sim.now)
         obs = self.obs
         if obs.on:
             obs.metrics.counter("faults.fired").inc()
@@ -99,7 +136,7 @@ class FaultInjector:
                     cat="fault",
                     args={
                         "nic": nic.qualified_name,
-                        "index": index,
+                        "rule_id": rule_id,
                         "params": dict(action.params),
                     },
                 )
@@ -120,7 +157,7 @@ class FaultInjector:
                 TransferKind(k) for k in action.params.get("kinds", ["eager"])
             )
             rng = random.Random(
-                f"{self.schedule.seed}:{nic.qualified_name}:{label}:{index}"
+                f"{self.schedule.seed}:{nic.qualified_name}:{label}:{rule_id}"
             )
             nic.drop_rules.append(
                 DropRule(
@@ -148,6 +185,7 @@ def install_faults(cluster, schedule: FaultSchedule) -> FaultInjector:
     ]
     injector = FaultInjector(nics, schedule)
     injector.obs = getattr(cluster, "obs", NULL_OBS)
+    injector.inv = getattr(cluster, "invariants", None) or NULL_INVARIANTS
     injector.arm()
     cluster.fault_injector = injector
     return injector

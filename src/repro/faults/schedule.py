@@ -11,7 +11,9 @@ seeded from ``(schedule.seed, rule identity)``.
 NIC addressing: actions name NICs either fully qualified
 (``"node0.myri10g0"``) or bare (``"myri10g0"``), in which case the
 action applies to that NIC on *every* node — convenient for killing both
-endpoints of a point-to-point rail at once.
+endpoints of a point-to-point rail at once.  The wildcard form
+``"node0.*"`` addresses every NIC of one node — the node-level fault
+class (crash/restart) used by :meth:`FaultSchedule.node_crash`.
 
 Times accept anything :func:`repro.util.units.parse_time` does
 (``"2ms"``, ``"500us"``, plain µs floats).
@@ -132,6 +134,21 @@ class FaultSchedule:
 
     def nic_up(self, nic: str, at) -> "FaultSchedule":
         return self._add(at, nic, "up")
+
+    def node_crash(self, node: str, at, duration=None) -> "FaultSchedule":
+        """Crash a whole node: every one of its NICs goes down at ``at``.
+
+        A node-level fault, one class above per-NIC outages: *all* rails
+        out of ``node`` die in the same instant (transfers pending on any
+        of them abort; packets in flight towards them are lost), and —
+        when ``duration`` is given — all come back together, modelling a
+        reboot.  Addresses the injector's ``"<node>.*"`` wildcard.
+        """
+        start = parse_time(at)
+        self._add(start, f"{node}.*", "down")
+        if duration is not None:
+            self._add(start + parse_time(duration), f"{node}.*", "up")
+        return self
 
     def flapping(
         self,

@@ -34,7 +34,7 @@ from typing import Callable, Dict, List, Optional, TYPE_CHECKING
 from repro.hardware.core import Core
 from repro.hardware.machine import Machine
 from repro.networks.profile import NetworkProfile
-from repro.networks.transfer import Transfer, TransferKind
+from repro.networks.transfer import Transfer, TransferKind, wire_checksum
 from repro.obs import NULL_OBS
 from repro.simtime import Resource, SimEvent, Simulator, Timeout
 from repro.util.errors import ConfigurationError, SchedulingError
@@ -129,6 +129,13 @@ class Nic:
         #: observability bundle; installed by the owning engine (guarded
         #: call sites — the shared null bundle costs one attribute read)
         self.obs = NULL_OBS
+        #: invariant monitor; installed by the owning engine (same
+        #: guarded-hook pattern; the null singleton when checking is off).
+        #: Imported at runtime: repro.core's package init reaches this
+        #: module, so a top-level import would be circular.
+        from repro.core.invariants import NULL_INVARIANTS
+
+        self.inv = NULL_INVARIANTS
         machine._attach_nic(self)
 
     def __repr__(self) -> str:
@@ -391,6 +398,19 @@ class Nic:
             # with >2 ports needs the destination set by the caller (the
             # engine's protocol constructors always set it).
             transfer.dst_node = self.wire.peer_of(self).machine.name
+        if transfer.seq_no is None:
+            # Delivery-integrity stamps (pure arithmetic, no events): a
+            # per-message wire sequence number and a checksum over the
+            # chunk's identity.  A retried clone arrives here unstamped
+            # and gets fresh ones; stamps survive re-submission of the
+            # same object (down-rail abort → inline re-plan).
+            owner = transfer.payload.get("message")
+            if owner is None:
+                msgs = transfer.payload.get("messages")
+                owner = msgs[0] if msgs else None
+            if owner is not None:
+                transfer.seq_no = owner.next_wire_seq()
+                transfer.checksum = wire_checksum(transfer)
 
         if not self._up:
             # Submitting into a dead link aborts inline: tx_done fires so
@@ -521,6 +541,8 @@ class Nic:
 
     def _finish_tx(self, transfer: Transfer, start: float) -> None:
         transfer.t_tx_done = self.sim.now
+        if self.inv.on:
+            self.inv.on_tx(self, transfer, start, self.sim.now)
         if transfer in self._pending:
             self._pending.remove(transfer)
         self.work_log.append(

@@ -120,10 +120,13 @@ class Switch:
         delivery = max(start + drain, sim.now + self.switch_latency)
         self._port_free[id(dst)] = delivery
         self.packets_forwarded += 1
-        sim.schedule_at(delivery + src.extra_latency, self._deliver, dst, transfer)
+        transfer.wire_event = sim.schedule_at(
+            delivery + src.extra_latency, self._deliver, dst, transfer
+        )
 
     @staticmethod
     def _deliver(dst: Nic, transfer: Transfer) -> None:
+        transfer.wire_event = None
         # Up-ness is a delivery-time property: packets racing a NIC-down
         # event lose deterministically (see Wire._deliver).
         if not dst.is_up:

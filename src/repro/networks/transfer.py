@@ -73,6 +73,14 @@ class Transfer:
     #: absolute predicted completion instant (busy offset included)
     predicted_completion: Optional[float] = None
 
+    # -- delivery-integrity fields (stamped on the wire path) --
+    #: per-message wire sequence number, stamped at NIC submit time;
+    #: strictly increasing per message across chunks and retries
+    seq_no: Optional[int] = None
+    #: lightweight wire checksum over the chunk's identity (msg, kind,
+    #: interval, seq); verified receiver-side by the invariant monitor
+    checksum: Optional[int] = None
+
     # -- fault fields (see repro.faults) --
     #: send-side NIC went down before the transmit phase drained
     aborted: bool = False
@@ -81,8 +89,14 @@ class Transfer:
     #: a replacement transfer has been issued for this one (guards against
     #: double retries)
     retried: bool = False
+    #: a replacement was issued *and* this transfer must no longer deliver
+    #: — a late original racing its retry is suppressed receiver-side
+    superseded: bool = False
     #: transfer_id of the lost transfer this one replaces, if any
     retry_of: Optional[int] = None
+    #: pending wire-delivery event while in flight (cancellable by the
+    #: retry path so a superseded original never lands); cleared on landing
+    wire_event: Optional[object] = None
 
     #: triggered (with this Transfer) when receive-side processing is done
     done: Optional[SimEvent] = None
@@ -104,3 +118,47 @@ class Transfer:
         if self.t_submit is None or self.t_complete is None:
             return None
         return self.t_complete - self.t_submit
+
+    @property
+    def chunk_key(self) -> "tuple[int, int]":
+        """The byte interval this transfer covers in its message.
+
+        Stable across retries (a replacement covers the same interval),
+        which is what receiver-side duplicate suppression keys on.
+        """
+        return (self.offset, self.size)
+
+
+#: stable per-kind codes (``hash(str)`` is salted per process; these
+#: keep checksums reproducible across runs and machines)
+_KIND_CODE = {kind: i + 1 for i, kind in enumerate(TransferKind)}
+
+#: FNV-1a offset basis / prime (64-bit), the checksum's mixing constants
+_FNV_BASIS = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_FNV_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def wire_checksum(transfer: Transfer) -> int:
+    """Lightweight integrity checksum over a transfer's wire identity.
+
+    Folds the fields the receive path depends on — message id, protocol
+    kind, chunk interval, chunk indices and the wire sequence number —
+    through FNV-1a.  Pure integer arithmetic, no allocation: cheap
+    enough to stamp on every submit.  Payload *contents* are not
+    simulated, so identity is what "integrity" means here: a checksum
+    mismatch at delivery says some layer rewired a chunk's coordinates
+    in flight.
+    """
+    h = _FNV_BASIS
+    for word in (
+        transfer.msg_id,
+        _KIND_CODE[transfer.kind],
+        transfer.offset,
+        transfer.size,
+        transfer.chunk_index,
+        transfer.chunk_count,
+        transfer.seq_no if transfer.seq_no is not None else -1,
+    ):
+        h = ((h ^ (word & _FNV_MASK)) * _FNV_PRIME) & _FNV_MASK
+    return h

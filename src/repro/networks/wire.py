@@ -65,7 +65,9 @@ class Wire:
         dies before it lands is lost.
         """
         peer = self.peer_of(src)
-        src.sim.schedule(
+        # The handle lets the engine's retry path cancel a superseded
+        # original that is still in flight (see docs/chaos.md).
+        transfer.wire_event = src.sim.schedule(
             src.profile.wire_latency + src.extra_latency,
             self._deliver,
             peer,
@@ -74,6 +76,7 @@ class Wire:
 
     @staticmethod
     def _deliver(peer: "Nic", transfer: "Transfer") -> None:
+        transfer.wire_event = None
         if not peer.is_up:
             transfer.dropped = True
             peer.transfers_dropped += 1

@@ -60,6 +60,11 @@ class PiomanEngine:
         self.interrupts: int = 0
         #: observability hub; the engine swaps in the cluster-wide one
         self.obs = NULL_OBS
+        #: invariant monitor; the engine swaps in the cluster-wide one
+        #: (runtime import: repro.core's package init reaches this module)
+        from repro.core.invariants import NULL_INVARIANTS
+
+        self.inv = NULL_INVARIANTS
 
     def __repr__(self) -> str:
         return (
@@ -175,6 +180,8 @@ class PiomanEngine:
     def _rx_done(self, transfer: Transfer, nic: Nic) -> None:
         self.events_detected += 1
         transfer.t_complete = self.sim.now
+        if self.inv.on:
+            self.inv.on_rx_done(transfer, nic, self.sim.now)
         if transfer.done is not None:
             transfer.done.trigger(transfer)
         if self.rx_dispatch is not None:

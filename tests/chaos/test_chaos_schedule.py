@@ -1,0 +1,120 @@
+"""ChaosSchedule: seeded generation, lossless round-trip, expansion."""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.faults import ChaosSchedule
+from repro.faults.chaos import EPISODE_KINDS
+from repro.util.errors import ConfigurationError
+
+
+class TestGeneration:
+    def test_same_seed_same_episodes(self):
+        assert ChaosSchedule(42).episodes == ChaosSchedule(42).episodes
+
+    def test_different_seeds_differ(self):
+        # Not guaranteed for any single pair, but over a small window at
+        # least one schedule must differ or the generator is ignoring
+        # the seed entirely.
+        schedules = [ChaosSchedule(s).episodes for s in range(8)]
+        assert any(a != b for a, b in zip(schedules, schedules[1:]))
+
+    def test_episode_kinds_are_known(self):
+        for seed in range(20):
+            for ep in ChaosSchedule(seed).episodes:
+                assert ep["kind"] in EPISODE_KINDS
+
+    def test_intensity_bounds_episode_count(self):
+        for seed in range(20):
+            n = len(ChaosSchedule(seed, intensity=3).episodes)
+            assert 3 <= n <= 6
+
+    def test_bad_horizon_rejected(self):
+        with pytest.raises(ConfigurationError, match="horizon"):
+            ChaosSchedule(1, horizon=0.0)
+
+    def test_bad_intensity_rejected(self):
+        with pytest.raises(ConfigurationError, match="intensity"):
+            ChaosSchedule(1, intensity=0)
+
+    def test_empty_nics_rejected(self):
+        with pytest.raises(ConfigurationError, match="at least one"):
+            ChaosSchedule(1, nics=())
+
+
+class TestRoundTrip:
+    def test_json_round_trip_is_lossless(self):
+        chaos = ChaosSchedule(7)
+        blob = json.dumps(chaos.to_json(), sort_keys=True)
+        again = ChaosSchedule.from_json(json.loads(blob))
+        assert again.to_json() == chaos.to_json()
+        assert again.episodes == chaos.episodes
+
+    def test_round_trip_preserves_expansion(self):
+        chaos = ChaosSchedule(11)
+        again = ChaosSchedule.from_json(chaos.to_json())
+        assert again.schedule().to_dict() == chaos.schedule().to_dict()
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigurationError, match="ghost"):
+            ChaosSchedule.from_json({"seed": 1, "ghost": True})
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(ConfigurationError, match="mapping"):
+            ChaosSchedule.from_json([1, 2, 3])
+
+    def test_episode_subset_is_valid(self):
+        # The shrinker relies on this: any subset of episodes builds.
+        chaos = ChaosSchedule(5)
+        sub = ChaosSchedule(5, episodes=chaos.episodes[:1])
+        assert len(sub) == 1
+        sub.schedule()  # expands without raising
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    def test_round_trip_property(self, seed):
+        chaos = ChaosSchedule(seed)
+        blob = json.dumps(chaos.to_json(), sort_keys=True)
+        again = ChaosSchedule.from_json(json.loads(blob))
+        assert again.to_json() == chaos.to_json()
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        intensity=st.integers(min_value=1, max_value=6),
+        horizon=st.floats(min_value=500.0, max_value=20_000.0),
+    )
+    def test_generation_is_pure_property(self, seed, intensity, horizon):
+        a = ChaosSchedule(seed, intensity=intensity, horizon=horizon)
+        b = ChaosSchedule(seed, intensity=intensity, horizon=horizon)
+        assert a.episodes == b.episodes
+        assert a.schedule().to_dict() == b.schedule().to_dict()
+
+
+class TestExpansion:
+    def test_dual_outage_hits_every_nic(self):
+        chaos = ChaosSchedule(
+            1,
+            episodes=[{"kind": "dual_outage", "start": 100.0, "duration": 50.0}],
+        )
+        actions = chaos.schedule().sorted_actions()
+        downs = [a.nic for a in actions if a.action == "down"]
+        assert sorted(downs) == ["myri10g0", "quadrics1"]
+
+    def test_node_crash_uses_wildcard(self):
+        chaos = ChaosSchedule(
+            1,
+            episodes=[
+                {"kind": "node_crash", "node": "node0", "start": 10.0,
+                 "duration": 40.0}
+            ],
+        )
+        actions = chaos.schedule().sorted_actions()
+        assert any(a.nic == "node0.*" for a in actions)
+
+    def test_unknown_kind_rejected_at_expansion(self):
+        chaos = ChaosSchedule(1, episodes=[{"kind": "meteor", "start": 0.0}])
+        with pytest.raises(ConfigurationError, match="meteor"):
+            chaos.schedule()

@@ -1,0 +1,247 @@
+"""InvariantMonitor hook-level unit tests (no cluster needed)."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.invariants import (
+    NULL_INVARIANTS,
+    InvariantMonitor,
+    InvariantViolation,
+    NullInvariantMonitor,
+)
+from repro.networks.transfer import Transfer, TransferKind, wire_checksum
+
+
+def msg_stub(msg_id=1, size=4096, **kw):
+    defaults = dict(
+        msg_id=msg_id,
+        size=size,
+        src="node0",
+        dest="node1",
+        bytes_received=size,
+        outcome=None,
+        retries=0,
+    )
+    defaults.update(kw)
+    return SimpleNamespace(**defaults)
+
+
+def chunk(msg_id=1, size=4096, offset=0, seq_no=0, **kw):
+    t = Transfer(
+        kind=TransferKind.RDV_DATA,
+        size=size,
+        msg_id=msg_id,
+        offset=offset,
+        seq_no=seq_no,
+        **kw,
+    )
+    t.checksum = wire_checksum(t)
+    return t
+
+
+class TestNullMonitor:
+    def test_singleton_is_off(self):
+        assert NULL_INVARIANTS.on is False
+        assert isinstance(NULL_INVARIANTS, NullInvariantMonitor)
+
+    def test_every_hook_is_a_noop(self):
+        n = NULL_INVARIANTS
+        n.bind_context(seed=1, schedule={})
+        n.on_send(None)
+        n.on_delivery(None, None, 0.0)
+        n.on_duplicate(None, None, 0.0)
+        n.on_complete(None, 0.0)
+        n.on_degraded(None, 0.0)
+        n.on_retry(None, None, None, 0, 0.0)
+        n.on_activation("node0", [], 0.0)
+        n.on_tx(None, None, 0.0, 0.0)
+        n.on_rx_done(None, None, 0.0)
+        n.on_fault(0, None, 0.0)
+        n.check_drain(None)
+
+
+class TestClockMonotonic:
+    def test_backwards_clock_violates(self):
+        mon = InvariantMonitor()
+        msg = msg_stub()
+        mon.on_send(msg)
+        mon.on_delivery(msg, chunk(), 10.0)
+        with pytest.raises(InvariantViolation, match="clock-monotonic"):
+            mon.on_complete(msg, 5.0)
+
+
+class TestDeliveryChecks:
+    def test_clean_delivery_then_complete(self):
+        mon = InvariantMonitor()
+        msg = msg_stub()
+        mon.on_send(msg)
+        mon.on_delivery(msg, chunk(), 10.0)
+        mon.on_complete(msg, 11.0)
+        assert mon.checks_performed > 0
+
+    def test_double_delivery_of_one_interval(self):
+        mon = InvariantMonitor()
+        msg = msg_stub()
+        mon.on_send(msg)
+        mon.on_delivery(msg, chunk(seq_no=0), 10.0)
+        with pytest.raises(InvariantViolation, match="chunk-exactly-once"):
+            mon.on_delivery(msg, chunk(seq_no=1), 12.0)
+
+    def test_overlapping_intervals_violate(self):
+        mon = InvariantMonitor()
+        msg = msg_stub(size=8192)
+        mon.on_send(msg)
+        mon.on_delivery(msg, chunk(size=4096, offset=0), 10.0)
+        with pytest.raises(InvariantViolation, match="chunk-bounds"):
+            mon.on_delivery(msg, chunk(size=4096, offset=2048, seq_no=1), 11.0)
+
+    def test_out_of_bounds_chunk_violates(self):
+        mon = InvariantMonitor()
+        msg = msg_stub(size=4096)
+        mon.on_send(msg)
+        with pytest.raises(InvariantViolation, match="chunk-bounds"):
+            mon.on_delivery(msg, chunk(size=4096, offset=1024), 10.0)
+
+    def test_corrupted_checksum_violates(self):
+        mon = InvariantMonitor()
+        msg = msg_stub()
+        mon.on_send(msg)
+        bad = chunk()
+        bad.checksum ^= 0xBEEF
+        with pytest.raises(InvariantViolation, match="chunk-checksum"):
+            mon.on_delivery(msg, bad, 10.0)
+
+    def test_checksums_can_be_relaxed(self):
+        mon = InvariantMonitor(strict_checksums=False)
+        msg = msg_stub()
+        mon.on_send(msg)
+        bad = chunk()
+        bad.checksum ^= 0xBEEF
+        mon.on_delivery(msg, bad, 10.0)  # tolerated
+
+    def test_incomplete_bytes_at_completion_violate(self):
+        mon = InvariantMonitor()
+        msg = msg_stub(size=8192)
+        mon.on_send(msg)
+        mon.on_delivery(msg, chunk(size=4096, offset=0), 10.0)
+        with pytest.raises(InvariantViolation, match="byte-conservation"):
+            mon.on_complete(msg, 11.0)
+
+    def test_duplicate_suppression_is_counted_not_fatal(self):
+        mon = InvariantMonitor()
+        msg = msg_stub()
+        mon.on_send(msg)
+        mon.on_delivery(msg, chunk(), 10.0)
+        mon.on_duplicate(msg, chunk(seq_no=1), 12.0)
+        assert mon.duplicates_seen == 1
+
+
+class TestRetryAndFaultChecks:
+    def test_retry_over_budget_violates(self):
+        mon = InvariantMonitor()
+        msg = msg_stub(retries=4)
+        old = chunk(seq_no=0)
+        new = chunk(seq_no=1, retry_of=old.transfer_id)
+        with pytest.raises(InvariantViolation, match="retry-bounds"):
+            mon.on_retry(msg, old, new, 3, 10.0)
+
+    def test_mismatched_retry_lineage_violates(self):
+        mon = InvariantMonitor()
+        msg = msg_stub(retries=1)
+        old = chunk(seq_no=0)
+        new = chunk(seq_no=1, retry_of=old.transfer_id + 999)
+        with pytest.raises(InvariantViolation, match="retry-bounds"):
+            mon.on_retry(msg, old, new, 8, 10.0)
+
+    def test_fault_rule_order_violation(self):
+        mon = InvariantMonitor()
+        act = SimpleNamespace(action="down", nic="node0.myri10g0")
+        mon.on_fault(3, act, 100.0)
+        with pytest.raises(InvariantViolation, match="fault-rule-order"):
+            mon.on_fault(1, act, 100.0)
+
+    def test_fault_rule_order_ok_when_increasing(self):
+        mon = InvariantMonitor()
+        act = SimpleNamespace(action="down", nic="node0.myri10g0")
+        mon.on_fault(0, act, 100.0)
+        mon.on_fault(1, act, 100.0)
+        mon.on_fault(0, act, 200.0)  # later instant may restart rule ids
+
+
+class TestViolationStructure:
+    def test_violation_carries_seed_schedule_and_trail(self):
+        mon = InvariantMonitor()
+        mon.bind_context(seed=99, schedule={"seed": 99, "events": []})
+        msg = msg_stub()
+        mon.on_send(msg)
+        mon.on_delivery(msg, chunk(), 10.0)
+        with pytest.raises(InvariantViolation) as exc_info:
+            mon.on_delivery(msg, chunk(seq_no=1), 11.0)
+        v = exc_info.value
+        assert v.seed == 99
+        assert v.schedule == {"seed": 99, "events": []}
+        assert v.trail  # recent observations captured
+        assert "chaos seed: 99" in v.report()
+        d = v.to_dict()
+        assert d["invariant"] == "chunk-exactly-once"
+        assert d["seed"] == 99
+
+    def test_trail_depth_is_bounded(self):
+        mon = InvariantMonitor(trail_depth=4)
+        msg = msg_stub()
+        for i in range(20):
+            mon.on_send(msg_stub(msg_id=i))
+        assert len(mon._trail) == 4
+
+
+class TestBuilderWiring:
+    def test_builder_installs_monitor_everywhere(self):
+        from repro.api import ClusterBuilder
+
+        cluster = ClusterBuilder.paper_testbed().invariants().build()
+        mon = cluster.invariants
+        assert isinstance(mon, InvariantMonitor)
+        for engine in cluster.engines.values():
+            assert engine.inv is mon
+            assert engine.pioman.inv is mon
+        for machine in cluster.machines.values():
+            for nic in machine.nics:
+                assert nic.inv is mon
+
+    def test_default_build_keeps_null_monitor(self):
+        from repro.api import ClusterBuilder
+
+        cluster = ClusterBuilder.paper_testbed().build()
+        assert cluster.invariants is None
+        for engine in cluster.engines.values():
+            assert engine.inv is NULL_INVARIANTS
+
+    def test_config_accepts_invariants_section(self):
+        from repro.api.config import load_cluster
+
+        cluster = load_cluster(
+            {
+                "nodes": [{"name": "node0"}, {"name": "node1"}],
+                "rails": [{"driver": "myri10g", "between": ["node0", "node1"]}],
+                "invariants": {"strict_checksums": False, "trail_depth": 16},
+            }
+        )
+        assert cluster.invariants is not None
+        assert cluster.invariants.strict_checksums is False
+        assert cluster.invariants.trail_depth == 16
+
+    def test_config_rejects_unknown_invariants_key(self):
+        from repro.api.config import load_cluster
+        from repro.util.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="ghost"):
+            load_cluster(
+                {
+                    "nodes": [{"name": "node0"}, {"name": "node1"}],
+                    "rails": [
+                        {"driver": "myri10g", "between": ["node0", "node1"]}
+                    ],
+                    "invariants": {"ghost": 1},
+                }
+            )

@@ -1,0 +1,63 @@
+"""Satellite regression: same-instant fault rules fire in rule-id order."""
+
+from repro.api import ClusterBuilder, FaultSchedule
+
+
+def _fired(schedule):
+    cluster = (
+        ClusterBuilder.paper_testbed(strategy="hetero_split")
+        .invariants()
+        .faults(schedule)
+        .build()
+    )
+    cluster.run()
+    return cluster.fault_injector.fired_log
+
+
+class TestSameInstantOrdering:
+    def test_two_rules_at_one_timestamp_fire_in_rule_id_order(self):
+        schedule = FaultSchedule()
+        schedule.nic_down("node0.myri10g0", at=100.0, duration=50.0)
+        schedule.nic_down("node0.quadrics1", at=100.0, duration=50.0)
+        log = _fired(schedule)
+        assert [(t, r, n, a) for t, r, n, a in log] == [
+            (100.0, 0, "node0.myri10g0", "down"),
+            (100.0, 1, "node0.quadrics1", "down"),
+            (150.0, 2, "node0.myri10g0", "up"),
+            (150.0, 3, "node0.quadrics1", "up"),
+        ]
+
+    def test_booking_order_breaks_ties_not_action_kind(self):
+        # Book the up/down pair "backwards": at t=100 the up (booked
+        # first) must still fire before the down (booked second).
+        schedule = FaultSchedule()
+        schedule.nic_down("node0.myri10g0", at=0.0, duration=100.0)
+        schedule.nic_down("node0.quadrics1", at=100.0, duration=50.0)
+        log = _fired(schedule)
+        at_100 = [(r, n, a) for t, r, n, a in log if t == 100.0]
+        assert at_100 == [
+            (1, "node0.myri10g0", "up"),
+            (2, "node0.quadrics1", "down"),
+        ]
+
+    def test_rule_ids_never_regress_within_an_instant(self):
+        schedule = FaultSchedule(seed=5)
+        for nic in ("node0.myri10g0", "node0.quadrics1"):
+            schedule.flapping(nic, period=100.0, duty=0.5, start=50.0, cycles=4)
+        log = _fired(schedule)
+        assert log, "flapping schedule fired nothing"
+        by_time = {}
+        for t, rule_id, _nic, _action in log:
+            by_time.setdefault(t, []).append(rule_id)
+        for t, rule_ids in by_time.items():
+            assert rule_ids == sorted(rule_ids), (t, rule_ids)
+
+    def test_monitor_audits_the_ordering(self):
+        # The fault-rule-order invariant rides along on every chaos run;
+        # a clean flapping schedule must not trip it.
+        schedule = FaultSchedule(seed=5)
+        schedule.flapping(
+            "node0.myri10g0", period=100.0, duty=0.5, start=50.0, cycles=6
+        )
+        log = _fired(schedule)
+        assert len(log) == 12
