@@ -2,7 +2,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test bench-smoke perf bench check faults-demo chaos chaos-wide
+.PHONY: test bench-smoke perf bench check faults-demo chaos chaos-wide \
+        chaos-silent calibration-demo
 
 # Tier-1 verify (the ROADMAP contract).
 test:
@@ -36,3 +37,12 @@ chaos:
 # Wider sweep (minutes, not seconds) — the workflow_dispatch CI job.
 chaos-wide:
 	$(PYTHON) -m repro.bench.cli chaos --seeds 2000 --shrink
+
+# Silent-degrade soak: bandwidth drops with no fault event announced,
+# drift loop armed — the invariant monitor must stay silent too.
+chaos-silent:
+	$(PYTHON) -m repro.bench.cli chaos --seeds 50 --silent --calibration
+
+# Narrated estimator-drift-defense demo (docs/calibration.md).
+calibration-demo:
+	$(PYTHON) -m repro.bench.cli calibration --demo

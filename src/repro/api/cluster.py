@@ -87,6 +87,9 @@ class Cluster:
         self.obs: Observability = NULL_OBS
         #: cluster-wide invariant monitor (None = checking off, the default)
         self.invariants: Optional[InvariantMonitor] = None
+        #: closed-loop calibration controller (None = drift defense off,
+        #: the default; see docs/calibration.md)
+        self.calibration: Optional[Any] = None
 
     def __repr__(self) -> str:
         return f"<Cluster nodes={sorted(self.machines)}>"
@@ -126,28 +129,94 @@ class Cluster:
             ),
         )
 
-    def resample(self, sampler: Optional["NetworkSampler"] = None) -> ProfileStore:
-        """Re-run the §III-C sampling pass against the cluster's *current*
-        drivers and swap the fresh estimators into every engine.
+    def resample(
+        self,
+        sampler: Optional["NetworkSampler"] = None,
+        rail: Optional[str] = None,
+        blend: Optional[float] = None,
+        repetitions: int = 1,
+    ) -> ProfileStore:
+        """Re-run the §III-C sampling pass and swap fresh estimators into
+        every engine.
 
         The paper samples once at launch; ablation A8 shows how much a
-        silently degraded rail costs under stale profiles.  Call this
-        after changing rail characteristics (driver profile overrides) to
-        restore equal-completion splits.
+        silently degraded rail costs under stale profiles.  Two modes:
+
+        * ``resample()`` — re-measure **every** technology on a pristine
+          private testbed and replace all estimators (the historical
+          behaviour; use after changing driver profile overrides).
+        * ``resample(rail=...)`` — the calibration drift loop's online
+          re-sample: measure **one** suspect rail with an
+          :class:`~repro.core.sampling.OnlineSampler` that mirrors the
+          live NIC's silent degradation onto the probes, then blend the
+          fresh curve into the existing estimator (``blend`` weight,
+          default 0.5; ``1.0`` replaces outright).  ``rail`` is either a
+          qualified NIC name (``"node0.myri10g0"``) or a technology name
+          (``"myri10g"`` — the slowest-looking NIC of that technology is
+          used as the template).  The ping-pong runs on a *private*
+          simulator, so in-flight traffic is quiesced, not disturbed.
+
+        Either way the engines' predictors are rebuilt, which also
+        invalidates plan caches (they are keyed per predictor instance).
         """
         from repro.core.prediction import CompletionPredictor
+        from repro.core.sampling import OnlineSampler
 
-        drivers = {
-            nic.driver.technology: nic.driver
-            for machine in self.machines.values()
-            for nic in machine.nics
-        }
-        fresh = ProfileStore.sample_drivers(drivers.values(), sampler=sampler)
-        self.profiles = fresh
+        if rail is None:
+            drivers = {
+                nic.driver.technology: nic.driver
+                for machine in self.machines.values()
+                for nic in machine.nics
+            }
+            fresh = ProfileStore.sample_drivers(drivers.values(), sampler=sampler)
+            self.profiles = fresh
+        else:
+            nic = self._resolve_rail(rail)
+            if self.profiles is None:
+                raise ConfigurationError(
+                    "resample(rail=...) needs launch-time profiles to blend "
+                    "into; build with sampling enabled"
+                )
+            if sampler is None:
+                sampler = OnlineSampler(nic, repetitions=repetitions)
+            tech = nic.driver.technology
+            fresh_est = sampler.sample(nic.driver).to_estimator()
+            weight = 0.5 if blend is None else blend
+            old = self.profiles.estimators.get(tech)
+            # Copy-on-write: the store may be shared (e.g. the cached
+            # default_profiles), so never mutate it in place.
+            store = ProfileStore(self.profiles.estimators)
+            store.estimators[tech] = (
+                fresh_est if old is None or weight >= 1.0
+                else old.blend(fresh_est, weight)
+            )
+            self.profiles = fresh = store
         for engine in self.engines.values():
             engine.predictor = CompletionPredictor(fresh.estimators)
             engine.predictor.bind_obs(engine.obs, engine.machine.name)
         return fresh
+
+    def _resolve_rail(self, rail: str) -> Nic:
+        """Map ``rail`` to a live NIC: exact qualified name first, else
+        the worst-degraded NIC of that technology (ties by name)."""
+        nics = [
+            nic
+            for machine in self.machines.values()
+            for nic in machine.nics
+        ]
+        for nic in nics:
+            if nic.qualified_name == rail:
+                return nic
+        candidates = [n for n in nics if n.driver.technology == rail]
+        if not candidates:
+            have = sorted({n.qualified_name for n in nics})
+            raise ConfigurationError(
+                f"no rail {rail!r}; have {have} "
+                f"(or a technology name from {sorted({n.driver.technology for n in nics})})"
+            )
+        return min(
+            candidates, key=lambda n: (n.silent_bw_factor, n.qualified_name)
+        )
 
     # ------------------------------------------------------------------ #
     # observability front-door (see docs/observability.md)
@@ -171,6 +240,24 @@ class Cluster:
     def accuracy_report(self) -> str:
         """Human-readable per-rail/per-size prediction-error table."""
         return self.obs.accuracy.report()
+
+    def calibration_snapshot(self) -> Dict[str, Any]:
+        """JSON-able drift-defense state (observations, drift events,
+        resamples, per-rail confidence, ladder transitions).  Raises when
+        calibration was not enabled at build time."""
+        if self.calibration is None:
+            raise ConfigurationError(
+                "calibration is off; build with ClusterBuilder.calibration()"
+            )
+        return self.calibration.snapshot()
+
+    def calibration_report(self) -> str:
+        """Human-readable drift-defense summary (see docs/calibration.md)."""
+        if self.calibration is None:
+            raise ConfigurationError(
+                "calibration is off; build with ClusterBuilder.calibration()"
+            )
+        return self.calibration.report()
 
     def chrome_trace(self) -> Dict[str, Any]:
         """The run so far as a Chrome ``trace_event`` JSON object."""
@@ -250,6 +337,7 @@ class ClusterBuilder:
         self._resilience: Dict[str, Any] = {}
         self._observability: Optional[Dict[str, Any]] = None
         self._invariants: Optional[Dict[str, Any]] = None
+        self._calibration: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------ #
     # configuration
@@ -452,6 +540,25 @@ class ClusterBuilder:
         self._invariants = spec
         return self
 
+    def calibration(self, enabled: bool = True, **knobs) -> "ClusterBuilder":
+        """Attach the closed-loop drift defense (docs/calibration.md).
+
+        Off by default — and, like :meth:`observability`, the disabled
+        path is bit-identical to a build without this call.  *Unlike*
+        observability, an **enabled** controller deliberately changes
+        planning: it watches per-rail prediction error, re-samples
+        drifting rails online, and degrades the split strategy along the
+        FULL → PARTIAL → SINGLE fallback ladder while confidence is low.
+
+        ``knobs`` are forwarded to
+        :class:`repro.core.calibration.CalibrationController` (``blend``,
+        ``auto_resample``, ``clamp_frac``, ``resample_repetitions``,
+        detector knobs such as ``drift_threshold``/``cooldown``, and
+        ``ladder_knobs``).
+        """
+        self._calibration = dict(knobs) if enabled else None
+        return self
+
     # ------------------------------------------------------------------ #
     # build
     # ------------------------------------------------------------------ #
@@ -520,6 +627,15 @@ class ClusterBuilder:
         cluster = Cluster(self.sim, self._machines, engines, profiles)
         cluster.obs = obs
         cluster.invariants = inv
+        if self._calibration is not None:
+            from repro.core.calibration import (
+                CalibrationController,
+                install_calibration,
+            )
+
+            install_calibration(
+                cluster, CalibrationController(**self._calibration)
+            )
         if self._faults is not None:
             # install_faults reads cluster.invariants, set just above, so
             # the injector's on_fault hook sees the same monitor.

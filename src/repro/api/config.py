@@ -23,7 +23,8 @@ Downstream users describe a testbed once and rebuild it everywhere::
       ]},
       "resilience": {"timeout": "200us", "max_retries": 8},
       "observability": {"trace": true, "metrics": true, "accuracy": true},
-      "invariants": {"strict_checksums": true, "trail_depth": 64}
+      "invariants": {"strict_checksums": true, "trail_depth": 64},
+      "calibration": {"blend": 0.5, "drift_threshold": 0.15}
     }
 
 ``version`` is optional (defaults to 1); unknown top-level keys and
@@ -63,6 +64,7 @@ _TOP_LEVEL_KEYS = {
     "resilience",
     "observability",
     "invariants",
+    "calibration",
 }
 
 #: config schema versions this loader understands
@@ -79,6 +81,20 @@ _RESILIENCE_KEYS = {
 _OBSERVABILITY_KEYS = {"trace", "metrics", "accuracy", "trace_limit"}
 
 _INVARIANTS_KEYS = {"strict_checksums", "trail_depth"}
+
+_CALIBRATION_KEYS = {
+    "blend",
+    "auto_resample",
+    "clamp_frac",
+    "resample_repetitions",
+    "alpha",
+    "drift_threshold",
+    "clear_threshold",
+    "min_samples",
+    "cooldown",
+    "confidence_scale",
+    "ladder_knobs",
+}
 
 
 def _load_dict(source: ConfigSource) -> Dict[str, Any]:
@@ -223,6 +239,26 @@ def builder_from_config(source: ConfigSource) -> ClusterBuilder:
             raise ConfigurationError(
                 f"'invariants' must be true, false, or a dict of "
                 f"{sorted(_INVARIANTS_KEYS)}; got {invariants!r}"
+            )
+
+    calibration = config.get("calibration")
+    if calibration is not None:
+        if calibration is True:
+            builder.calibration()
+        elif calibration is False:
+            builder.calibration(enabled=False)
+        elif isinstance(calibration, dict):
+            bad = set(calibration) - _CALIBRATION_KEYS
+            if bad:
+                raise ConfigurationError(
+                    f"unknown calibration keys {sorted(bad)}; "
+                    f"known: {sorted(_CALIBRATION_KEYS)}"
+                )
+            builder.calibration(**calibration)
+        else:
+            raise ConfigurationError(
+                f"'calibration' must be true, false, or a dict of "
+                f"{sorted(_CALIBRATION_KEYS)}; got {calibration!r}"
             )
     return builder
 

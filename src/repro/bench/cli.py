@@ -11,6 +11,7 @@ Usage::
     python -m repro.bench.cli metrics --json -
     python -m repro.bench.cli accuracy --faults
     python -m repro.bench.cli chaos --seeds 50
+    python -m repro.bench.cli calibration --demo
 
 ``run`` regenerates a registered paper artefact and prints its table;
 ``sweep`` is a free-form bandwidth sweep for ad-hoc exploration;
@@ -25,7 +26,13 @@ telemetry the ``repro.obs`` subsystem collects;
 ``chaos`` soaks seeded randomized fault scenarios under the runtime
 invariant monitor (see docs/chaos.md) and exits nonzero on any
 violation — ``--shrink`` reduces failing seeds to minimal schedules,
-``--json`` regenerates the ``BENCH_PR4.json`` payload.
+``--silent`` adds silent-degrade episodes (and ``--calibration`` arms
+the drift loop against them), ``--json`` regenerates the
+``BENCH_PR4.json`` payload;
+``calibration`` showcases the estimator drift defense (``--demo``
+narrates a silent rail degradation being detected, re-sampled and
+recovered; ``--json`` regenerates ``BENCH_PR5.json`` — see
+docs/calibration.md).
 """
 
 from __future__ import annotations
@@ -160,6 +167,33 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="regenerate the BENCH_PR4-shaped payload as JSON "
         "(fixed 50-seed window plus healthy bit-identity points)",
+    )
+    chaos.add_argument(
+        "--silent",
+        action="store_true",
+        help="add silent-degrade episodes (bandwidth drops with no fault "
+        "event announced — only the drift loop can notice)",
+    )
+    chaos.add_argument(
+        "--calibration",
+        action="store_true",
+        help="arm the calibration drift loop during the soak",
+    )
+
+    calib = sub.add_parser(
+        "calibration", help="estimator drift defense (docs/calibration.md)"
+    )
+    calib.add_argument(
+        "--demo",
+        action="store_true",
+        help="narrated scenario: a rail silently halves its bandwidth; "
+        "the drift loop detects, re-samples and recovers",
+    )
+    calib.add_argument(
+        "--json",
+        metavar="PATH",
+        help="run the CAL guard scenario and dump the BENCH_PR5-shaped "
+        "payload as JSON ('-' for stdout)",
     )
     return parser
 
@@ -408,6 +442,8 @@ def _cmd_chaos(
     intensity: Optional[int],
     do_shrink: bool,
     json_path: Optional[str],
+    silent: bool = False,
+    calibration: bool = False,
 ) -> int:
     from repro.faults import soak
     from repro.faults.chaos import DEFAULT_INTENSITY
@@ -428,6 +464,8 @@ def _cmd_chaos(
         seeds,
         intensity=intensity if intensity is not None else DEFAULT_INTENSITY,
         shrink_failures=do_shrink,
+        silent=silent,
+        calibration=calibration,
     )
     print(report.summary())
     for bad in report.violations:
@@ -442,6 +480,69 @@ def _cmd_chaos(
         if payload["soak"]["violations_on"]:
             return 1
     return 1 if report.violations else 0
+
+
+def _cmd_calibration(demo: bool, json_path: Optional[str]) -> int:
+    if not demo and not json_path:
+        print("calibration: pass --demo and/or --json PATH", file=sys.stderr)
+        return 2
+    if demo:
+        _calibration_demo()
+    if json_path:
+        from repro.bench.experiments import calibration
+
+        payload = calibration.collect(
+            json_path=None if json_path == "-" else json_path
+        )
+        if json_path == "-":
+            _dump_json(payload, "-", "calibration payload")
+        else:
+            print(f"payload written to {json_path}")
+        if not payload["recovery_ok"]:
+            return 1
+    return 0
+
+
+def _calibration_demo() -> None:
+    """The drift-defense acceptance scenario, narrated: a rail silently
+    halves its bandwidth; the drift loop notices from prediction error
+    alone, re-samples it online, and the split recovers."""
+    from repro.api import ClusterBuilder, FaultSchedule
+    from repro.bench.experiments.calibration import (
+        BW_FACTOR,
+        CALIBRATION_KNOBS,
+        COUNT,
+        SIZE,
+        _RAIL,
+        _build,
+        _sequential,
+    )
+
+    print(
+        f"scenario: {_RAIL} silently drops to {BW_FACTOR:.0%} bandwidth "
+        "at t=0 (no fault event announced);"
+    )
+    print(
+        f"          sequential {COUNT}x{SIZE // (1024 * 1024)} MiB stream, "
+        "hetero_split, paper testbed"
+    )
+    print()
+    results = {}
+    for mode in ("blind", "defended", "oracle"):
+        cluster = _build(mode)
+        makespan = _sequential(cluster)
+        results[mode] = makespan
+        line = f"{mode:>9}: makespan {makespan:10.1f} us"
+        print(line)
+        if cluster.calibration is not None:
+            print()
+            print(cluster.calibration_report())
+            print()
+    print()
+    print(
+        f"recovered {(results['blind'] - results['defended']) / (results['blind'] - results['oracle']):.0%} "
+        "of the throughput an oracle re-sample would reclaim"
+    )
 
 
 def _faults_demo() -> None:
@@ -490,7 +591,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.command == "accuracy":
             return _cmd_accuracy(args.faults, args.json)
         if args.command == "chaos":
-            return _cmd_chaos(args.seeds, args.intensity, args.shrink, args.json)
+            return _cmd_chaos(
+                args.seeds,
+                args.intensity,
+                args.shrink,
+                args.json,
+                silent=args.silent,
+                calibration=args.calibration,
+            )
+        if args.command == "calibration":
+            return _cmd_calibration(args.demo, args.json)
     except BrokenPipeError:  # e.g. `... | head` closed the pipe; not an error
         return 0
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover

@@ -13,6 +13,7 @@ S1          §II-A stream-multiplexing claim (supplementary)
 DEG         degraded-mode bandwidth: one rail flapping at 50% duty
 OBS         observability overhead: hooks off vs fully enabled
 CHAOS       chaos soak + invariant-checker overhead guard
+CAL         drift defense: blind vs calibrated under silent degrade
 ==========  ========================================================
 
 Every module exposes ``run(...) -> SweepResult`` (or a small dataclass
@@ -22,6 +23,7 @@ reference numbers for EXPERIMENTS.md.
 
 from repro.bench.experiments import (
     ablations,
+    calibration,
     chaos_soak,
     degraded,
     fig1,
@@ -57,10 +59,12 @@ experiment_registry = {
     "DEG": degraded.run,
     "OBS": obs_overhead.run,
     "CHAOS": chaos_soak.run,
+    "CAL": calibration.run,
 }
 
 __all__ = [
     "experiment_registry",
+    "calibration",
     "chaos_soak",
     "degraded",
     "obs_overhead",

@@ -1,0 +1,118 @@
+"""The safe-mode strategy fallback ladder.
+
+When rail confidence collapses, blindly trusting the sampled curves is
+worse than not using them: a hetero split computed from a stale profile
+piles bytes onto the rail that can least afford them.  The ladder
+degrades the planning mode in three steps as the *minimum* rail
+confidence drops:
+
+    FULL    — trust the samples: dichotomy/waterfill hetero split
+    PARTIAL — distrust the ratios, keep the rails: equal-size iso split
+    SINGLE  — distrust the comparison itself: whole message on the
+              single most-trusted rail
+
+Transitions are hysteretic twice over: each boundary has distinct
+enter/exit thresholds (``*_exit`` below ``*_enter``), and a minimum
+dwell time must pass between any two transitions — so confidence noise
+around a boundary cannot make the planner oscillate between split
+shapes (which would thrash the predictor's plan cache and produce
+unstable traffic patterns).
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import List, Tuple
+
+from repro.util.errors import ConfigurationError
+
+
+class TrustLevel(IntEnum):
+    """Planning modes, ordered by how much of the profile they trust."""
+
+    SINGLE = 0
+    PARTIAL = 1
+    FULL = 2
+
+
+class FallbackLadder:
+    """Hysteretic three-level trust state machine for one sending node.
+
+    Parameters
+    ----------
+    full_exit / full_enter:
+        Leave FULL below ``full_exit``; return to FULL at or above
+        ``full_enter`` (must be higher — hysteresis).
+    partial_exit / partial_enter:
+        Same pair for the PARTIAL/SINGLE boundary.
+    dwell:
+        Minimum simulated µs between two transitions.
+    """
+
+    def __init__(
+        self,
+        full_exit: float = 0.6,
+        full_enter: float = 0.75,
+        partial_exit: float = 0.25,
+        partial_enter: float = 0.4,
+        dwell: float = 200.0,
+    ) -> None:
+        if not 0.0 <= full_exit < full_enter <= 1.0:
+            raise ConfigurationError(
+                f"need 0 <= full_exit < full_enter <= 1, "
+                f"got {full_exit} / {full_enter}"
+            )
+        if not 0.0 <= partial_exit < partial_enter <= 1.0:
+            raise ConfigurationError(
+                f"need 0 <= partial_exit < partial_enter <= 1, "
+                f"got {partial_exit} / {partial_enter}"
+            )
+        if partial_enter > full_exit:
+            raise ConfigurationError(
+                f"partial_enter ({partial_enter}) must not exceed "
+                f"full_exit ({full_exit}) — the bands would overlap"
+            )
+        if dwell < 0.0:
+            raise ConfigurationError(f"negative dwell: {dwell}")
+        self.full_exit = full_exit
+        self.full_enter = full_enter
+        self.partial_exit = partial_exit
+        self.partial_enter = partial_enter
+        self.dwell = dwell
+        self.level = TrustLevel.FULL
+        self._last_transition: float = float("-inf")
+        #: (time, from, to, confidence) per transition, in order
+        self.transitions: List[Tuple[float, TrustLevel, TrustLevel, float]] = []
+
+    def __repr__(self) -> str:
+        return (
+            f"<FallbackLadder {self.level.name}, "
+            f"{len(self.transitions)} transition(s)>"
+        )
+
+    def update(self, confidence: float, now: float) -> TrustLevel:
+        """Fold the current minimum rail confidence; return the level.
+
+        At most one step per call, and only after ``dwell`` µs have
+        passed since the previous transition.
+        """
+        if now - self._last_transition < self.dwell:
+            return self.level
+        level = self.level
+        target = level
+        if level is TrustLevel.FULL:
+            if confidence < self.full_exit:
+                target = TrustLevel.PARTIAL
+        elif level is TrustLevel.PARTIAL:
+            if confidence < self.partial_exit:
+                target = TrustLevel.SINGLE
+            elif confidence >= self.full_enter:
+                target = TrustLevel.FULL
+        else:  # SINGLE
+            if confidence >= self.partial_enter:
+                target = TrustLevel.PARTIAL
+        if target is not level:
+            self.level = target
+            self._last_transition = now
+            self.transitions.append((now, level, target, confidence))
+        return self.level

@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.estimator import NicEstimator
+from repro.core.calibration import NULL_CALIBRATION
 from repro.core.invariants import NULL_INVARIANTS, InvariantMonitor
 from repro.core.packets import (
     DegradedSend,
@@ -150,6 +151,10 @@ class NmadEngine:
         #: shared invariant monitor (null singleton when off) — same
         #: guarded-hook pattern as ``obs``; see repro.core.invariants
         self.inv = invariants if invariants is not None else NULL_INVARIANTS
+        #: shared calibration controller (null singleton when off) —
+        #: installed post-build by install_calibration; unlike obs/inv,
+        #: an enabled controller deliberately influences planning
+        self.calib = NULL_CALIBRATION
         self.marcel = marcel or MarcelScheduler(machine)
         self.pioman = pioman or PiomanEngine(
             machine,
@@ -378,7 +383,8 @@ class NmadEngine:
     def _predict_chunk(self, transfer: Transfer, nic: Nic) -> None:
         """Stamp accuracy-telemetry predictions on an outgoing data chunk.
 
-        Only called when observability is on and a predictor exists.
+        Only called when observability or calibration is on (the drift
+        loop consumes the same stamps) and a predictor exists.
         Purely passive: the estimator lookups are memoized value lookups
         that change no planning state, so simulated timestamps are
         unmoved with or without the stamps.
@@ -420,7 +426,7 @@ class NmadEngine:
         msg.rails_used = [nic.qualified_name for nic, _ in chunks]
         msg.chunk_sizes = list(sizes)
         msg.transfers.extend(transfers)
-        if self.obs.on and self.predictor is not None:
+        if (self.obs.on or self.calib.on) and self.predictor is not None:
             for t, (nic, _) in zip(transfers, chunks):
                 self._predict_chunk(t, nic)
         if offload and len(chunks) > 1:
@@ -462,7 +468,7 @@ class NmadEngine:
             self.app_core.run(agg_cost, label="aggregate")
         for m in msgs:
             m.transfers.append(packet)
-        if self.obs.on and self.predictor is not None:
+        if (self.obs.on or self.calib.on) and self.predictor is not None:
             self._predict_chunk(packet, nic)
         nic.submit(packet, self.app_core)
 
@@ -482,6 +488,12 @@ class NmadEngine:
     def _on_transfer(self, transfer: Transfer, nic: Nic) -> None:
         if self.obs.on:
             self._observe_arrival(transfer, nic)
+        calib = self.calib
+        if calib.on:
+            # Feed the drift loop the same (predicted, actual) pair the
+            # accuracy telemetry sees — may trigger an online re-sample
+            # (zero simulated time; the probe runs a private simulator).
+            calib.observe_transfer(transfer, nic)
         if transfer.kind is TransferKind.EAGER:
             self._on_eager(transfer)
         elif transfer.kind is TransferKind.RDV_REQ:
@@ -628,7 +640,7 @@ class NmadEngine:
         msg.expect_chunks(len(plan.nics))
         msg.rails_used = [n.qualified_name for n in plan.nics]
         msg.chunk_sizes = list(plan.sizes)
-        stamp = self.obs.on and self.predictor is not None
+        stamp = (self.obs.on or self.calib.on) and self.predictor is not None
         for t, nic in zip(make_rdv_chunks(msg, plan.sizes), plan.nics):
             msg.transfers.append(t)
             if stamp:
@@ -786,8 +798,10 @@ class NmadEngine:
                         "reason": reason,
                     },
                 )
-            if self.predictor is not None:
+            if self.predictor is not None and not self.calib.on:
                 self._predict_chunk(new, nic)
+        if self.calib.on and self.predictor is not None:
+            self._predict_chunk(new, nic)
         nic.submit(new, self.app_core)
         return True
 

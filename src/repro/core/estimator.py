@@ -164,6 +164,37 @@ class SampleTable:
             return s1
         return s0 + (s1 - s0) * (time - t0) / (t1 - t0)
 
+    def blend(self, fresh: "SampleTable", weight: float) -> "SampleTable":
+        """Exponentially blend a fresh curve into this one.
+
+        Each grid point of *this* table moves ``weight`` of the way
+        towards the fresh curve (evaluated at the same size, so the
+        grids need not match)::
+
+            t_new[i] = (1 - weight) * t_old[i] + weight * fresh(size[i])
+
+        The result is forced monotonic non-decreasing with a running
+        max: interpolating two independently-noisy curves can invert a
+        band edge (t[i+1] < t[i]), which would break ``inverse`` (the
+        waterfill solver) and let the dichotomy prefer *larger* chunks
+        on a slower rail.  The clamp only ever raises points, so blended
+        estimates stay conservative.
+        """
+        if not 0.0 <= weight <= 1.0:
+            raise SamplingError(f"blend weight {weight} outside [0, 1]")
+        keep = 1.0 - weight
+        times = [
+            keep * t + weight * fresh(s)
+            for s, t in zip(self._sizes_list, self._times_list)
+        ]
+        running = 0.0
+        for i, t in enumerate(times):
+            if t < running:
+                times[i] = running
+            else:
+                running = t
+        return SampleTable([int(s) for s in self._sizes_list], times)
+
     def as_dict(self) -> Dict[str, List[float]]:
         return {"sizes": self.sizes.tolist(), "times": self.times.tolist()}
 
@@ -336,6 +367,37 @@ class NicEstimator:
             cached = size / t
             object.__setattr__(self, "_plateau_cache", cached)
         return cached
+
+    # ------------------------------------------------------------------ #
+    # online re-calibration (repro.core.calibration)
+    # ------------------------------------------------------------------ #
+
+    def blend(self, fresh: "NicEstimator", weight: float) -> "NicEstimator":
+        """A *new* estimator moved ``weight`` of the way towards ``fresh``.
+
+        Estimators are immutable (their memos depend on it), so online
+        re-sampling composes a fresh instance: each curve goes through
+        :meth:`SampleTable.blend` (which enforces monotonic
+        non-decreasing times — the band-edge-inversion fix), the control
+        cost is linearly interpolated, capability bounds stay put.
+        Repeated blending converges exponentially onto the fresh
+        profile: after ``n`` resamples the stale component has decayed
+        to ``(1 - weight) ** n``.
+        """
+        if fresh.name != self.name:
+            raise SamplingError(
+                f"cannot blend estimator {fresh.name!r} into {self.name!r}"
+            )
+        return NicEstimator(
+            name=self.name,
+            eager=self.eager.blend(fresh.eager, weight),
+            dma=self.dma.blend(fresh.dma, weight),
+            control_oneway=(
+                (1.0 - weight) * self.control_oneway
+                + weight * fresh.control_oneway
+            ),
+            eager_limit=self.eager_limit,
+        )
 
     # ------------------------------------------------------------------ #
     # (de)serialization — the paper persists sampling results at launch

@@ -29,6 +29,12 @@ class RailPlan:
     sizes: List[int]                 # bytes per rail, aligned with nics
     predicted_completion: float
     split: SplitResult               # full solver output (diagnostics)
+    #: per-rail confidence scores, attached when the calibration drift
+    #: loop planned (or reviewed) this decision; None otherwise
+    confidence: Optional[Dict[str, float]] = None
+    #: fallback-ladder trust level the plan was made under
+    #: ("full" / "partial" / "single"); None when calibration is off
+    trust: Optional[str] = None
 
     def __post_init__(self) -> None:
         if len(self.nics) != len(self.sizes):

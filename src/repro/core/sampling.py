@@ -144,6 +144,7 @@ class NetworkSampler:
         node_b = Machine(sim, "sampler1")
         nic_a = Nic(node_a, driver, name="probe")
         nic_b = Nic(node_b, driver, name="probe")
+        self._prepare_probe(nic_a, nic_b)
         Wire(nic_a, nic_b)
         PiomanEngine(node_a).bind()
         PiomanEngine(node_b).bind()
@@ -155,6 +156,49 @@ class NetworkSampler:
                 f"{driver.technology}: {kind.value} probe of {size}B never completed"
             )
         return transfer.t_complete - transfer.t_submit
+
+    def _prepare_probe(self, nic_a: Nic, nic_b: Nic) -> None:
+        """Hook: adjust the freshly built probe NICs before measuring.
+
+        The base sampler measures pristine hardware (launch-time
+        sampling).  :class:`OnlineSampler` overrides this to mirror a
+        *live* NIC's unannounced state onto the probes, so a runtime
+        re-sample measures the rail as it currently behaves.
+        """
+
+
+class OnlineSampler(NetworkSampler):
+    """Runtime re-sampling of one *live* rail (calibration drift loop).
+
+    The launch-time sampler measures factory-fresh NICs; once a rail has
+    silently degraded that profile is a lie.  This sampler mirrors the
+    live NIC's **silent** bandwidth factor onto the private-testbed
+    probes, so the ping-pong measures the rail's *current actual* speed.
+    The private simulator doubles as quiescence: in-flight traffic on
+    the real cluster is untouched while the probe runs.
+
+    Announced degradation (``bw_factor`` / ``extra_latency``) is *not*
+    mirrored — the planner already compensates for it via the scaled
+    estimator view; baking it into the profile would double-count.
+    """
+
+    def __init__(
+        self,
+        live_nic: Nic,
+        eager_sizes: Optional[Sequence[int]] = None,
+        dma_sizes: Optional[Sequence[int]] = None,
+        repetitions: int = 1,
+    ) -> None:
+        super().__init__(
+            eager_sizes=eager_sizes, dma_sizes=dma_sizes, repetitions=repetitions
+        )
+        self.live_nic = live_nic
+
+    def _prepare_probe(self, nic_a: Nic, nic_b: Nic) -> None:
+        factor = self.live_nic.silent_bw_factor
+        if factor != 1.0:
+            nic_a.silent_bw_factor = factor
+            nic_b.silent_bw_factor = factor
 
 
 class NoisySampler(NetworkSampler):

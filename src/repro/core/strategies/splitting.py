@@ -145,6 +145,17 @@ class HeteroSplitStrategy(_SplitBase):
 
     def plan_rdv_data(self, msg: Message):
         rails = self.rails_to(msg.dest, msg)
+        calib = self.engine.calib
+        if calib.on:
+            # Drift defense: the calibration controller walks the
+            # fallback ladder and delegates back to hetero_plan while
+            # the profiles are trusted (docs/calibration.md).
+            return calib.plan_rdv_data(self, msg, rails)
+        return self.hetero_plan(msg, rails)
+
+    def hetero_plan(self, msg: Message, rails):
+        """The paper's full-trust split (also the calibration ladder's
+        FULL level): subset selection + dichotomy over sampled curves."""
         predictor = self.predictor
         if not self.use_idle_prediction:
             # Ablation: blind the planner to NIC occupancy.

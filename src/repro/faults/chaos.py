@@ -44,6 +44,11 @@ EPISODE_KINDS = (
     "node_crash",
 )
 
+#: the pool with silent degradation added.  Kept SEPARATE from
+#: EPISODE_KINDS: extending that tuple would re-map every existing
+#: seed's ``rng.choice`` draws and silently change all pinned scenarios.
+SILENT_EPISODE_KINDS = EPISODE_KINDS + ("silent_degrade",)
+
 #: default simulated horizon faults are generated within (µs)
 DEFAULT_HORIZON = 4000.0
 
@@ -96,6 +101,7 @@ class ChaosSchedule:
         horizon: float = DEFAULT_HORIZON,
         intensity: int = DEFAULT_INTENSITY,
         episodes: Optional[List[Dict[str, Any]]] = None,
+        silent: bool = False,
     ) -> None:
         if horizon <= 0:
             raise ConfigurationError(f"chaos horizon must be positive: {horizon}")
@@ -108,6 +114,9 @@ class ChaosSchedule:
         self.nodes = tuple(nodes)
         self.horizon = float(horizon)
         self.intensity = int(intensity)
+        #: opt-in: draw from the pool that includes silent_degrade
+        #: episodes (unannounced bandwidth drops, calibration PR)
+        self.silent = bool(silent)
         self.episodes: List[Dict[str, Any]] = (
             list(episodes) if episodes is not None else self._generate()
         )
@@ -126,9 +135,10 @@ class ChaosSchedule:
     def _generate(self) -> List[Dict[str, Any]]:
         rng = random.Random(f"chaos:{self.seed}")
         count = self.intensity + rng.randrange(self.intensity + 1)
+        pool = SILENT_EPISODE_KINDS if self.silent else EPISODE_KINDS
         episodes: List[Dict[str, Any]] = []
         for _ in range(count):
-            kind = rng.choice(EPISODE_KINDS)
+            kind = rng.choice(pool)
             episodes.append(self._draw(kind, rng))
         return episodes
 
@@ -186,6 +196,16 @@ class ChaosSchedule:
                 "start": start,
                 "duration": _round(rng.uniform(0.05 * h, 0.3 * h)),
             }
+        if kind == "silent_degrade":
+            # Unannounced bandwidth drop: no fault event reaches the
+            # planner — only the calibration drift loop can notice.
+            return {
+                "kind": kind,
+                "nic": rng.choice(self.nics),
+                "start": start,
+                "bw_factor": round(rng.uniform(0.3, 0.7), 2),
+                "duration": _round(rng.uniform(0.2 * h, 0.5 * h)),
+            }
         raise ConfigurationError(f"unknown chaos episode kind {kind!r}")
 
     # ------------------------------------------------------------------ #
@@ -232,6 +252,13 @@ class ChaosSchedule:
                 )
             elif kind == "node_crash":
                 sched.node_crash(ep["node"], at=ep["start"], duration=ep["duration"])
+            elif kind == "silent_degrade":
+                sched.silent_degrade(
+                    ep["nic"],
+                    at=ep["start"],
+                    bw_factor=ep["bw_factor"],
+                    duration=ep["duration"],
+                )
             else:
                 raise ConfigurationError(f"unknown chaos episode kind {kind!r}")
         return sched
@@ -247,6 +274,7 @@ class ChaosSchedule:
             "nodes": list(self.nodes),
             "horizon": self.horizon,
             "intensity": self.intensity,
+            "silent": self.silent,
             "episodes": [dict(e) for e in self.episodes],
         }
 
@@ -255,7 +283,8 @@ class ChaosSchedule:
         if not isinstance(data, dict):
             raise ConfigurationError(f"chaos schedule must be a mapping: {data!r}")
         unknown = set(data) - {
-            "seed", "nics", "nodes", "horizon", "intensity", "episodes",
+            "seed", "nics", "nodes", "horizon", "intensity", "silent",
+            "episodes",
         }
         if unknown:
             raise ConfigurationError(f"unknown chaos keys: {sorted(unknown)}")
@@ -266,6 +295,7 @@ class ChaosSchedule:
             horizon=float(data.get("horizon", DEFAULT_HORIZON)),
             intensity=int(data.get("intensity", DEFAULT_INTENSITY)),
             episodes=[dict(e) for e in data.get("episodes", [])],
+            silent=bool(data.get("silent", False)),
         )
 
 
@@ -360,6 +390,8 @@ def run_scenario(
     horizon: float = DEFAULT_HORIZON,
     intensity: int = DEFAULT_INTENSITY,
     invariants: bool = True,
+    silent: bool = False,
+    calibration: bool = False,
 ) -> ScenarioResult:
     """Run one chaos scenario: paper testbed + seeded faults + invariants.
 
@@ -371,12 +403,18 @@ def run_scenario(
 
     ``invariants=False`` runs the same scenario without the monitor —
     the BENCH_PR4 overhead comparison; only the drain check remains.
+
+    ``silent=True`` draws episodes from the pool that includes
+    unannounced bandwidth drops; ``calibration=True`` arms the drift
+    loop so those drops can be detected and re-sampled away mid-run.
     """
     from repro.api.cluster import ClusterBuilder
     from repro.bench.runners import default_profiles
 
     if chaos is None:
-        chaos = ChaosSchedule(seed, horizon=horizon, intensity=intensity)
+        chaos = ChaosSchedule(
+            seed, horizon=horizon, intensity=intensity, silent=silent
+        )
     _reset_id_counters()
     builder = (
         ClusterBuilder.paper_testbed(strategy=strategy)
@@ -386,6 +424,8 @@ def run_scenario(
     )
     if invariants:
         builder.invariants()
+    if calibration:
+        builder.calibration()
     cluster = builder.build()
     monitor = cluster.invariants
     if monitor is not None:
@@ -488,13 +528,16 @@ def soak(
     intensity: int = DEFAULT_INTENSITY,
     shrink_failures: bool = False,
     invariants: bool = True,
+    silent: bool = False,
+    calibration: bool = False,
 ) -> SoakReport:
     """Run a chaos scenario per seed; collect outcomes, never abort.
 
     ``seeds`` is an iterable of ints (or an int: ``range(seeds)``).
     With ``shrink_failures``, every failing seed's schedule is reduced
     to a minimal still-failing episode set (:func:`shrink`) and attached
-    to the report.
+    to the report.  ``silent``/``calibration`` run the silent-degrade
+    pool with the drift loop armed (the PR 5 soak).
     """
     if isinstance(seeds, int):
         seeds = range(seeds)
@@ -507,6 +550,8 @@ def soak(
             horizon=horizon,
             intensity=intensity,
             invariants=invariants,
+            silent=silent,
+            calibration=calibration,
         )
         report.scenarios.append(result)
         if not result.ok and shrink_failures:
@@ -586,6 +631,7 @@ __all__ = [
     "DEFAULT_HORIZON",
     "DEFAULT_INTENSITY",
     "EPISODE_KINDS",
+    "SILENT_EPISODE_KINDS",
     "ScenarioResult",
     "SoakReport",
     "run_scenario",

@@ -123,8 +123,13 @@ class FaultInjector:
         )
         if self.inv.on:
             self.inv.on_fault(rule_id, action, self.sim.now)
+        silent = action.action in ("silent_degrade", "silent_restore")
         obs = self.obs
-        if obs.on:
+        # Silent actions are the whole point of the calibration drift
+        # loop: no metrics counter, no trace instant — nothing downstream
+        # of obs may learn about them.  They still land in fired_log (the
+        # injector's own audit trail) and the invariant rule-order check.
+        if obs.on and not silent:
             obs.metrics.counter("faults.fired").inc()
             obs.metrics.counter(f"faults.{action.action}").inc()
             if obs.tracer.enabled:
@@ -151,6 +156,10 @@ class FaultInjector:
             )
         elif action.action == "restore":
             nic.restore()
+        elif action.action == "silent_degrade":
+            nic.silent_degrade(action.params.get("bw_factor", 0.5))
+        elif action.action == "silent_restore":
+            nic.silent_restore()
         elif action.action == "drop_start":
             label = action.params.get("label", "loss")
             kinds = frozenset(

@@ -33,6 +33,8 @@ _ACTIONS = {
     "up": (),
     "degrade": ("bw_factor", "extra_latency"),
     "restore": (),
+    "silent_degrade": ("bw_factor",),
+    "silent_restore": (),
     "drop_start": ("probability", "kinds", "label"),
     "drop_stop": ("label",),
 }
@@ -204,6 +206,26 @@ class FaultSchedule:
 
     def restore(self, nic: str, at) -> "FaultSchedule":
         return self._add(at, nic, "restore")
+
+    def silent_degrade(
+        self,
+        nic: str,
+        at,
+        bw_factor: float = 0.5,
+        duration=None,
+    ) -> "FaultSchedule":
+        """Slow ``nic`` *without announcing it* — no fault event, no
+        ``is_degraded`` flip, no obs instant.  The predictor keeps using
+        the stale healthy profile; only the calibration drift loop
+        (``repro.core.calibration``) can notice the error growth."""
+        start = parse_time(at)
+        self._add(start, nic, "silent_degrade", bw_factor=float(bw_factor))
+        if duration is not None:
+            self._add(start + parse_time(duration), nic, "silent_restore")
+        return self
+
+    def silent_restore(self, nic: str, at) -> "FaultSchedule":
+        return self._add(at, nic, "silent_restore")
 
     # ------------------------------------------------------------------ #
     # packet loss

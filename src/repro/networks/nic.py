@@ -118,6 +118,13 @@ class Nic:
         self._up: bool = True
         self.bw_factor: float = 1.0
         self.extra_latency: float = 0.0
+        # Silent degradation (calibration PR): slows the transmit engine
+        # like ``bw_factor`` but is deliberately invisible to planning —
+        # ``is_degraded`` stays False, no obs event fires, no fault window
+        # is logged.  Only the prediction-error stream can notice it.
+        self.silent_bw_factor: float = 1.0
+        self.silent_log: List[FaultWindow] = []
+        self._silent_since: Optional[float] = None
         self.drop_rules: List[DropRule] = []
         self.fault_log: List[FaultWindow] = []
         self._open_faults: Dict[str, float] = {}  # kind -> window start
@@ -320,6 +327,40 @@ class Nic:
                 args={"degraded_us": self.sim.now - start},
             )
 
+    def silent_degrade(self, bw_factor: float) -> None:
+        """Slow the transmit engine *without announcing it*.
+
+        Unlike :meth:`degrade`, this changes neither ``bw_factor`` nor
+        ``is_degraded``, emits no obs event and opens no fault window —
+        the predictor keeps planning with the healthy profile.  Only the
+        drift loop (``repro.core.calibration``) can detect the resulting
+        prediction-error growth.  Ground truth lands in ``silent_log``
+        for post-hoc experiment scoring.
+        """
+        if bw_factor <= 0.0 or bw_factor > 1.0:
+            raise ConfigurationError(
+                f"silent bw_factor must be in (0, 1], got {bw_factor}"
+            )
+        if self._silent_since is None and bw_factor != 1.0:
+            self._silent_since = self.sim.now
+        self.silent_bw_factor = bw_factor
+        if bw_factor == 1.0 and self._silent_since is not None:
+            self.silent_log.append(
+                FaultWindow(self._silent_since, self.sim.now, "silent")
+            )
+            self._silent_since = None
+
+    def silent_restore(self) -> None:
+        """End a silent degradation window (no-op when not silent)."""
+        if self.silent_bw_factor == 1.0:
+            return
+        self.silent_bw_factor = 1.0
+        if self._silent_since is not None:
+            self.silent_log.append(
+                FaultWindow(self._silent_since, self.sim.now, "silent")
+            )
+            self._silent_since = None
+
     def fault_windows(self, now: Optional[float] = None) -> List[FaultWindow]:
         """Closed fault windows plus any still-open ones clipped at ``now``."""
         now = self.sim.now if now is None else now
@@ -460,12 +501,17 @@ class Nic:
     def _eager_tx_time(self, size: int) -> float:
         """Transmit-engine hold for an eager packet: the PIO copy window."""
         t = self.profile.pio_copy_time(size)
-        return t if self.bw_factor == 1.0 else t / self.bw_factor
+        # Multiplying by 1.0 is IEEE-exact, so the healthy path and the
+        # announced-degrade-only path stay bit-identical to the formula
+        # before silent degradation existed.
+        f = self.bw_factor * self.silent_bw_factor
+        return t if f == 1.0 else t / f
 
     def _rdv_tx_time(self, size: int) -> float:
         """Transmit-engine hold for a rendezvous DMA chunk."""
         t = self.profile.rdv_nic_time(size)
-        return t if self.bw_factor == 1.0 else t / self.bw_factor
+        f = self.bw_factor * self.silent_bw_factor
+        return t if f == 1.0 else t / f
 
     def _eager_pipeline(self, transfer: Transfer, core: Core):
         # Fixed acquisition order (core, then NIC) rules out deadlock; the

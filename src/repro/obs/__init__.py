@@ -135,6 +135,14 @@ class Observability:
                 m.gauge(f"predictor.{name}.plan_cache_misses").set(
                     engine.predictor.plan_cache_misses
                 )
+        calib = getattr(cluster, "calibration", None)
+        if calib is not None and calib.on:
+            # Drift-defense gauges only exist when calibration is armed,
+            # so healthy snapshots stay byte-identical with it off.
+            for rail in calib.detector.rails():
+                m.gauge(f"calibration.{rail}.confidence").set(
+                    calib.confidence(rail)
+                )
 
     def snapshot(self) -> Dict[str, Any]:
         """Deterministic dump of every surface (schema in

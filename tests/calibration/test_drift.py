@@ -1,0 +1,130 @@
+"""DriftDetector: EWMA math, hysteresis, evidence gate, cooldown."""
+
+import pytest
+
+from repro.core.calibration import DriftDetector
+from repro.util.errors import ConfigurationError
+
+
+def detector(**kw):
+    kw.setdefault("alpha", 0.5)
+    kw.setdefault("drift_threshold", 0.15)
+    kw.setdefault("clear_threshold", 0.05)
+    kw.setdefault("min_samples", 2)
+    kw.setdefault("cooldown", 100.0)
+    return DriftDetector(**kw)
+
+
+class TestEwma:
+    def test_first_sample_seeds_the_ewma_directly(self):
+        d = detector()
+        d.observe("r", "1M", 0.4, now=0.0)
+        assert d.band_error("r", "1M") == 0.4
+
+    def test_later_samples_blend_by_alpha(self):
+        d = detector(alpha=0.5)
+        d.observe("r", "1M", 0.4, now=0.0)
+        d.observe("r", "1M", 0.0, now=1.0)
+        assert d.band_error("r", "1M") == pytest.approx(0.2)
+
+    def test_bands_are_independent(self):
+        d = detector()
+        d.observe("r", "1M", 0.9, now=0.0)
+        assert d.band_error("r", "4M") == 0.0
+
+    def test_negative_error_rejected(self):
+        with pytest.raises(ConfigurationError):
+            detector().observe("r", "1M", -0.1, now=0.0)
+
+
+class TestTrigger:
+    def test_needs_min_samples(self):
+        d = detector(min_samples=3)
+        assert d.observe("r", "1M", 0.9, now=0.0) is False
+        assert d.observe("r", "1M", 0.9, now=1.0) is False
+        assert d.observe("r", "1M", 0.9, now=2.0) is True
+
+    def test_no_retrigger_while_drifting(self):
+        """Hysteresis: once drifting, further high errors stay silent."""
+        d = detector(min_samples=1)
+        assert d.observe("r", "1M", 0.9, now=0.0) is True
+        for t in range(1, 20):
+            assert d.observe("r", "1M", 0.9, now=1000.0 * t) is False
+        assert len(d.trigger_log) == 1
+
+    def test_clears_only_below_clear_threshold(self):
+        d = detector(min_samples=1, alpha=1.0)
+        d.observe("r", "1M", 0.9, now=0.0)
+        # 0.10 is below drift_threshold but above clear_threshold:
+        # still drifting, still silent.
+        d.observe("r", "1M", 0.10, now=200.0)
+        assert d.snapshot()["r"]["1M"]["drifting"] is True
+        d.observe("r", "1M", 0.01, now=400.0)
+        assert d.snapshot()["r"]["1M"]["drifting"] is False
+        # ... and a fresh excursion can trigger again (cooldown passed).
+        assert d.observe("r", "1M", 0.9, now=600.0) is True
+
+    def test_cooldown_suppresses_same_rail(self):
+        d = detector(min_samples=1, cooldown=100.0)
+        assert d.observe("r", "1M", 0.9, now=0.0) is True
+        # A different band of the SAME rail crosses inside the cooldown.
+        assert d.observe("r", "4M", 0.9, now=50.0) is False
+        # Another rail is unaffected by r's cooldown.
+        assert d.observe("q", "1M", 0.9, now=50.0) is True
+
+    def test_never_flaps_on_noise_around_threshold(self):
+        """Errors oscillating across the enter threshold produce exactly
+        one trigger, not a trigger train."""
+        d = detector(min_samples=1, alpha=0.9, cooldown=0.0)
+        triggers = sum(
+            d.observe("r", "1M", err, now=float(i))
+            for i, err in enumerate([0.2, 0.1, 0.2, 0.1, 0.2, 0.14, 0.2])
+        )
+        assert triggers == 1
+
+
+class TestConfidence:
+    def test_fresh_rail_scores_one(self):
+        assert detector().confidence("never-seen") == 1.0
+
+    def test_worst_band_drives_the_score(self):
+        d = detector(confidence_scale=0.5)
+        d.observe("r", "1M", 0.1, now=0.0)
+        d.observe("r", "4M", 0.25, now=0.0)
+        assert d.confidence("r") == pytest.approx(1.0 - 0.25 / 0.5)
+
+    def test_clamped_at_zero(self):
+        d = detector(confidence_scale=0.5)
+        d.observe("r", "1M", 5.0, now=0.0)
+        assert d.confidence("r") == 0.0
+
+    def test_reset_rail_restores_trust_but_keeps_cooldown(self):
+        d = detector(min_samples=1, cooldown=1000.0)
+        assert d.observe("r", "1M", 0.9, now=0.0) is True
+        d.reset_rail("r")
+        assert d.confidence("r") == 1.0
+        assert d.rails() == []
+        # Stale-profile errors still streaming in must not re-trigger
+        # inside the cooldown window.
+        assert d.observe("r", "1M", 0.9, now=10.0) is False
+
+
+class TestValidation:
+    def test_enter_must_exceed_exit(self):
+        with pytest.raises(ConfigurationError):
+            DriftDetector(drift_threshold=0.05, clear_threshold=0.05)
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"alpha": 0.0},
+            {"alpha": 1.5},
+            {"min_samples": 0},
+            {"cooldown": -1.0},
+            {"confidence_scale": 0.0},
+            {"clear_threshold": -0.1},
+        ],
+    )
+    def test_bad_knobs_rejected(self, kw):
+        with pytest.raises(ConfigurationError):
+            DriftDetector(**kw)

@@ -1,0 +1,137 @@
+"""Bit-identity guards for the calibration subsystem.
+
+Two promises:
+
+1. Calibration *off* (absent or ``enabled=False``) is invisible — every
+   simulated timestamp AND every exported JSON artifact (metrics, trace,
+   accuracy) is byte-identical to a build that never heard of it.
+2. Calibration *on* is deterministic — two identical runs produce one
+   trace, even through drift detection, an online re-sample, and ladder
+   transitions.
+"""
+
+import itertools
+import json
+
+import repro.core.packets as packets
+import repro.networks.transfer as transfer
+from repro.api.cluster import ClusterBuilder
+from repro.bench.runners import default_profiles
+from repro.faults import FaultSchedule
+
+MiB = 1024 * 1024
+RAIL = "node0.myri10g0"
+
+
+def _build(observability=True, calibration=None, degraded=False):
+    """calibration: None = never mentioned, False = enabled=False,
+    True = armed with the fast-reacting test knobs."""
+    builder = ClusterBuilder.paper_testbed(strategy="hetero_split").sampling(
+        profiles=default_profiles(("myri10g", "quadrics"))
+    )
+    if observability:
+        builder.observability()
+    if calibration is True:
+        builder.calibration(cooldown=1000.0, min_samples=2)
+    elif calibration is False:
+        builder.calibration(enabled=False)
+    if degraded:
+        schedule = FaultSchedule()
+        schedule.silent_degrade(RAIL, at=0.0, bw_factor=0.5)
+        builder.faults(schedule)
+    return builder.build()
+
+
+def _drive(cluster, count=8, size=4 * MiB):
+    # Message and transfer ids come from process-global counters; rewind
+    # them so every run in this process emits byte-comparable trace JSON.
+    packets._msg_seq = itertools.count()
+    transfer._transfer_ids = itertools.count()
+    src, dst = cluster.sessions("node0", "node1")
+    done = []
+
+    def driver():
+        for i in range(count):
+            dst.irecv(source="node0", tag=i)
+            msg = src.isend("node1", size, tag=i)
+            yield from src.wait(msg)
+            done.append(cluster.sim.now)
+
+    cluster.sim.spawn(driver())
+    cluster.run()
+    assert len(done) == count
+    return done
+
+
+def _timestamps(cluster, completions):
+    return {
+        "completions": completions,
+        "final_now": cluster.sim.now,
+        "events": cluster.sim.events_processed,
+    }
+
+
+def _exports(cluster):
+    """Every JSON artifact the cluster can emit, as canonical bytes."""
+    return {
+        "metrics": json.dumps(cluster.metrics_snapshot(), sort_keys=True),
+        "trace": json.dumps(cluster.chrome_trace(), sort_keys=True),
+        "accuracy": json.dumps(cluster.accuracy_snapshot(), sort_keys=True),
+    }
+
+
+class TestOffIsInvisible:
+    def test_enabled_false_matches_plain_build_exactly(self):
+        plain = _build(calibration=None)
+        off = _build(calibration=False)
+        t_plain = _timestamps(plain, _drive(plain))
+        t_off = _timestamps(off, _drive(off))
+        assert t_plain == t_off
+        assert _exports(plain) == _exports(off)
+
+    def test_enabled_false_is_invisible_under_silent_degrade(self):
+        """Even with the wire silently slowed, a disarmed build must be
+        byte-identical to one that never mentioned calibration."""
+        plain = _build(calibration=None, degraded=True)
+        off = _build(calibration=False, degraded=True)
+        t_plain = _timestamps(plain, _drive(plain))
+        t_off = _timestamps(off, _drive(off))
+        assert t_plain == t_off
+        assert _exports(plain) == _exports(off)
+
+    def test_enabled_false_without_obs(self):
+        plain = _build(observability=False, calibration=None)
+        off = _build(observability=False, calibration=False)
+        assert _timestamps(plain, _drive(plain)) == _timestamps(off, _drive(off))
+
+
+class TestArmedHealthyPath:
+    def test_armed_but_healthy_timestamps_match_plain(self):
+        """With no drift there is no re-sample, no ladder move, no clamp
+        — an armed controller must not move a single float."""
+        plain = _build(calibration=None)
+        armed = _build(calibration=True)
+        assert _drive(plain) == _drive(armed)
+        assert plain.sim.now == armed.sim.now
+
+
+class TestArmedDeterminism:
+    def _degraded_trace(self):
+        cluster = _build(calibration=True, degraded=True)
+        completions = _drive(cluster, count=12)
+        return {
+            **_timestamps(cluster, completions),
+            **_exports(cluster),
+            "snapshot": json.dumps(
+                cluster.calibration_snapshot(), sort_keys=True
+            ),
+        }
+
+    def test_double_run_through_the_full_loop(self):
+        """Drift detection, an online re-sample and ladder transitions
+        all happen — twice, identically."""
+        first = self._degraded_trace()
+        second = self._degraded_trace()
+        snap = json.loads(first["snapshot"])
+        assert snap["drift_events"] >= 1 and snap["resamples"]
+        assert first == second

@@ -1,0 +1,77 @@
+"""FallbackLadder: hysteretic transitions, dwell, one step per update."""
+
+import pytest
+
+from repro.core.calibration import FallbackLadder, TrustLevel
+from repro.util.errors import ConfigurationError
+
+
+def ladder(**kw):
+    kw.setdefault("dwell", 100.0)
+    return FallbackLadder(**kw)
+
+
+class TestTransitions:
+    def test_starts_full(self):
+        assert ladder().level is TrustLevel.FULL
+
+    def test_walks_down_one_step_at_a_time(self):
+        lad = ladder()
+        assert lad.update(0.0, now=0.0) is TrustLevel.PARTIAL
+        assert lad.update(0.0, now=200.0) is TrustLevel.SINGLE
+
+    def test_collapse_cannot_skip_partial(self):
+        """Even zero confidence moves FULL only to PARTIAL in one call."""
+        lad = ladder()
+        assert lad.update(0.0, now=0.0) is TrustLevel.PARTIAL
+
+    def test_walks_back_up_through_partial(self):
+        lad = ladder()
+        lad.update(0.0, now=0.0)
+        lad.update(0.0, now=200.0)
+        assert lad.level is TrustLevel.SINGLE
+        assert lad.update(1.0, now=400.0) is TrustLevel.PARTIAL
+        assert lad.update(1.0, now=600.0) is TrustLevel.FULL
+
+    def test_hysteresis_band_holds_the_level(self):
+        """Between full_exit and full_enter nothing moves, either way."""
+        lad = ladder(full_exit=0.6, full_enter=0.75)
+        assert lad.update(0.65, now=0.0) is TrustLevel.FULL
+        lad.update(0.0, now=100.0)
+        assert lad.level is TrustLevel.PARTIAL
+        # 0.65 >= partial_enter but < full_enter: stays PARTIAL.
+        assert lad.update(0.65, now=300.0) is TrustLevel.PARTIAL
+        assert lad.update(0.75, now=500.0) is TrustLevel.FULL
+
+    def test_dwell_blocks_back_to_back_transitions(self):
+        lad = ladder(dwell=100.0)
+        lad.update(0.0, now=0.0)
+        assert lad.update(0.0, now=50.0) is TrustLevel.PARTIAL
+        assert lad.update(0.0, now=99.9) is TrustLevel.PARTIAL
+        assert lad.update(0.0, now=100.0) is TrustLevel.SINGLE
+
+    def test_transitions_are_logged(self):
+        lad = ladder()
+        lad.update(0.0, now=5.0)
+        assert lad.transitions == [
+            (5.0, TrustLevel.FULL, TrustLevel.PARTIAL, 0.0)
+        ]
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"full_exit": 0.8, "full_enter": 0.75},        # exit >= enter
+            {"partial_exit": 0.5, "partial_enter": 0.4},   # exit >= enter
+            {"partial_enter": 0.7, "full_exit": 0.6},      # bands overlap
+            {"dwell": -1.0},
+            {"full_enter": 1.5},
+        ],
+    )
+    def test_bad_knobs_rejected(self, kw):
+        with pytest.raises(ConfigurationError):
+            FallbackLadder(**kw)
+
+    def test_trust_levels_are_ordered(self):
+        assert TrustLevel.SINGLE < TrustLevel.PARTIAL < TrustLevel.FULL

@@ -1,0 +1,92 @@
+"""Property: hetero-split degrades *gracefully* as sampling noise grows.
+
+The profiles the planner trusts are measurements, and real measurements
+jitter.  A strategy that collapses the moment its tables are a few
+percent off would be unusable on hardware — so we sweep the jitter σ
+and require the end-to-end throughput to erode smoothly, never fall off
+a cliff, even when every probe is 30% noisy.
+"""
+
+import pytest
+
+from repro.api.cluster import ClusterBuilder
+from repro.core.sampling import NoisySampler
+
+MiB = 1024 * 1024
+COUNT = 6
+SIZE = 4 * MiB
+
+#: jitter sweep (σ as a percentage of the clean probe time)
+SIGMAS = [0.0, 5.0, 15.0, 30.0]
+
+#: throughput floor for the noisiest point, as a fraction of clean
+GRACEFUL_FLOOR = 0.6
+
+
+def _makespan(jitter_pct, seed=0):
+    builder = ClusterBuilder.paper_testbed(strategy="hetero_split")
+    builder.sampling(sampler=NoisySampler(jitter_pct, seed=seed, repetitions=5))
+    cluster = builder.build()
+    src, dst = cluster.sessions("node0", "node1")
+    done = []
+
+    def driver():
+        for i in range(COUNT):
+            dst.irecv(source="node0", tag=i)
+            msg = src.isend("node1", SIZE, tag=i)
+            yield from src.wait(msg)
+            done.append(cluster.sim.now)
+
+    cluster.sim.spawn(driver())
+    cluster.run()
+    assert len(done) == COUNT
+    return done[-1]
+
+
+class TestGracefulDegradation:
+    def test_zero_jitter_matches_the_clean_sampler(self):
+        builder = ClusterBuilder.paper_testbed(strategy="hetero_split")
+        clean = builder.build()
+        assert _makespan(0.0) > 0
+        # NoisySampler(0) takes the exact clean path — same profiles.
+        noisy = (
+            ClusterBuilder.paper_testbed(strategy="hetero_split")
+            .sampling(sampler=NoisySampler(0.0))
+            .build()
+        )
+        for tech, est in clean.profiles.estimators.items():
+            assert list(noisy.profiles.estimators[tech].dma.times) == list(
+                est.dma.times
+            )
+
+    @pytest.mark.parametrize("sigma", SIGMAS[1:])
+    def test_noisy_profiles_stay_above_the_floor(self, sigma):
+        """One seed per sweep point: even 30%-noisy tables must keep the
+        stream within GRACEFUL_FLOOR of clean throughput."""
+        clean = _makespan(0.0)
+        noisy = _makespan(sigma)
+        assert clean / noisy >= GRACEFUL_FLOOR, (
+            f"σ={sigma}%: throughput fell to {clean / noisy:.2f}× clean"
+        )
+
+    def test_erosion_is_monotone_in_expectation(self):
+        """Median over seeds: more noise must not *help*, and the curve
+        from clean to 30% must erode without a cliff between adjacent
+        sweep points."""
+        medians = []
+        for sigma in SIGMAS:
+            spans = sorted(_makespan(sigma, seed=s) for s in range(3))
+            medians.append(spans[1])
+        clean = medians[0]
+        ratios = [clean / m for m in medians]
+        assert ratios[0] == 1.0
+        for prev, cur in zip(ratios, ratios[1:]):
+            # no cliff: one sweep step may cost at most 25% of clean
+            assert prev - cur <= 0.25, f"cliff in sweep: {ratios}"
+        assert ratios[-1] >= GRACEFUL_FLOOR
+
+    def test_negative_jitter_rejected(self):
+        from repro.util.errors import SamplingError
+
+        with pytest.raises(SamplingError):
+            NoisySampler(-1.0)

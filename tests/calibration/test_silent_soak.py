@@ -1,0 +1,51 @@
+"""Silent-degrade chaos soak with the drift loop armed.
+
+The PR 5 soak: episodes drawn from the pool that includes unannounced
+bandwidth drops, the InvariantMonitor watching every run, and the
+calibration controller free to re-sample and re-plan mid-flight.  The
+defense must never trade a violation for its throughput — zero
+violations across the seed sweep, every message drained.
+"""
+
+import pytest
+
+from repro.faults.chaos import run_scenario, soak
+
+SEEDS = range(25)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return soak(SEEDS, silent=True, calibration=True)
+
+
+class TestSilentSoak:
+    def test_zero_invariant_violations(self, report):
+        assert report.violations == [], [
+            (s.seed, str(s.violation)) for s in report.violations
+        ]
+
+    def test_every_seed_ran_and_drained(self, report):
+        assert len(report.scenarios) == len(SEEDS)
+        for s in report.scenarios:
+            assert s.ok
+            assert s.messages_completed == s.messages_sent
+
+    def test_sweep_exercises_silent_episodes(self, report):
+        """The pool must actually have dealt silent degrades somewhere
+        in the sweep — otherwise the soak proves nothing."""
+        assert any(s.faults_fired > 0 for s in report.scenarios)
+
+    def test_calibration_off_is_also_clean(self):
+        """Blind runs may be slow, but slow is not broken: the invariant
+        monitor must hold even when nobody defends the estimator."""
+        blind = soak(range(10), silent=True, calibration=False)
+        assert blind.violations == []
+
+    def test_single_scenario_reproduces(self):
+        a = run_scenario(7, silent=True, calibration=True)
+        b = run_scenario(7, silent=True, calibration=True)
+        assert a.ok and b.ok
+        assert a.elapsed_us == b.elapsed_us
+        assert a.messages_completed == b.messages_completed
+        assert a.faults_fired == b.faults_fired
