@@ -2,8 +2,12 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
+# Worker count for the sharded soak/sweep targets.  0 means "one worker
+# per CPU" (resolved by repro.bench.parallel via os.cpu_count()).
+JOBS ?= 0
+
 .PHONY: test bench-smoke perf bench check faults-demo chaos chaos-wide \
-        chaos-silent calibration-demo
+        chaos-silent calibration-demo bench-parallel soak-parallel
 
 # Tier-1 verify (the ROADMAP contract).
 test:
@@ -16,8 +20,8 @@ check: test bench-smoke
 faults-demo:
 	$(PYTHON) -m repro.bench.cli faults --demo
 
-# Fast kernel microbench (<30 s); fails when events/sec regresses >30%
-# versus the committed BENCH_PR1.json trajectory.
+# Fast kernel microbench (<30 s); fails when any guarded metric
+# regresses >30% versus the committed BENCH_PR6.json trajectory.
 bench-smoke:
 	$(PYTHON) -m repro.bench.cli perf --smoke
 
@@ -46,3 +50,14 @@ chaos-silent:
 # Narrated estimator-drift-defense demo (docs/calibration.md).
 calibration-demo:
 	$(PYTHON) -m repro.bench.cli calibration --demo
+
+# Sharded bandwidth sweep: every (strategy, size) cell fanned out over
+# $(JOBS) workers; output identical to the serial sweep.
+bench-parallel:
+	$(PYTHON) -m repro.bench.cli sweep --sizes 64K,256K,1M,4M,16M \
+		--strategies hetero_split,iso_split,single_rail --jobs $(JOBS)
+
+# Sharded chaos soak: per-seed scenarios fanned out over $(JOBS)
+# workers; the soak artifact is byte-identical to a --jobs 1 run.
+soak-parallel:
+	$(PYTHON) -m repro.bench.cli chaos --seeds 200 --jobs $(JOBS)

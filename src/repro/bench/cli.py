@@ -16,8 +16,10 @@ Usage::
 ``run`` regenerates a registered paper artefact and prints its table;
 ``sweep`` is a free-form bandwidth sweep for ad-hoc exploration;
 ``perf`` times the kernel/estimator/split hot paths (``--smoke`` also
-fails when event throughput regresses >30% vs the committed
-``BENCH_PR1.json`` trajectory — see docs/performance.md);
+fails when any guarded metric regresses >30% vs the committed
+``BENCH_PR6.json`` trajectory; ``--compare BENCH_PRn.json`` prints a
+per-metric delta table against any committed trajectory file — see
+docs/performance.md);
 ``faults`` showcases the fault-injection subsystem (``--demo`` narrates
 a NIC dying mid-transfer; ``--json`` regenerates ``BENCH_PR2.json``);
 ``metrics`` and ``accuracy`` run instrumented demo scenarios and print
@@ -81,6 +83,12 @@ def _build_parser() -> argparse.ArgumentParser:
         default="myri10g,quadrics",
         help="comma-separated rail technologies",
     )
+    sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the sweep cells (0 = one per CPU)",
+    )
 
     perf = sub.add_parser(
         "perf", help="time the kernel/estimator/split hot paths"
@@ -88,10 +96,17 @@ def _build_parser() -> argparse.ArgumentParser:
     perf.add_argument(
         "--smoke",
         action="store_true",
-        help="fast run; exit 1 if events/sec regresses >30%% vs BENCH_PR1.json",
+        help="fast run; exit 1 if any guarded metric regresses >30%% vs "
+        "the committed BENCH_PR6.json",
     )
     perf.add_argument(
         "--json", metavar="PATH", help="also dump the measured stats as JSON"
+    )
+    perf.add_argument(
+        "--compare",
+        metavar="BENCH_PRn.json",
+        help="measure, then print a per-metric delta table against the "
+        "named committed trajectory file (with --json: dump the deltas)",
     )
 
     faults = sub.add_parser(
@@ -179,6 +194,19 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="arm the calibration drift loop during the soak",
     )
+    chaos.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the soak (0 = one per CPU); per-seed "
+        "results are deterministic, so any -j yields identical artifacts",
+    )
+    chaos.add_argument(
+        "--artifact",
+        metavar="PATH",
+        help="dump the deterministic soak results as JSON (wall-clock "
+        "fields excluded: byte-identical for --jobs 1 and --jobs N)",
+    )
 
     calib = sub.add_parser(
         "calibration", help="estimator drift defense (docs/calibration.md)"
@@ -251,7 +279,10 @@ def _cmd_run(
     return 0
 
 
-def _cmd_sweep(sizes: str, strategies: str, metric: str, rails: str) -> int:
+def _cmd_sweep(
+    sizes: str, strategies: str, metric: str, rails: str, jobs: int = 1
+) -> int:
+    from repro.bench.parallel import parallel_sweep_oneway, resolve_jobs
     from repro.bench.runners import sweep_oneway
     from repro.util.units import parse_size
 
@@ -262,14 +293,26 @@ def _cmd_sweep(sizes: str, strategies: str, metric: str, rails: str) -> int:
         return 2
     strategy_names = [s.strip() for s in strategies.split(",") if s.strip()]
     rail_tuple = tuple(r.strip() for r in rails.split(",") if r.strip())
+    strategy_map = {name: name for name in strategy_names}
+    title = f"ad-hoc sweep over {rail_tuple}"
     try:
-        result = sweep_oneway(
-            title=f"ad-hoc sweep over {rail_tuple}",
-            sizes=size_list,
-            strategies={name: name for name in strategy_names},
-            metric=metric,
-            rails=rail_tuple,
-        )
+        if resolve_jobs(jobs) > 1:
+            result = parallel_sweep_oneway(
+                title=title,
+                sizes=size_list,
+                strategies=strategy_map,
+                metric=metric,
+                rails=rail_tuple,
+                jobs=jobs,
+            )
+        else:
+            result = sweep_oneway(
+                title=title,
+                sizes=size_list,
+                strategies=strategy_map,
+                metric=metric,
+                rails=rail_tuple,
+            )
     except KeyError as exc:
         print(str(exc), file=sys.stderr)
         return 2
@@ -277,13 +320,36 @@ def _cmd_sweep(sizes: str, strategies: str, metric: str, rails: str) -> int:
     return 0
 
 
-def _cmd_perf(smoke: bool, json_path: Optional[str] = None) -> int:
+def _cmd_perf(
+    smoke: bool,
+    json_path: Optional[str] = None,
+    compare_path: Optional[str] = None,
+) -> int:
     import json
+    from pathlib import Path
 
     from repro.bench import perfstats
 
     stats = perfstats.collect_perfstats(smoke=smoke)
     baseline = perfstats.load_baseline()
+    if compare_path:
+        ref_path = Path(compare_path)
+        if not ref_path.exists():
+            candidate = perfstats.repo_root() / compare_path
+            if candidate.exists():
+                ref_path = candidate
+        reference = perfstats.load_baseline(ref_path)
+        if reference is None:
+            print(f"cannot read {compare_path}", file=sys.stderr)
+            return 2
+        deltas = perfstats.compare_stats(stats, reference)
+        print(perfstats.render_comparison(deltas, ref_path.name))
+        if json_path:
+            payload = {"reference": ref_path.name, "deltas": deltas}
+            with open(json_path, "w") as fh:
+                json.dump(payload, fh, indent=2, sort_keys=True)
+            print(f"comparison written to {json_path}")
+        return 0
     print(perfstats.render_stats(stats, baseline))
     if json_path:
         with open(json_path, "w") as fh:
@@ -444,7 +510,14 @@ def _cmd_chaos(
     json_path: Optional[str],
     silent: bool = False,
     calibration: bool = False,
+    jobs: int = 1,
+    artifact_path: Optional[str] = None,
 ) -> int:
+    from repro.bench.parallel import (
+        parallel_soak,
+        resolve_jobs,
+        soak_artifact,
+    )
     from repro.faults import soak
     from repro.faults.chaos import DEFAULT_INTENSITY
 
@@ -460,13 +533,27 @@ def _cmd_chaos(
             file=sys.stderr,
         )
         return 2
-    report = soak(
-        seeds,
-        intensity=intensity if intensity is not None else DEFAULT_INTENSITY,
-        shrink_failures=do_shrink,
-        silent=silent,
-        calibration=calibration,
-    )
+    workers = resolve_jobs(jobs)
+    if workers > 1:
+        report = parallel_soak(
+            seeds,
+            jobs=workers,
+            intensity=intensity if intensity is not None else DEFAULT_INTENSITY,
+            shrink_failures=do_shrink,
+            silent=silent,
+            calibration=calibration,
+        )
+        print(f"[{workers} workers]")
+    else:
+        report = soak(
+            seeds,
+            intensity=intensity if intensity is not None else DEFAULT_INTENSITY,
+            shrink_failures=do_shrink,
+            silent=silent,
+            calibration=calibration,
+        )
+    if artifact_path:
+        _dump_json(soak_artifact(report), artifact_path, "soak artifact")
     print(report.summary())
     for bad in report.violations:
         assert bad.violation is not None
@@ -581,9 +668,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.command == "run":
             return _cmd_run(args.experiment, csv_path=args.csv, chart=args.chart)
         if args.command == "sweep":
-            return _cmd_sweep(args.sizes, args.strategies, args.metric, args.rails)
+            return _cmd_sweep(
+                args.sizes, args.strategies, args.metric, args.rails,
+                jobs=args.jobs,
+            )
         if args.command == "perf":
-            return _cmd_perf(args.smoke, json_path=args.json)
+            return _cmd_perf(
+                args.smoke, json_path=args.json, compare_path=args.compare
+            )
         if args.command == "faults":
             return _cmd_faults(args.demo, json_path=args.json)
         if args.command == "metrics":
@@ -598,6 +690,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 args.json,
                 silent=args.silent,
                 calibration=args.calibration,
+                jobs=args.jobs,
+                artifact_path=args.artifact,
             )
         if args.command == "calibration":
             return _cmd_calibration(args.demo, args.json)

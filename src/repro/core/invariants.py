@@ -89,6 +89,23 @@ class InvariantViolation(ReproError):
         self.trail = list(trail or [])
         super().__init__(self.report())
 
+    def __reduce__(self):
+        # Default exception pickling replays ``__init__(*args)`` with the
+        # formatted report string as the only arg — wrong signature.  A
+        # violation must survive the trip back from a soak worker process
+        # intact, so reconstruct from the structured fields.
+        return (
+            InvariantViolation,
+            (
+                self.invariant,
+                self.detail,
+                self.time,
+                self.seed,
+                self.schedule,
+                self.trail,
+            ),
+        )
+
     def report(self) -> str:
         """The full violation report (what lands in the exception text)."""
         lines = [

@@ -59,12 +59,16 @@ class DegradedSend:
         return self.bytes_received / self.size if self.size else 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """One application send.
 
     ``done`` triggers (with the message) when the *receiver* finished
     processing every chunk — the completion the ping-pong benchmarks time.
+
+    Slotted like :class:`~repro.networks.transfer.Transfer`: the chunk
+    accounting on the receive path reads/writes these fields per chunk,
+    and open-loop workloads keep millions of messages alive at once.
     """
 
     src: str
@@ -194,7 +198,7 @@ class Message:
         return False
 
 
-@dataclass
+@dataclass(slots=True)
 class RecvHandle:
     """A posted receive: matches incoming messages by (source, tag).
 

@@ -14,6 +14,8 @@ import itertools
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.estimator import NicEstimator, SampleTable
 from repro.core.packets import TransferMode
 from repro.core.split import SplitResult, dichotomy_split, waterfill_split
@@ -21,9 +23,10 @@ from repro.networks.nic import Nic
 from repro.util.errors import ConfigurationError, SamplingError, SchedulingError
 
 
-@dataclass
+@dataclass(slots=True)
 class RailPlan:
-    """A concrete multirail transfer decision."""
+    """A concrete multirail transfer decision (slotted — every send in
+    a storm allocates one)."""
 
     nics: List[Nic]                  # rails actually used (chunk size > 0)
     sizes: List[int]                 # bytes per rail, aligned with nics
@@ -65,6 +68,11 @@ class _ScaledTable:
 
     def __call__(self, size: float) -> float:
         return self._table(size) / self._factor
+
+    def batch(self, sizes) -> "np.ndarray":
+        # Elementwise division by the same scalar the scalar path uses:
+        # bit-equal to calling __call__ per size.
+        return self._table.batch(sizes) / self._factor
 
     def inverse(self, time: float) -> float:
         return self._table.inverse(time * self._factor)
@@ -204,6 +212,113 @@ class CompletionPredictor:
         no fault latency) — the quantity the accuracy telemetry pairs
         with the chunk's measured pipeline time."""
         return self._planning_estimator(nic).transfer_time(size, mode)
+
+    # ------------------------------------------------------------------ #
+    # batched candidate pricing (one vectorized call across all rails
+    # and all candidate split points of a plan)
+    # ------------------------------------------------------------------ #
+
+    def price_candidates(
+        self,
+        nics: Sequence[Nic],
+        candidate_sizes: Sequence[Sequence[float]],
+        mode: TransferMode,
+    ) -> "np.ndarray":
+        """Predicted completions of many candidate splits in one call.
+
+        ``candidate_sizes`` is a ``(candidates, rails)`` matrix: row
+        ``c`` assigns ``candidate_sizes[c][r]`` bytes to ``nics[r]``.
+        Returns one predicted completion per row::
+
+            completion[c] = max_r( busy_offset_r + T_r(size[c, r]) )
+
+        — the quantity the §II-B solvers minimize, evaluated with one
+        ``SampleTable.batch`` pass per rail instead of a Python call per
+        ``(candidate, rail)`` cell.  Bit-equal to
+        :meth:`price_candidates_scalar` on every element (the hypothesis
+        suite asserts it), so analysis and solver code can mix the two
+        paths freely.  Degraded rails price through the same scaled
+        planning view the scalar path uses.
+
+        Like the solvers' interior evaluation (``dichotomy_split``'s
+        ``time_a``/``time_b``), a zero-byte cell is priced at the
+        curve's zero-size intercept — the "drop this rail entirely"
+        special case stays where it always lived, in the caller.
+        """
+        arr = np.asarray(candidate_sizes, dtype=np.float64)
+        if arr.ndim != 2 or arr.shape[1] != len(nics):
+            raise ConfigurationError(
+                f"candidate matrix shape {arr.shape} does not match "
+                f"{len(nics)} rail(s)"
+            )
+        completion: Optional[np.ndarray] = None
+        for r, nic in enumerate(nics):
+            est = self._planning_estimator(nic)
+            table = est.eager if mode is TransferMode.EAGER else est.dma
+            rail_completion = self._rail_offset(nic) + table.batch(arr[:, r])
+            completion = (
+                rail_completion
+                if completion is None
+                else np.maximum(completion, rail_completion)
+            )
+        assert completion is not None
+        return completion
+
+    def price_candidates_scalar(
+        self,
+        nics: Sequence[Nic],
+        candidate_sizes: Sequence[Sequence[float]],
+        mode: TransferMode,
+    ) -> List[float]:
+        """Reference scalar loop for :meth:`price_candidates`.
+
+        One table call per ``(candidate, rail)`` cell — what pricing
+        cost before vectorization, kept as the bit-equality oracle and
+        the baseline side of the ``pricing`` benchmark pair in
+        ``BENCH_PR6.json``.
+        """
+        tables = []
+        for nic in nics:
+            est = self._planning_estimator(nic)
+            tables.append(
+                (
+                    est.eager if mode is TransferMode.EAGER else est.dma,
+                    self._rail_offset(nic),
+                )
+            )
+        out: List[float] = []
+        for row in candidate_sizes:
+            if len(row) != len(nics):
+                raise ConfigurationError(
+                    f"candidate row width {len(row)} does not match "
+                    f"{len(nics)} rail(s)"
+                )
+            out.append(
+                max(off + table(s) for (table, off), s in zip(tables, row))
+            )
+        return out
+
+    def price_boundaries(
+        self,
+        nics: Sequence[Nic],
+        size: int,
+        mode: TransferMode,
+        boundaries: Sequence[float],
+    ) -> "np.ndarray":
+        """Price every two-rail boundary candidate in one vectorized call.
+
+        Boundary ``b`` sends ``b`` bytes on ``nics[0]`` and ``size - b``
+        on ``nics[1]`` — the dichotomy solver's search axis, priced as a
+        whole grid at once (grid sweeps, ablation benches, charts).
+        """
+        if len(nics) != 2:
+            raise ConfigurationError(
+                f"price_boundaries takes exactly 2 rails, got {len(nics)}"
+            )
+        b = np.asarray(boundaries, dtype=np.float64)
+        return self.price_candidates(
+            nics, np.stack((b, size - b), axis=1), mode
+        )
 
     # ------------------------------------------------------------------ #
     # rail-subset selection + split (the full §II-B decision)

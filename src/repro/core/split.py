@@ -28,9 +28,10 @@ from repro.util.errors import ConfigurationError
 Rail = Tuple[NicEstimator, float]
 
 
-@dataclass
+@dataclass(slots=True)
 class SplitResult:
-    """Outcome of a split computation."""
+    """Outcome of a split computation (slotted: one per plan, and the
+    plan cache round-trips its fields as plain tuples)."""
 
     sizes: List[int]                 # bytes per rail, same order as input
     predicted_times: List[float]     # offset + transfer time per rail

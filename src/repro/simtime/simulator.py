@@ -35,9 +35,11 @@ class Simulator:
         sim.run()
     """
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(self, start_time: float = 0.0, auto_calendar: bool = True) -> None:
         self.now: float = float(start_time)
-        self._queue = EventQueue()
+        # auto_calendar=False pins the PR 1 heap backend (the perf
+        # harness measures it interleaved with the calendar path).
+        self._queue = EventQueue(auto_calendar=auto_calendar)
         # Bound once: schedule/schedule_at are the hottest calls in every
         # run, and the queue lives as long as the simulator.
         self._push = self._queue.push

@@ -128,3 +128,57 @@ class TestAccuracyCommand:
         payload = json.loads(out[out.index("{"):])
         degraded = payload["per_rail"]["node0.myri10g0"]["transfer"]
         assert degraded["mean_abs_rel_error"] > 1e-8
+
+
+class TestPerfCompare:
+    def test_compare_against_committed_trajectory_file(self, capsys):
+        assert main(["perf", "--smoke", "--compare", "BENCH_PR6.json"]) == 0
+        out = capsys.readouterr().out
+        assert "BENCH_PR6.json" in out
+        assert "speedup" in out
+
+    def test_compare_missing_file_fails(self, capsys):
+        assert main(["perf", "--smoke", "--compare", "BENCH_PR99.json"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_compare_json_dump(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "deltas.json"
+        assert (
+            main(
+                [
+                    "perf",
+                    "--smoke",
+                    "--compare",
+                    "BENCH_PR6.json",
+                    "--json",
+                    str(out_path),
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(out_path.read_text())
+        assert payload["reference"] == "BENCH_PR6.json"
+        for row in payload["deltas"].values():
+            assert set(row) == {"measured", "reference", "ratio"}
+
+
+class TestChaosFanOut:
+    def test_jobs_artifact_matches_serial_byte_for_byte(self, tmp_path, capsys):
+        a = tmp_path / "serial.json"
+        b = tmp_path / "sharded.json"
+        assert main(["chaos", "--seeds", "4", "--artifact", str(a)]) == 0
+        assert (
+            main(
+                ["chaos", "--seeds", "4", "--jobs", "2", "--artifact", str(b)]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "[2 workers]" in out
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_bad_seed_spec_rejected(self, capsys):
+        assert main(["chaos", "--seeds", "many"]) == 2
+        assert "bad --seeds" in capsys.readouterr().err

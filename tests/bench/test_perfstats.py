@@ -16,13 +16,30 @@ class TestBaselineFile:
         assert base is not None, f"{perfstats.BASELINE_FILENAME} missing"
         for metric in perfstats.GUARDED_METRICS:
             assert metric in base["current"]
+        # The interleaved A/B column covers exactly the paired metrics.
+        for metric in base["speedup"]:
             assert metric in base["baseline"]
 
     def test_committed_speedups_meet_pr_targets(self):
-        """The acceptance contract of this PR, as committed."""
+        """The acceptance contract of this PR, as committed: the
+        calendar queue clears 1.5x on the large-N storm and batched
+        pricing clears 3x over the scalar loop, both interleaved A/B on
+        one machine."""
         base = perfstats.load_baseline()
-        assert base["speedup"]["events_per_s"] >= 2.0
-        assert base["speedup"]["splits_cached_per_s"] >= 5.0
+        assert base["pr"] == 6
+        assert base["speedup"]["events_large_n_per_s"] >= 1.5
+        assert base["speedup"]["pricing_batch_per_s"] >= 3.0
+        soak = base["parallel_soak"]
+        assert soak["seeds"] >= 1 and soak["host_cpus"] >= 1
+        assert soak["scenarios_per_s_jobs1"] > 0
+
+    def test_trajectory_includes_this_pr(self):
+        traj = perfstats.load_trajectory()
+        prs = [p["pr"] for p in traj]
+        assert prs == sorted(prs)
+        assert 6 in prs
+        this = next(p for p in traj if p["pr"] == 6)
+        assert this["_file"] == perfstats.BASELINE_FILENAME
 
     def test_load_baseline_missing_file_returns_none(self, tmp_path):
         assert perfstats.load_baseline(tmp_path / "nope.json") is None
@@ -53,6 +70,29 @@ class TestCompare:
         assert "events_per_s" in out and "123" in out and "100,000" in out
 
 
+class TestCompareStats:
+    REF = {"current": {"events_per_s": 100.0, "fig_slice_wall_s": 2.0}}
+
+    def test_rate_ratio_is_measured_over_reference(self):
+        deltas = perfstats.compare_stats({"events_per_s": 150.0}, self.REF)
+        assert deltas["events_per_s"]["ratio"] == pytest.approx(1.5)
+
+    def test_wall_time_ratio_is_inverted(self):
+        # Halving wall time is a 2x speedup, not 0.5x.
+        deltas = perfstats.compare_stats({"fig_slice_wall_s": 1.0}, self.REF)
+        assert deltas["fig_slice_wall_s"]["ratio"] == pytest.approx(2.0)
+
+    def test_unshared_metrics_dropped(self):
+        deltas = perfstats.compare_stats({"novel_per_s": 9.0}, self.REF)
+        assert deltas == {}
+
+    def test_render_comparison_mentions_label_and_ratio(self):
+        deltas = perfstats.compare_stats({"events_per_s": 150.0}, self.REF)
+        out = perfstats.render_comparison(deltas, "BENCH_PR1.json")
+        assert "BENCH_PR1.json" in out and "1.50x" in out
+        assert "no comparable" in perfstats.render_comparison({}, "x.json")
+
+
 class TestMicrobenchesSmallScale:
     """Tiny-sized sanity runs: every bench returns a positive rate."""
 
@@ -68,3 +108,21 @@ class TestMicrobenchesSmallScale:
 
     def test_fig_slice_runs(self):
         assert perfstats.bench_fig_slice(messages=2, repeats=1) > 0
+
+    def test_event_storm_runs_both_backends(self):
+        assert perfstats.bench_event_storm(n_events=5_000, repeats=1) > 0
+        assert (
+            perfstats.bench_event_storm(
+                n_events=5_000, repeats=1, auto_calendar=False
+            )
+            > 0
+        )
+
+    def test_pricing_bench_runs_both_paths(self):
+        fast = perfstats.bench_pricing_throughput(
+            n_calls=3, n_candidates=8, batch=True
+        )
+        slow = perfstats.bench_pricing_throughput(
+            n_calls=3, n_candidates=8, batch=False
+        )
+        assert fast > 0 and slow > 0

@@ -1,0 +1,168 @@
+"""Bit-equality of the vectorized estimation paths vs their scalar twins.
+
+The contract (docs/performance.md): every numpy batch path in the
+estimator/predictor evaluates the *identical* IEEE-754 expression as its
+scalar counterpart, in the same operand order — so the two agree
+**bitwise**, not approximately, on every input.  That is what lets the
+solvers and analysis code mix scalar and batch calls without moving a
+single planned byte.  Hypothesis hunts for inputs where an expression
+was reassociated.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.estimator import SampleTable
+from repro.core.packets import TransferMode
+from repro.core.prediction import CompletionPredictor
+from repro.core.sampling import ProfileStore
+from repro.networks import ElanDriver, MxDriver
+from repro.util.errors import ConfigurationError, SamplingError
+
+from tests.conftest import wire_pair
+
+RDV = TransferMode.RENDEZVOUS
+EAGER = TransferMode.EAGER
+
+
+# A sampled curve: strictly increasing sizes, non-negative times.
+@st.composite
+def sample_tables(draw):
+    n = draw(st.integers(min_value=2, max_value=8))
+    steps = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=1 << 18), min_size=n, max_size=n
+        )
+    )
+    sizes = np.cumsum(steps).tolist()
+    times = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e5, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return SampleTable(sizes=sizes, times=times)
+
+
+probe_sizes = st.lists(
+    st.floats(min_value=0.0, max_value=1e7, allow_nan=False),
+    min_size=1,
+    max_size=40,
+)
+
+probe_times = st.lists(
+    st.floats(min_value=-10.0, max_value=1e6, allow_nan=False),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestSampleTableBatch:
+    @given(table=sample_tables(), sizes=probe_sizes)
+    @settings(max_examples=120, deadline=None)
+    def test_batch_bitwise_equals_scalar(self, table, sizes):
+        batch = table.batch(sizes)
+        scalar = np.array([table(s) for s in sizes])
+        assert (batch == scalar).all(), (batch, scalar)
+
+    @given(table=sample_tables(), times=probe_times)
+    @settings(max_examples=120, deadline=None)
+    def test_inverse_batch_bitwise_equals_scalar(self, table, times):
+        batch = table.inverse_batch(times)
+        scalar = np.array([table.inverse(t) for t in times])
+        assert (batch == scalar).all(), (batch, scalar)
+
+    def test_batch_rejects_negative_sizes(self):
+        table = SampleTable(sizes=[1, 2], times=[1.0, 2.0])
+        with pytest.raises(SamplingError):
+            table.batch([-1.0])
+
+    def test_blend_still_monotonic_and_bit_stable(self):
+        """The vectorized blend inner loop must produce the same points
+        as per-element scalar evaluation (it feeds calibration, whose
+        byte-identity tests depend on it)."""
+        a = SampleTable(sizes=[1, 64, 4096], times=[1.0, 5.0, 40.0])
+        b = SampleTable(sizes=[1, 64, 4096], times=[2.0, 4.0, 90.0])
+        blended = a.blend(b, 0.25)
+        expected = [0.75 * t + 0.25 * b(s) for s, t in zip([1, 64, 4096], [1.0, 5.0, 40.0])]
+        running = 0.0
+        for i, t in enumerate(expected):
+            expected[i] = running = max(running, t)
+        assert blended.times.tolist() == expected
+
+
+class TestEstimatorBatch:
+    @pytest.fixture(scope="class")
+    def estimator(self):
+        return ProfileStore.sample_drivers([MxDriver()])["myri10g"]
+
+    @given(sizes=probe_sizes)
+    @settings(max_examples=60, deadline=None)
+    @pytest.mark.parametrize("mode", [EAGER, RDV])
+    def test_transfer_times_bitwise_equals_scalar(self, estimator, mode, sizes):
+        batch = estimator.transfer_times(sizes, mode)
+        table = estimator.eager if mode is EAGER else estimator.dma
+        scalar = np.array([table(s) for s in sizes])
+        assert (batch == scalar).all()
+
+
+class TestPredictorBatchPricing:
+    @pytest.fixture(scope="class")
+    def profiles(self):
+        return ProfileStore.sample_drivers([MxDriver(), ElanDriver()])
+
+    @staticmethod
+    def _rig(profiles):
+        # Built fresh per hypothesis example (a fixture would carry
+        # injected busy/degrade state from one example into the next).
+        from repro.simtime import Simulator
+
+        sim = Simulator()
+        node_a, _ = wire_pair(sim, [MxDriver(), ElanDriver()])
+        return node_a, CompletionPredictor(profiles.estimators)
+
+    @given(
+        boundaries=st.lists(
+            st.floats(min_value=0.0, max_value=float(1 << 22), allow_nan=False),
+            min_size=1,
+            max_size=32,
+        ),
+        busy=st.floats(min_value=0.0, max_value=5000.0, allow_nan=False),
+        degrade=st.sampled_from([1.0, 1.0, 0.5, 0.25]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_price_candidates_bitwise_equals_scalar(
+        self, profiles, boundaries, busy, degrade
+    ):
+        node_a, pred = self._rig(profiles)
+        nics = node_a.nics
+        if busy > 0:
+            nics[0].inject_busy(busy)
+        nics[1].bw_factor = degrade  # scaled planning view on rail 1
+        size = float(1 << 22)
+        b = np.asarray(boundaries)
+        matrix = np.stack((b, size - b), axis=1)
+        vec = pred.price_candidates(nics, matrix, RDV)
+        ref = pred.price_candidates_scalar(nics, matrix, RDV)
+        assert (vec == np.asarray(ref)).all()
+        bounds = pred.price_boundaries(nics, int(size), RDV, b)
+        assert (bounds == vec).all()
+
+    def test_shape_mismatch_rejected(self, profiles):
+        node_a, pred = self._rig(profiles)
+        with pytest.raises(ConfigurationError):
+            pred.price_candidates(node_a.nics, [[1.0]], RDV)
+        with pytest.raises(ConfigurationError):
+            pred.price_candidates(node_a.nics, [1.0, 2.0], RDV)
+        with pytest.raises(ConfigurationError):
+            pred.price_boundaries(node_a.nics[:1], 100, RDV, [1.0])
+
+    def test_eager_mode_uses_eager_tables(self, profiles):
+        node_a, pred = self._rig(profiles)
+        nics = node_a.nics
+        matrix = [[1024.0, 2048.0]]
+        vec = pred.price_candidates(nics, matrix, EAGER)
+        ref = pred.price_candidates_scalar(nics, matrix, EAGER)
+        assert (vec == np.asarray(ref)).all()
