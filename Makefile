@@ -7,7 +7,8 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 JOBS ?= 0
 
 .PHONY: test bench-smoke perf bench check faults-demo chaos chaos-wide \
-        chaos-silent calibration-demo bench-parallel soak-parallel
+        chaos-silent calibration-demo collectives-demo bench-parallel \
+        soak-parallel
 
 # Tier-1 verify (the ROADMAP contract).
 test:
@@ -21,7 +22,8 @@ faults-demo:
 	$(PYTHON) -m repro.bench.cli faults --demo
 
 # Fast kernel microbench (<30 s); fails when any guarded metric
-# regresses >30% versus the committed BENCH_PR6.json trajectory.
+# regresses versus the committed BENCH_PR7.json trajectory (30% for
+# wall-clock rates, 5% for the deterministic collective speedups).
 bench-smoke:
 	$(PYTHON) -m repro.bench.cli perf --smoke
 
@@ -50,6 +52,11 @@ chaos-silent:
 # Narrated estimator-drift-defense demo (docs/calibration.md).
 calibration-demo:
 	$(PYTHON) -m repro.bench.cli calibration --demo
+
+# Collective-algorithm race + cost-model decision table
+# (docs/collectives.md).
+collectives-demo:
+	$(PYTHON) -m repro.bench.cli collectives --demo
 
 # Sharded bandwidth sweep: every (strategy, size) cell fanned out over
 # $(JOBS) workers; output identical to the serial sweep.

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""RailS-style balanced all-to-all on a skewed, MoE-shaped matrix.
+
+Mixture-of-experts routing concentrates traffic on a few popular
+experts: every rank sends a base amount to everyone, but the hot ranks
+receive several times more.  Uniform striping (the naive schedule)
+finishes when the most-loaded link drains; the RailS-style balancer
+segments every flow and emits largest-remaining-first cycles so the hot
+destinations stream continuously while mice fill the gaps.
+
+This script builds an 8-node fat-tree fabric, runs the same skewed
+matrix under both schedules, and prints the makespans side by side for
+a few placements of the hot experts.
+
+Run:  python examples/skewed_alltoall.py
+"""
+
+from repro.api import Fabric
+from repro.api.collectives import moe_matrix
+from repro.api.mpi import MpiWorld
+from repro.bench.runners import default_profiles
+from repro.util.units import KiB
+
+RANKS = 8
+BASE = 64 * KiB
+SKEW = 8
+PLACEMENTS = ((0, 1), (3, 6), (6, 7))
+
+
+def measure(matrix, algorithm: str) -> float:
+    world = MpiWorld.create(
+        RANKS,
+        fabric=Fabric.fat_tree(RANKS),
+        profiles=default_profiles(),
+    )
+
+    def program(comm):
+        yield from comm.alltoallv(matrix, algorithm=algorithm)
+
+    world.spawn_all(program)
+    world.run()
+    return world.cluster.sim.now
+
+
+def main() -> None:
+    print(
+        f"{RANKS} ranks, fat tree, {BASE // KiB} KiB base, "
+        f"hot experts receive {SKEW}x"
+    )
+    print(f"{'hot ranks':<12} {'naive':>12} {'rails':>12} {'speedup':>9}")
+    speedups = []
+    for hot in PLACEMENTS:
+        matrix = moe_matrix(RANKS, BASE, skew=SKEW, hot=list(hot))
+        naive = measure(matrix, "naive")
+        rails = measure(matrix, "rails")
+        speedups.append(naive / rails)
+        print(
+            f"{str(hot):<12} {naive:>10.1f}us {rails:>10.1f}us "
+            f"{naive / rails:>8.2f}x"
+        )
+    mean = sum(speedups) / len(speedups)
+    print()
+    print(f"mean speedup from balancing: x{mean:.2f}")
+    print("the schedule only reorders sends — byte totals are identical")
+
+
+if __name__ == "__main__":
+    main()

@@ -28,10 +28,12 @@ Fault injection rides the same front door::
 """
 
 from repro.api.cluster import Cluster, ClusterBuilder, RunResult
+from repro.api.collectives import AlgorithmSelector, VALID_ALGORITHMS
 from repro.api.session import Session
 from repro.api.config import builder_from_config, load_cluster
 from repro.api.mpi import Communicator, MpiWorld
 from repro.faults import FaultSchedule
+from repro.hardware.topology import Fabric, FabricRail
 from repro.obs import Observability
 
 __all__ = [
@@ -43,6 +45,10 @@ __all__ = [
     "load_cluster",
     "Communicator",
     "MpiWorld",
+    "Fabric",
+    "FabricRail",
+    "AlgorithmSelector",
+    "VALID_ALGORITHMS",
     "FaultSchedule",
     "Observability",
 ]

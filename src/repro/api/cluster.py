@@ -19,7 +19,7 @@ from repro.core.sampling import NetworkSampler, ProfileStore  # noqa: F401 (re-e
 from repro.core.strategies import Strategy, make_strategy
 from repro.faults import FaultInjector, FaultSchedule, install_faults
 from repro.hardware.machine import Machine
-from repro.hardware.topology import CpuTopology
+from repro.hardware.topology import CpuTopology, Fabric
 from repro.networks.drivers.base import Driver
 from repro.networks.drivers import make_driver
 from repro.networks.nic import Nic
@@ -90,6 +90,12 @@ class Cluster:
         #: closed-loop calibration controller (None = drift defense off,
         #: the default; see docs/calibration.md)
         self.calibration: Optional[Any] = None
+        #: the declarative description this cluster was built from, when
+        #: it came through :meth:`ClusterBuilder.fabric` (None otherwise)
+        self.fabric: Optional[Fabric] = None
+        #: default collective-algorithm overrides for MPI worlds wrapping
+        #: this cluster (set via :meth:`ClusterBuilder.collectives`)
+        self.collectives: Dict[str, str] = {}
 
     def __repr__(self) -> str:
         return f"<Cluster nodes={sorted(self.machines)}>"
@@ -327,7 +333,13 @@ class ClusterBuilder:
         self._per_node_strategy: Dict[str, StrategySpec] = {}
         self._machines: Dict[str, Machine] = {}
         self._rails: List[Tuple[str, str, Driver]] = []
-        self._switches: List[Tuple[Tuple[str, ...], Driver, float]] = []
+        #: (nodes, driver, latency, stage spec) — spec {} = flat switch,
+        #: {"pod_size": ..., "spines": ...} = two-stage fat tree
+        self._switches: List[
+            Tuple[Tuple[str, ...], Driver, float, Dict[str, Any]]
+        ] = []
+        self._fabric: Optional[Fabric] = None
+        self._collectives: Dict[str, str] = {}
         self._sample = True
         self._sampler: Optional[NetworkSampler] = None
         self._profiles: Optional[ProfileStore] = None
@@ -400,7 +412,103 @@ class ClusterBuilder:
         for node in nodes:
             if node not in self._machines:
                 raise ConfigurationError(f"unknown node {node!r}; add_node first")
-        self._switches.append((tuple(nodes), driver, switch_latency))
+        self._switches.append((tuple(nodes), driver, switch_latency, {}))
+        return self
+
+    def add_fat_tree(
+        self,
+        driver: Union[str, Driver],
+        nodes: List[str],
+        switch_latency: float = 0.3,
+        pod_size: int = 4,
+        spines: int = 2,
+        **driver_overrides,
+    ) -> "ClusterBuilder":
+        """Join several nodes through a two-stage fat tree (one NIC each).
+
+        Like :meth:`add_switch` plus the multi-stage effects:
+        ``pod_size`` nodes share an edge pod (intra-pod traffic behaves
+        exactly like a flat switch), and inter-pod packets serialize on
+        one of ``spines`` shared uplinks chosen by a static flow hash —
+        see :class:`repro.networks.switch.FatTreeSwitch`.
+        """
+        if isinstance(driver, str):
+            driver = make_driver(driver, **driver_overrides)
+        elif driver_overrides:
+            raise ConfigurationError(
+                "driver overrides only apply to registry-name fabrics"
+            )
+        if len(set(nodes)) < 2:
+            raise ConfigurationError("a fat tree needs at least two distinct nodes")
+        for node in nodes:
+            if node not in self._machines:
+                raise ConfigurationError(f"unknown node {node!r}; add_node first")
+        if pod_size < 1:
+            raise ConfigurationError(f"pod_size must be >= 1, got {pod_size}")
+        if spines < 1:
+            raise ConfigurationError(f"spines must be >= 1, got {spines}")
+        self._switches.append(
+            (
+                tuple(nodes),
+                driver,
+                switch_latency,
+                {"pod_size": pod_size, "spines": spines},
+            )
+        )
+        return self
+
+    def fabric(self, fabric: Union[Fabric, Dict[str, Any]]) -> "ClusterBuilder":
+        """Materialize a :class:`~repro.hardware.topology.Fabric`.
+
+        Adds every named node and wires each :class:`FabricRail` as a
+        full wire mesh, one flat switch, or one fat tree — the
+        declarative front-door over :meth:`add_node` / :meth:`add_rail` /
+        :meth:`add_switch` / :meth:`add_fat_tree`.  The built
+        :class:`Cluster` remembers the description as ``cluster.fabric``
+        (``cli topology`` and :meth:`MpiWorld.from_cluster` read it).
+        """
+        if isinstance(fabric, dict):
+            fabric = Fabric.from_dict(fabric)
+        if not isinstance(fabric, Fabric):
+            raise ConfigurationError(
+                f"fabric() wants a Fabric or its dict form, got {fabric!r}"
+            )
+        for name in fabric.nodes:
+            self.add_node(name)
+        nodes = list(fabric.nodes)
+        for rail in fabric.rails:
+            if rail.kind == "wire":
+                for i, node_a in enumerate(nodes):
+                    for node_b in nodes[i + 1:]:
+                        self.add_rail(
+                            rail.technology, node_a, node_b, **rail.overrides
+                        )
+            elif rail.kind == "switch":
+                self.add_switch(
+                    rail.technology,
+                    nodes,
+                    switch_latency=rail.switch_latency,
+                    **rail.overrides,
+                )
+            else:  # fat_tree (FabricRail validated the kind already)
+                self.add_fat_tree(
+                    rail.technology,
+                    nodes,
+                    switch_latency=rail.switch_latency,
+                    pod_size=fabric.pod_size_of(rail),
+                    spines=rail.spines,
+                    **rail.overrides,
+                )
+        self._fabric = fabric
+        return self
+
+    def collectives(self, overrides: Dict[str, str]) -> "ClusterBuilder":
+        """Default collective-algorithm choices for MPI worlds over this
+        cluster (``{"alltoall": "ring", ...}``; validated now — unknown
+        names raise with the valid choices listed)."""
+        from repro.api.collectives import validate_overrides
+
+        self._collectives = validate_overrides(overrides)
         return self
 
     def strategy_for(self, node: str, strategy: StrategySpec) -> "ClusterBuilder":
@@ -564,7 +672,7 @@ class ClusterBuilder:
     # ------------------------------------------------------------------ #
 
     def build(self) -> Cluster:
-        from repro.networks.switch import Switch
+        from repro.networks.switch import FatTreeSwitch, Switch
 
         if not self._machines:
             raise ConfigurationError("cluster has no nodes")
@@ -582,8 +690,16 @@ class ClusterBuilder:
             Wire(nic_a, nic_b)
             rail_count[node_a] += 1
             rail_count[node_b] += 1
-        for s_idx, (nodes, driver, latency) in enumerate(self._switches):
-            switch = Switch(name=f"switch{s_idx}", switch_latency=latency)
+        for s_idx, (nodes, driver, latency, stages) in enumerate(self._switches):
+            if stages:
+                switch: Switch = FatTreeSwitch(
+                    name=f"fattree{s_idx}",
+                    switch_latency=latency,
+                    pod_size=stages["pod_size"],
+                    spines=stages["spines"],
+                )
+            else:
+                switch = Switch(name=f"switch{s_idx}", switch_latency=latency)
             for node in nodes:
                 idx = rail_count[node]
                 switch.attach(
@@ -598,7 +714,7 @@ class ClusterBuilder:
         profiles = self._profiles
         if profiles is None and self._sample:
             drivers = [d for _, _, d in self._rails]
-            drivers += [d for _, d, _ in self._switches]
+            drivers += [d for _, d, _, _ in self._switches]
             profiles = ProfileStore.sample_drivers(drivers, sampler=self._sampler)
 
         obs = (
@@ -627,6 +743,8 @@ class ClusterBuilder:
         cluster = Cluster(self.sim, self._machines, engines, profiles)
         cluster.obs = obs
         cluster.invariants = inv
+        cluster.fabric = self._fabric
+        cluster.collectives = dict(self._collectives)
         if self._calibration is not None:
             from repro.core.calibration import (
                 CalibrationController,

@@ -1,0 +1,785 @@
+"""Algorithmic collectives: ring / binomial / recursive-doubling schedules.
+
+The naive compositions in :mod:`repro.api.mpi` move the right bytes but
+with textbook-free schedules (linear gathers, post-everything
+all-to-alls).  This module supplies the classic algorithms — selectable
+per call (``comm.bcast(..., algorithm="ring")``), per world
+(``MpiWorld.create(..., collectives={...})``), or by the cost-model
+:class:`AlgorithmSelector` (``algorithm="auto"``), following the
+model-selects-algorithm pattern of Barchet-Estefanel & Mounié's
+intra-cluster collective tuning.
+
+Every per-hop send rides the engine unchanged, so a large hop is still
+hetero-split across all rails by the paper's strategy; the *pipeline
+segmentation* here additionally cuts large payloads into per-hop chunks
+sized from the same sampled curves
+(:func:`repro.core.strategies.striped_transfer_time`), which lets ring
+and tree schedules overlap hops instead of store-and-forwarding whole
+messages.
+
+The RailS-style balanced all-to-all (``algorithm="rails"``) spreads a
+*skewed* traffic matrix: flows are segmented, destinations are walked in
+rank-shifted round-robin order, and a bounded send window paces each
+source — so a hot (MoE-shaped) destination column is fed evenly from all
+sources while every rail stays busy, instead of head-of-line blocking
+whole queues behind the elephant flows.
+
+All schedules are deterministic: same world + same calls = bit-identical
+timestamps.  The naive compositions remain the default and are
+selectable explicitly as ``algorithm="naive"``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.core.packets import Message
+from repro.core.split import equal_split
+from repro.core.strategies import striped_transfer_time
+from repro.util.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import (mpi imports us)
+    from repro.api.mpi import Communicator
+    from repro.core.estimator import NicEstimator
+
+#: algorithm names accepted per collective ("auto" = cost-model choice)
+VALID_ALGORITHMS: Dict[str, Tuple[str, ...]] = {
+    "bcast": ("naive", "binomial", "ring", "doubling", "auto"),
+    "gather": ("naive", "binomial", "ring", "auto"),
+    "allgather": ("naive", "ring", "doubling", "auto"),
+    "reduce": ("naive", "binomial", "ring", "auto"),
+    "alltoall": ("naive", "ring", "doubling", "rails", "auto"),
+    "alltoallv": ("naive", "rails", "auto"),
+}
+
+#: per-hop pipeline segmentation: never cut below this
+MIN_SEGMENT_BYTES = 16 * 1024
+#: a segment must cost at least this many fixed per-hop costs
+PIPELINE_COST_RATIO = 8.0
+#: upper bound on segments per hop (bounds tag-block spans)
+MAX_SEGMENTS = 32
+#: rails-balanced all-to-all: cap on segments per flow
+BALANCE_MAX_SEGMENTS = 32
+
+
+def validate_algorithm(collective: str, algorithm: str) -> str:
+    """``algorithm`` checked against the collective's choices.
+
+    Raises :class:`ConfigurationError` naming every valid choice —
+    unknown names never pass silently.
+    """
+    try:
+        valid = VALID_ALGORITHMS[collective]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown collective {collective!r}; known: "
+            f"{sorted(VALID_ALGORITHMS)}"
+        ) from None
+    if algorithm not in valid:
+        raise ConfigurationError(
+            f"unknown {collective} algorithm {algorithm!r}; "
+            f"valid choices: {list(valid)}"
+        )
+    return algorithm
+
+
+def validate_overrides(overrides: Mapping[str, str]) -> Dict[str, str]:
+    """A ``{collective: algorithm}`` mapping, fully validated."""
+    if not isinstance(overrides, Mapping):
+        raise ConfigurationError(
+            f"collectives overrides must map collective -> algorithm; "
+            f"got {overrides!r}"
+        )
+    out: Dict[str, str] = {}
+    for collective, algorithm in overrides.items():
+        validate_algorithm(str(collective), str(algorithm))
+        out[str(collective)] = str(algorithm)
+    return out
+
+
+# --------------------------------------------------------------------- #
+# per-hop pipeline segmentation (reuses the sampled hetero-split curves)
+# --------------------------------------------------------------------- #
+
+
+def pipeline_segments(
+    nbytes: int,
+    estimators: Sequence["NicEstimator"],
+    max_segments: int = MAX_SEGMENTS,
+    min_bytes: Optional[int] = None,
+) -> List[int]:
+    """Cut one hop's payload into pipeline segments.
+
+    The segment size is the smallest power-of-two ≥ ``min_bytes``
+    (default :data:`MIN_SEGMENT_BYTES`) whose predicted striped hop time
+    (:func:`striped_transfer_time` — the hetero-split waterfill over the
+    sampled curves) amortizes the fixed per-hop cost by
+    :data:`PIPELINE_COST_RATIO`; without profiles the message stays
+    whole.  Deterministic, and exact: segment sizes always sum to
+    ``nbytes``.
+    """
+    if nbytes <= 0:
+        return [nbytes] if nbytes else []
+    floor = MIN_SEGMENT_BYTES if min_bytes is None else max(1, min_bytes)
+    if not estimators or nbytes <= floor:
+        return [nbytes]
+    alpha = striped_transfer_time(estimators, 1)
+    target = PIPELINE_COST_RATIO * alpha
+    seg = 1 << max(0, (floor - 1).bit_length())
+    while seg < nbytes and striped_transfer_time(estimators, seg) < target:
+        seg *= 2
+    n_seg = max(1, min(max_segments, -(-nbytes // seg)))
+    return equal_split(nbytes, n_seg)
+
+
+def rails_segment_floor(estimators: Sequence["NicEstimator"]) -> int:
+    """Smallest segment the balanced all-to-all will cut.
+
+    Every segment must stay *above* every rail's rendezvous threshold:
+    an eager-sized segment would ride a single rail whole, silently
+    giving up the hetero-split striping the balancer exists to feed.
+    """
+    thresholds = [est.rdv_threshold() + 1 for est in estimators]
+    return max([MIN_SEGMENT_BYTES] + thresholds)
+
+
+# --------------------------------------------------------------------- #
+# cost-model algorithm selection
+# --------------------------------------------------------------------- #
+
+
+class AlgorithmSelector:
+    """Message size × ranks × rail profiles → collective algorithm.
+
+    The cost model prices every implemented schedule with the same
+    striped-hop primitive the planner uses (α = fixed per-hop cost,
+    t(x) = predicted striped time of an x-byte hop) and picks the
+    cheapest — the "fast tuning" decision table of Barchet-Estefanel &
+    Mounié, computed from this fabric's sampled curves instead of
+    offline calibration runs.
+    """
+
+    def __init__(
+        self,
+        estimators: Mapping[str, "NicEstimator"],
+        technologies: Optional[Sequence[str]] = None,
+    ) -> None:
+        if technologies is None:
+            technologies = sorted(estimators)
+        missing = [t for t in technologies if t not in estimators]
+        if missing:
+            raise ConfigurationError(
+                f"no sampled profile for rail(s) {missing}; "
+                f"have {sorted(estimators)}"
+            )
+        if not technologies:
+            raise ConfigurationError("AlgorithmSelector needs >= 1 rail profile")
+        self.technologies = tuple(technologies)
+        self.estimators = [estimators[t] for t in self.technologies]
+        self._hop_memo: Dict[int, float] = {}
+
+    def hop(self, size: int) -> float:
+        """Predicted striped one-hop time of ``size`` bytes (µs)."""
+        size = max(1, int(size))
+        t = self._hop_memo.get(size)
+        if t is None:
+            t = striped_transfer_time(self.estimators, size)
+            self._hop_memo[size] = t
+        return t
+
+    def _segments_of(self, size: int) -> int:
+        return len(pipeline_segments(size, self.estimators))
+
+    def costs(self, collective: str, size: int, ranks: int) -> Dict[str, float]:
+        """Predicted completion (µs) per implemented algorithm."""
+        if ranks < 2:
+            raise ConfigurationError(f"cost model needs >= 2 ranks, got {ranks}")
+        if size < 1:
+            raise ConfigurationError(f"cost model needs a positive size: {size}")
+        n, s, t = ranks, size, self.hop
+        rounds = max(1, math.ceil(math.log2(n)))
+        seg_count = self._segments_of(s)
+        seg = max(1, s // seg_count)
+        out: Dict[str, float] = {}
+        if collective == "bcast":
+            out["naive"] = rounds * t(s)
+            out["binomial"] = (rounds + seg_count - 1) * t(seg)
+            out["ring"] = (n - 2 + seg_count) * t(seg)
+            block = max(1, s // n)
+            scatter = sum(t(max(1, s >> (k + 1))) for k in range(rounds))
+            gather_back = sum(
+                t(min(1 << k, n - (1 << k)) * block)
+                for k in range(rounds)
+                if (1 << k) < n
+            )
+            out["doubling"] = scatter + gather_back
+        elif collective == "gather":
+            out["naive"] = (n - 1) * t(s)
+            out["binomial"] = sum(
+                t(min(1 << k, n - (1 << k)) * s)
+                for k in range(rounds)
+                if (1 << k) < n
+            )
+            out["ring"] = sum(t(j * s) for j in range(1, n))
+        elif collective == "allgather":
+            bruck = sum(
+                t(min(1 << k, n - (1 << k)) * s)
+                for k in range(rounds)
+                if (1 << k) < n
+            )
+            out["naive"] = bruck
+            out["ring"] = (n - 1) * t(s)
+            out["doubling"] = (
+                sum(t((1 << k) * s) for k in range(rounds))
+                if n & (n - 1) == 0
+                else bruck
+            )
+        elif collective == "reduce":
+            out["naive"] = rounds * t(s)
+            out["binomial"] = (rounds + seg_count - 1) * t(seg)
+            block = max(1, s // n)
+            out["ring"] = 2 * (n - 1) * t(block)
+        elif collective in ("alltoall", "alltoallv"):
+            # Naive pays the port storm: every source walks destinations
+            # in the same order, so early ports saturate while late ones
+            # idle — roughly doubling the critical path (see
+            # docs/collectives.md).
+            out["naive"] = 2 * (n - 1) * t(s)
+            out["ring"] = (n - 1) * t(s) + t(s)
+            out["doubling"] = sum(
+                t(max(1, sum(1 for x in range(1, n) if x & (1 << k)) * s))
+                for k in range(rounds)
+                if (1 << k) < n
+            )
+            out["rails"] = out["ring"]
+            if collective == "alltoallv":
+                # Only the naive and rails schedules take a matrix.
+                out = {k: v for k, v in out.items() if k in ("naive", "rails")}
+        else:
+            raise ConfigurationError(
+                f"unknown collective {collective!r}; known: "
+                f"{sorted(VALID_ALGORITHMS)}"
+            )
+        return out
+
+    def select(self, collective: str, size: int, ranks: int) -> str:
+        """The cheapest algorithm for this shape (deterministic ties)."""
+        costs = self.costs(collective, size, ranks)
+        return min(costs.items(), key=lambda kv: (kv[1], kv[0]))[0]
+
+    def table(self, collective: str, size: int, ranks: int) -> str:
+        """Human-readable cost table (the ``cli collectives`` view)."""
+        costs = self.costs(collective, size, ranks)
+        pick = self.select(collective, size, ranks)
+        lines = [
+            f"{collective} of {size}B across {ranks} ranks "
+            f"on {'+'.join(self.technologies)}:"
+        ]
+        for name, cost in sorted(costs.items(), key=lambda kv: kv[1]):
+            marker = " <- selected" if name == pick else ""
+            lines.append(f"  {name:<10} {cost:>12.1f} us predicted{marker}")
+        return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- #
+# schedule helpers
+# --------------------------------------------------------------------- #
+
+
+def _vranks(comm: "Communicator", root: int) -> Tuple[int, int]:
+    """(virtual rank, size) with ``root`` mapped to 0."""
+    return (comm.rank - root) % comm.size, comm.size
+
+
+def _binomial_parent_children(
+    vrank: int, n: int
+) -> Tuple[Optional[int], List[int]]:
+    """Parent and children (virtual ranks) in the binomial bcast tree.
+
+    Mirrors the naive bcast's mask walk: the parent clears the lowest
+    set bit; children sit at decreasing strides below it.
+    """
+    mask = 1
+    parent: Optional[int] = None
+    while mask < n:
+        if vrank & mask:
+            parent = vrank ^ mask
+            break
+        mask <<= 1
+    mask >>= 1
+    children = []
+    while mask > 0:
+        if vrank + mask < n:
+            children.append(vrank + mask)
+        mask >>= 1
+    return parent, children
+
+
+def _reduce_children_parent(
+    vrank: int, n: int
+) -> Tuple[List[int], Optional[int], int]:
+    """Children (ascending stride), parent, and own subtree size in the
+    binomial reduce/gather tree (the naive reduce's mask walk)."""
+    children = []
+    mask = 1
+    while mask < n:
+        if vrank & mask:
+            break
+        child = vrank + mask
+        if child < n:
+            children.append(child)
+        mask <<= 1
+    parent = (vrank ^ mask) if vrank != 0 else None
+    subtree = min(mask, n - vrank)
+    return children, parent, subtree
+
+
+# --------------------------------------------------------------------- #
+# broadcast
+# --------------------------------------------------------------------- #
+
+
+def bcast_binomial(
+    comm: "Communicator", nbytes: int, root: int, tag: int,
+    segments: Sequence[int],
+) -> Iterator:
+    """Pipelined binomial tree: segment k is forwarded to every child as
+    soon as it arrives, so tree levels overlap on large payloads."""
+    v, n = _vranks(comm, root)
+    parent, children = _binomial_parent_children(v, n)
+    name = comm.peer_name
+    actual = lambda vr: (vr + root) % n  # noqa: E731 - tiny mapper
+    for k, seg in enumerate(segments):
+        if parent is not None:
+            handle = comm.session.irecv(source=name(actual(parent)), tag=tag + k)
+            yield from comm.session.wait(handle)
+        for child in children:
+            comm.session.isend(name(actual(child)), seg, tag=tag + k)
+
+
+def bcast_ring(
+    comm: "Communicator", nbytes: int, root: int, tag: int,
+    segments: Sequence[int],
+) -> Iterator:
+    """Segmented ring pipeline: n-2+S hop steps instead of S·(n-1)."""
+    v, n = _vranks(comm, root)
+    name = comm.peer_name
+    left = ((v - 1) + root) % n
+    right = ((v + 1) + root) % n
+    for k, seg in enumerate(segments):
+        if v != 0:
+            handle = comm.session.irecv(source=name(left), tag=tag + k)
+            yield from comm.session.wait(handle)
+        if v != n - 1:
+            comm.session.isend(name(right), seg, tag=tag + k)
+
+
+def bcast_doubling(
+    comm: "Communicator", nbytes: int, root: int, tag: int
+) -> Iterator:
+    """Van de Geijn large-message broadcast: binomial scatter of n
+    blocks, then a dissemination (Bruck) allgather of the blocks —
+    ~2×(n-1)/n of the bytes of a binomial tree per link, in 2·log
+    rounds."""
+    v, n = _vranks(comm, root)
+    name = comm.peer_name
+    actual = lambda vr: (vr + root) % n  # noqa: E731 - tiny mapper
+    blocks = equal_split(nbytes, n)
+
+    def span_bytes(start: int, count: int) -> int:
+        return sum(blocks[(start + j) % n] for j in range(count))
+
+    # Phase 1: binomial scatter — the child at stride m owns blocks
+    # [child, child+m) clipped to n.
+    mask = 1
+    recv_mask = None
+    while mask < n:
+        if v & mask:
+            recv_mask = mask
+            parent = v ^ mask
+            handle = comm.session.irecv(source=name(actual(parent)), tag=tag)
+            yield from comm.session.wait(handle)
+            break
+        mask <<= 1
+    mask = (recv_mask or mask) >> 1
+    while mask > 0:
+        child = v + mask
+        if child < n:
+            size = span_bytes(child, min(mask, n - child))
+            comm.session.isend(name(actual(child)), max(1, size), tag=tag)
+        mask >>= 1
+    # Phase 2: Bruck allgather of the blocks over virtual ranks.
+    accumulated = 1
+    dist = 1
+    round_no = 1
+    while dist < n:
+        count = min(accumulated, n - accumulated)
+        peer_to = actual((v - dist) % n)
+        peer_from = actual((v + dist) % n)
+        comm.session.isend(
+            name(peer_to), max(1, span_bytes(v, count)), tag=tag + round_no
+        )
+        handle = comm.session.irecv(source=name(peer_from), tag=tag + round_no)
+        yield from comm.session.wait(handle)
+        accumulated = min(n, accumulated * 2)
+        dist *= 2
+        round_no += 1
+
+
+# --------------------------------------------------------------------- #
+# gather
+# --------------------------------------------------------------------- #
+
+
+def gather_binomial(
+    comm: "Communicator", nbytes: int, root: int, tag: int
+) -> Iterator:
+    """Binomial-tree gather: subtree blocks combine upward, so the root
+    takes ceil(log2 n) receives instead of n-1."""
+    v, n = _vranks(comm, root)
+    name = comm.peer_name
+    children, parent, subtree = _reduce_children_parent(v, n)
+    for child in children:
+        handle = comm.session.irecv(source=name((child + root) % n), tag=tag)
+        yield from comm.session.wait(handle)
+    if parent is not None:
+        msg = comm.session.isend(
+            name((parent + root) % n), subtree * nbytes, tag=tag
+        )
+        yield from comm.session.wait(msg)
+
+
+def gather_ring(
+    comm: "Communicator", nbytes: int, root: int, tag: int
+) -> Iterator:
+    """Ring gather: blocks accumulate around the ring toward the root —
+    one long pipeline, each node touching exactly one neighbour."""
+    v, n = _vranks(comm, root)
+    name = comm.peer_name
+    if v != n - 1:
+        handle = comm.session.irecv(source=name((v + 1 + root) % n), tag=tag)
+        yield from comm.session.wait(handle)
+    if v != 0:
+        msg = comm.session.isend(
+            name((v - 1 + root) % n), (n - v) * nbytes, tag=tag
+        )
+        yield from comm.session.wait(msg)
+
+
+# --------------------------------------------------------------------- #
+# allgather
+# --------------------------------------------------------------------- #
+
+
+def allgather_ring(comm: "Communicator", nbytes: int, tag: int) -> Iterator:
+    """Classic ring allgather: n-1 rounds, one block to the right, one
+    block from the left — bandwidth-optimal for large blocks."""
+    n = comm.size
+    name = comm.peer_name
+    right = (comm.rank + 1) % n
+    left = (comm.rank - 1) % n
+    for k in range(n - 1):
+        comm.session.isend(name(right), nbytes, tag=tag + k)
+        handle = comm.session.irecv(source=name(left), tag=tag + k)
+        yield from comm.session.wait(handle)
+
+
+def allgather_doubling(comm: "Communicator", nbytes: int, tag: int) -> Iterator:
+    """Recursive doubling (power-of-two ranks): round k swaps 2^k
+    accumulated blocks with the rank XOR 2^k partner.  Non-power-of-two
+    worlds fall back to the dissemination (Bruck) schedule."""
+    n = comm.size
+    name = comm.peer_name
+    if n & (n - 1) == 0:
+        mask = 1
+        round_no = 0
+        while mask < n:
+            partner = comm.rank ^ mask
+            block = mask * nbytes
+            handle = comm.session.irecv(source=name(partner), tag=tag + round_no)
+            comm.session.isend(name(partner), block, tag=tag + round_no)
+            yield from comm.session.wait(handle)
+            mask <<= 1
+            round_no += 1
+        return
+    accumulated = 1
+    dist = 1
+    round_no = 0
+    while dist < n:
+        peer_to = (comm.rank - dist) % n
+        peer_from = (comm.rank + dist) % n
+        block = min(accumulated, n - accumulated) * nbytes
+        comm.session.isend(name(peer_to), max(1, block), tag=tag + round_no)
+        handle = comm.session.irecv(source=name(peer_from), tag=tag + round_no)
+        yield from comm.session.wait(handle)
+        accumulated = min(n, accumulated * 2)
+        dist *= 2
+        round_no += 1
+
+
+# --------------------------------------------------------------------- #
+# reduce
+# --------------------------------------------------------------------- #
+
+
+def reduce_binomial(
+    comm: "Communicator", nbytes: int, root: int, tag: int,
+    segments: Sequence[int],
+) -> Iterator:
+    """Pipelined binomial reduction: segment k climbs the tree as soon
+    as every child delivered it — tree levels overlap on large
+    payloads."""
+    v, n = _vranks(comm, root)
+    name = comm.peer_name
+    children, parent, _ = _reduce_children_parent(v, n)
+    for k, seg in enumerate(segments):
+        for child in children:
+            handle = comm.session.irecv(
+                source=name((child + root) % n), tag=tag + k
+            )
+            yield from comm.session.wait(handle)
+        if parent is not None:
+            msg = comm.session.isend(
+                name((parent + root) % n), seg, tag=tag + k
+            )
+            yield from comm.session.wait(msg)
+
+
+def reduce_ring(
+    comm: "Communicator", nbytes: int, root: int, tag: int
+) -> Iterator:
+    """Ring reduce-scatter then a block gather to the root: every link
+    carries ~s/n per round, the bandwidth-optimal large-message shape."""
+    v, n = _vranks(comm, root)
+    name = comm.peer_name
+    blocks = equal_split(nbytes, n)
+    right = (v + 1 + root) % n
+    left = (v - 1 + root) % n
+    for k in range(n - 1):
+        send_block = blocks[(v - k) % n]
+        comm.session.isend(name(right), max(1, send_block), tag=tag + k)
+        handle = comm.session.irecv(source=name(left), tag=tag + k)
+        yield from comm.session.wait(handle)
+    # Rank v now owns the fully reduced block (v+1) mod n.
+    final_tag = tag + n - 1
+    if v != 0:
+        owned = blocks[(v + 1) % n]
+        msg = comm.session.isend(name(root), max(1, owned), tag=final_tag)
+        yield from comm.session.wait(msg)
+    else:
+        handles = [
+            comm.session.irecv(source=name((j + root) % n), tag=final_tag)
+            for j in range(1, n)
+        ]
+        for handle in handles:
+            yield from comm.session.wait(handle)
+
+
+# --------------------------------------------------------------------- #
+# all-to-all
+# --------------------------------------------------------------------- #
+
+
+def alltoall_ring(comm: "Communicator", nbytes: int, tag: int) -> Iterator:
+    """Rank-shifted pairwise exchange: in round k everyone sends to
+    rank+k and receives from rank-k, so every output port serves exactly
+    one flow per round — no port storm, unlike the naive post-all."""
+    n = comm.size
+    name = comm.peer_name
+    for k in range(1, n):
+        dst = (comm.rank + k) % n
+        src = (comm.rank - k) % n
+        handle = comm.session.irecv(source=name(src), tag=tag + k)
+        msg = comm.session.isend(name(dst), nbytes, tag=tag + k)
+        yield from comm.session.wait(handle)
+        yield from comm.session.wait(msg)
+
+
+def alltoall_doubling(comm: "Communicator", nbytes: int, tag: int) -> Iterator:
+    """Bruck all-to-all: log2(n) rounds of aggregated blocks — ~n·s/2
+    bytes per round but only log rounds of fixed costs, the
+    small-message winner."""
+    n = comm.size
+    name = comm.peer_name
+    mask = 1
+    round_no = 0
+    while mask < n:
+        count = sum(1 for x in range(1, n) if x & mask)
+        peer_to = (comm.rank - mask) % n
+        peer_from = (comm.rank + mask) % n
+        comm.session.isend(
+            name(peer_to), max(1, count * nbytes), tag=tag + round_no
+        )
+        handle = comm.session.irecv(source=name(peer_from), tag=tag + round_no)
+        yield from comm.session.wait(handle)
+        mask <<= 1
+        round_no += 1
+
+
+def alltoallv_naive(
+    comm: "Communicator", matrix: Sequence[Sequence[int]], tag: int
+) -> Iterator:
+    """Post-everything irregular exchange (the uniform-striping
+    baseline: each flow is one message, hetero-split across rails)."""
+    n = comm.size
+    name = comm.peer_name
+    r = comm.rank
+    handles = [
+        comm.session.irecv(source=name(src), tag=tag)
+        for src in range(n)
+        if src != r and matrix[src][r] > 0
+    ]
+    for dst in range(n):
+        if dst != r and matrix[r][dst] > 0:
+            comm.session.isend(name(dst), matrix[r][dst], tag=tag)
+    for handle in handles:
+        yield from comm.session.wait(handle)
+
+
+def rails_segments(
+    size: int, estimators: Sequence["NicEstimator"]
+) -> List[int]:
+    """One flow's segment list under the balanced all-to-all's floor."""
+    return pipeline_segments(
+        size,
+        estimators,
+        max_segments=BALANCE_MAX_SEGMENTS,
+        min_bytes=rails_segment_floor(estimators) if estimators else None,
+    )
+
+
+def balanced_schedule(
+    rank: int,
+    matrix: Sequence[Sequence[int]],
+    estimators: Sequence["NicEstimator"],
+) -> List[Tuple[int, int, int]]:
+    """The RailS-style send schedule for one source rank.
+
+    Returns ``(dst, segment_index, segment_bytes)`` triples: every flow
+    in this rank's matrix row cut into rendezvous-sized segments
+    (:func:`rails_segments`), emitted in cycles that visit each pending
+    destination once — ordered largest-remaining-first (ties broken by
+    rank-shifted index, so sources stagger).  Elephant flows start
+    immediately *and* interleave with mice, and each hot destination
+    column is fed continuously from all sources instead of in
+    source-synchronized bursts.  Deterministic, and computed identically
+    at every rank (the traffic matrix is global, as in RailS'
+    traffic-engineering setting).
+    """
+    n = len(matrix)
+    queues: Dict[int, deque] = {}
+    remaining: Dict[int, int] = {}
+    for d in range(1, n):
+        dst = (rank + d) % n
+        size = matrix[rank][dst]
+        if size > 0:
+            queues[dst] = deque(enumerate(rails_segments(size, estimators)))
+            remaining[dst] = size
+    order: List[Tuple[int, int, int]] = []
+    while queues:
+        cycle = sorted(
+            queues, key=lambda dst: (-remaining[dst], (dst - rank) % n)
+        )
+        for dst in cycle:
+            q = queues[dst]
+            t, seg = q.popleft()
+            order.append((dst, t, seg))
+            remaining[dst] -= seg
+            if not q:
+                del queues[dst]
+                del remaining[dst]
+    return order
+
+
+def alltoallv_rails(
+    comm: "Communicator",
+    matrix: Sequence[Sequence[int]],
+    tag: int,
+    estimators: Sequence["NicEstimator"],
+) -> Iterator:
+    """RailS-style load-balanced irregular all-to-all.
+
+    All segments are posted up front in :func:`balanced_schedule` order
+    — the source NIC queues preserve it — so elephants drain from the
+    first instant, mice slip between their segments instead of waiting
+    behind them (or vice versa, whichever order the naive post would
+    have imposed), and every segment is big enough to hetero-split
+    across all rails.
+    """
+    n = comm.size
+    r = comm.rank
+    name = comm.peer_name
+    handles = []
+    for src in range(n):
+        if src == r or matrix[src][r] <= 0:
+            continue
+        segs = rails_segments(matrix[src][r], estimators)
+        handles.extend(
+            comm.session.irecv(source=name(src), tag=tag + t)
+            for t in range(len(segs))
+        )
+    sends = [
+        comm.session.isend(name(dst), seg, tag=tag + t)
+        for dst, t, seg in balanced_schedule(r, matrix, estimators)
+    ]
+    for msg in sends:
+        yield from comm.session.wait(msg)
+    for handle in handles:
+        yield from comm.session.wait(handle)
+
+
+def uniform_matrix(n: int, nbytes: int) -> List[List[int]]:
+    """The regular all-to-all as a traffic matrix (zero diagonal)."""
+    return [
+        [0 if i == j else nbytes for j in range(n)] for i in range(n)
+    ]
+
+
+def moe_matrix(
+    n: int,
+    base: int,
+    hot_ranks: int = 2,
+    skew: int = 8,
+    hot: Optional[Sequence[int]] = None,
+) -> List[List[int]]:
+    """An MoE-shaped skewed traffic matrix: every source sends ``base``
+    bytes to everyone, but ``hot_ranks`` destinations (the popular
+    experts) receive ``skew``× that — the imbalance RailS spreads across
+    rails.
+
+    ``hot`` picks the hot destinations explicitly; by default they are
+    spread evenly across the rank space — popular experts land on
+    arbitrary ranks in practice, not conveniently at the front of every
+    source's naive destination order.
+    """
+    if n < 2:
+        raise ConfigurationError(f"matrix needs >= 2 ranks, got {n}")
+    if hot is None:
+        if not 1 <= hot_ranks < n:
+            raise ConfigurationError(
+                f"hot_ranks {hot_ranks} must be in 1..{n - 1}"
+            )
+        stride = n // hot_ranks
+        hot = [i * stride + stride // 2 for i in range(hot_ranks)]
+    hot_set = set(int(h) for h in hot)
+    bad = [h for h in hot_set if not 0 <= h < n]
+    if bad:
+        raise ConfigurationError(f"hot rank(s) {sorted(bad)} outside 0..{n - 1}")
+    return [
+        [
+            0 if i == j else (base * skew if j in hot_set else base)
+            for j in range(n)
+        ]
+        for i in range(n)
+    ]

@@ -27,6 +27,26 @@ Downstream users describe a testbed once and rebuild it everywhere::
       "calibration": {"blend": 0.5, "drift_threshold": 0.15}
     }
 
+Instead of explicit ``nodes`` + ``rails``, a ``fabric`` section
+describes an N-node testbed declaratively
+(:meth:`repro.hardware.topology.Fabric.from_dict`) — the documented
+default being the paper's two-node back-to-back testbed::
+
+    {
+      "fabric": {
+        "nodes": 2,
+        "rails": [{"driver": "myri10g", "kind": "wire"},
+                  {"driver": "quadrics", "kind": "wire"}]
+      },
+      "collectives": {"alltoall": "ring", "bcast": "auto"}
+    }
+
+``kind`` may also be ``"switch"`` (one flat contended switch) or
+``"fat_tree"`` (two-stage, with ``pod_size``/``spines``).
+``collectives`` sets default algorithms for MPI worlds built over the
+cluster (:meth:`ClusterBuilder.collectives`; unknown algorithm names
+raise with the valid choices listed).
+
 ``version`` is optional (defaults to 1); unknown top-level keys and
 unknown versions raise :class:`ConfigurationError` so typos never pass
 silently.  ``faults`` takes a schedule in its
@@ -47,7 +67,7 @@ from typing import Any, Dict, Union
 from repro.api.cluster import Cluster, ClusterBuilder
 from repro.core.sampling import ProfileStore
 from repro.faults import FaultSchedule
-from repro.hardware.topology import CpuTopology
+from repro.hardware.topology import CpuTopology, Fabric
 from repro.util.errors import ConfigurationError
 
 ConfigSource = Union[str, Path, Dict[str, Any]]
@@ -57,6 +77,8 @@ _TOP_LEVEL_KEYS = {
     "strategy",
     "nodes",
     "rails",
+    "fabric",
+    "collectives",
     "options",
     "per_node_strategy",
     "sampling",
@@ -125,38 +147,59 @@ def builder_from_config(source: ConfigSource) -> ClusterBuilder:
         )
     builder = ClusterBuilder(strategy=config.get("strategy", "hetero_split"))
 
-    nodes = config.get("nodes")
-    if not nodes:
-        raise ConfigurationError("config needs a non-empty 'nodes' list")
-    for node in nodes:
-        if "name" not in node:
-            raise ConfigurationError(f"node entry without a name: {node}")
-        topology = None
-        if "sockets" in node or "cores_per_socket" in node:
-            topology = CpuTopology(
-                sockets=int(node.get("sockets", 2)),
-                cores_per_socket=int(node.get("cores_per_socket", 2)),
-                signal_cost_us=float(node.get("signal_cost_us", 3.0)),
-                preempt_cost_us=float(node.get("preempt_cost_us", 6.0)),
-            )
-        builder.add_node(
-            node["name"],
-            topology=topology,
-            memcpy_rate=float(node.get("memcpy_rate", 3000.0)),
-        )
-
-    rails = config.get("rails")
-    if not rails:
-        raise ConfigurationError("config needs a non-empty 'rails' list")
-    for rail in rails:
-        try:
-            driver = rail["driver"]
-            node_a, node_b = rail["between"]
-        except (KeyError, ValueError) as exc:
+    fabric = config.get("fabric")
+    if fabric is not None:
+        if config.get("nodes") or config.get("rails"):
             raise ConfigurationError(
-                f"rail entry needs 'driver' and a 2-node 'between': {rail}"
-            ) from exc
-        builder.add_rail(driver, node_a, node_b, **rail.get("overrides", {}))
+                "'fabric' replaces 'nodes' + 'rails'; give one or the other"
+            )
+        builder.fabric(Fabric.from_dict(fabric))
+    else:
+        nodes = config.get("nodes")
+        if not nodes:
+            raise ConfigurationError(
+                "config needs a non-empty 'nodes' list (or a 'fabric')"
+            )
+        for node in nodes:
+            if "name" not in node:
+                raise ConfigurationError(f"node entry without a name: {node}")
+            topology = None
+            if "sockets" in node or "cores_per_socket" in node:
+                topology = CpuTopology(
+                    sockets=int(node.get("sockets", 2)),
+                    cores_per_socket=int(node.get("cores_per_socket", 2)),
+                    signal_cost_us=float(node.get("signal_cost_us", 3.0)),
+                    preempt_cost_us=float(node.get("preempt_cost_us", 6.0)),
+                )
+            builder.add_node(
+                node["name"],
+                topology=topology,
+                memcpy_rate=float(node.get("memcpy_rate", 3000.0)),
+            )
+
+        rails = config.get("rails")
+        if not rails:
+            raise ConfigurationError(
+                "config needs a non-empty 'rails' list (or a 'fabric')"
+            )
+        for rail in rails:
+            try:
+                driver = rail["driver"]
+                node_a, node_b = rail["between"]
+            except (KeyError, ValueError) as exc:
+                raise ConfigurationError(
+                    f"rail entry needs 'driver' and a 2-node 'between': {rail}"
+                ) from exc
+            builder.add_rail(driver, node_a, node_b, **rail.get("overrides", {}))
+
+    coll_overrides = config.get("collectives")
+    if coll_overrides is not None:
+        if not isinstance(coll_overrides, dict):
+            raise ConfigurationError(
+                f"'collectives' must map collective -> algorithm; "
+                f"got {coll_overrides!r}"
+            )
+        builder.collectives(coll_overrides)
 
     for node_name, strategy in config.get("per_node_strategy", {}).items():
         builder.strategy_for(node_name, strategy)

@@ -23,15 +23,28 @@ result is when it completes.  Blocking calls are generator coroutines to
 
     world.spawn_all(program)
     world.run()
+
+Collectives default to the original naive compositions (selectable
+explicitly as ``algorithm="naive"`` — that path is bit-identical to
+older revisions).  The classic schedules live in
+:mod:`repro.api.collectives` and are chosen per call
+(``comm.bcast("4M", algorithm="ring")``), per world
+(``MpiWorld.create(8, collectives={"alltoall": "ring"})``), or by the
+cost model (``algorithm="auto"``).  Worlds can also span switched
+fabrics: ``MpiWorld.create(fabric=Fabric.fat_tree(16))``.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, List, Optional, Sequence
+import math
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Union
 
+from repro.api import collectives as coll
 from repro.api.cluster import Cluster, ClusterBuilder, RunResult, StrategySpec
+from repro.api.collectives import AlgorithmSelector
 from repro.api.session import Session
 from repro.core.packets import Message, RecvHandle
+from repro.hardware.topology import Fabric
 from repro.util.errors import ConfigurationError
 from repro.util.units import parse_size
 
@@ -49,8 +62,13 @@ class Communicator:
     def __init__(self, world: "MpiWorld", rank: int) -> None:
         self.world = world
         self.rank = rank
-        self.session: Session = world.cluster.session(_rank_name(rank))
+        self.session: Session = world.cluster.session(world.node_name(rank))
         self._collective_seq = 0
+
+    def peer_name(self, rank: int) -> str:
+        """Node name of a rank (``rank3`` in default worlds; the fabric's
+        node names when the world was built from one)."""
+        return self.world.node_name(rank)
 
     def __repr__(self) -> str:
         return f"<Communicator rank {self.rank}/{self.size}>"
@@ -76,14 +94,14 @@ class Communicator:
         self._check_peer(dest)
         if tag >= _COLLECTIVE_TAG_BASE or tag < 0:
             raise ConfigurationError(f"user tag {tag} outside [0, {_COLLECTIVE_TAG_BASE})")
-        return self.session.isend(_rank_name(dest), size, tag=tag)
+        return self.session.isend(self.peer_name(dest), size, tag=tag)
 
     def irecv(self, source: Optional[int] = None, tag: Optional[int] = None) -> RecvHandle:
         """Non-blocking receive (None = wildcard, as in MPI_ANY_SOURCE)."""
         if source is not None:
             self._check_peer(source)
         return self.session.irecv(
-            source=_rank_name(source) if source is not None else None, tag=tag
+            source=self.peer_name(source) if source is not None else None, tag=tag
         )
 
     def send(self, dest: int, size: "int | str", tag: int = 0) -> Iterator:
@@ -114,15 +132,33 @@ class Communicator:
     #: tag slots reserved per collective call (bounds the round count)
     _TAGS_PER_COLLECTIVE = 64
 
-    def _next_collective_tag(self) -> int:
+    def _next_collective_tag(self, span: int = _TAGS_PER_COLLECTIVE) -> int:
         # Every rank calls collectives in the same order (MPI semantics),
         # so a per-rank counter yields matching tag blocks across ranks.
+        # Algorithms needing more than one 64-slot block (e.g. a ring
+        # all-to-all across 128 ranks) reserve several; the naive paths
+        # keep the default span, so their tag values never move.
         tag = (
             _COLLECTIVE_TAG_BASE
             + self._collective_seq * self._TAGS_PER_COLLECTIVE
         )
-        self._collective_seq += 1
+        blocks = -(-max(1, span) // self._TAGS_PER_COLLECTIVE)
+        self._collective_seq += blocks
         return tag
+
+    def _resolve_algorithm(
+        self, collective: str, algorithm: Optional[str], nbytes: int
+    ) -> str:
+        """Per-call override > world default > ``"naive"``; ``"auto"``
+        goes through the world's cost-model selector."""
+        if algorithm is None:
+            algorithm = self.world.collectives.get(collective, "naive")
+        coll.validate_algorithm(collective, algorithm)
+        if algorithm == "auto":
+            algorithm = self.world.selector().select(
+                collective, max(1, nbytes), self.size
+            )
+        return algorithm
 
     def barrier(self) -> Iterator:
         """Dissemination barrier: ceil(log2(n)) rounds of 1-byte tokens.
@@ -140,25 +176,41 @@ class Communicator:
         while dist < n:
             peer_to = (self.rank + dist) % n
             peer_from = (self.rank - dist) % n
-            self.session.isend(_rank_name(peer_to), 1, tag=base_tag + round_no)
+            self.session.isend(self.peer_name(peer_to), 1, tag=base_tag + round_no)
             handle = self.session.irecv(
-                source=_rank_name(peer_from), tag=base_tag + round_no
+                source=self.peer_name(peer_from), tag=base_tag + round_no
             )
             yield from self.session.wait(handle)
             dist *= 2
             round_no += 1
 
-    def bcast(self, size: "int | str", root: int = 0) -> Iterator:
-        """Binomial-tree broadcast of ``size`` bytes from ``root``.
+    def bcast(
+        self, size: "int | str", root: int = 0,
+        algorithm: Optional[str] = None,
+    ) -> Iterator:
+        """Broadcast of ``size`` bytes from ``root``.
 
-        The classic MPICH algorithm on virtual ranks (root mapped to 0):
-        receive from the parent (clear the lowest set bit), then forward
-        to children at decreasing strides.
+        ``algorithm``: ``naive`` (the classic whole-message binomial
+        tree, the default), ``binomial`` (segmented/pipelined tree),
+        ``ring`` (segmented ring pipeline), ``doubling`` (scatter +
+        allgather), or ``auto``.
         """
         n = self.size
         self._check_root(root)
         nbytes = parse_size(size)
         if n == 1:
+            return
+        algo = self._resolve_algorithm("bcast", algorithm, nbytes)
+        if algo != "naive":
+            if algo == "doubling":
+                span = 2 + max(1, math.ceil(math.log2(n)))
+                tag = self._next_collective_tag(span=span)
+                yield from coll.bcast_doubling(self, nbytes, root, tag)
+                return
+            segs = coll.pipeline_segments(nbytes, self.world.rail_estimators())
+            tag = self._next_collective_tag(span=len(segs))
+            impl = coll.bcast_binomial if algo == "binomial" else coll.bcast_ring
+            yield from impl(self, nbytes, root, tag, segs)
             return
         tag = self._next_collective_tag()
         vrank = (self.rank - root) % n
@@ -166,7 +218,7 @@ class Communicator:
         while mask < n:
             if vrank & mask:
                 parent = ((vrank ^ mask) + root) % n
-                handle = self.session.irecv(source=_rank_name(parent), tag=tag)
+                handle = self.session.irecv(source=self.peer_name(parent), tag=tag)
                 yield from self.session.wait(handle)
                 break
             mask <<= 1
@@ -176,42 +228,81 @@ class Communicator:
         while mask > 0:
             if vrank + mask < n:
                 child = ((vrank + mask) + root) % n
-                self.session.isend(_rank_name(child), nbytes, tag=tag)
+                self.session.isend(self.peer_name(child), nbytes, tag=tag)
             mask >>= 1
 
     def _check_root(self, root: int) -> None:
         if not 0 <= root < self.size:
             raise ConfigurationError(f"root {root} outside 0..{self.size - 1}")
 
-    def gather(self, size: "int | str", root: int = 0) -> Iterator:
-        """Linear gather: every rank sends ``size`` bytes to ``root``."""
+    def gather(
+        self, size: "int | str", root: int = 0,
+        algorithm: Optional[str] = None,
+    ) -> Iterator:
+        """Gather of ``size`` bytes per rank to ``root``.
+
+        ``algorithm``: ``naive`` (linear, the default), ``binomial``
+        (combining tree), ``ring`` (neighbour pipeline), or ``auto``.
+        """
         self._check_root(root)
         nbytes = parse_size(size)
+        if self.size > 1:
+            algo = self._resolve_algorithm("gather", algorithm, nbytes)
+            if algo != "naive":
+                tag = self._next_collective_tag(span=1)
+                impl = (
+                    coll.gather_binomial if algo == "binomial" else coll.gather_ring
+                )
+                yield from impl(self, nbytes, root, tag)
+                return
         tag = self._next_collective_tag()
         if self.rank == root:
             handles = [
-                self.session.irecv(source=_rank_name(r), tag=tag)
+                self.session.irecv(source=self.peer_name(r), tag=tag)
                 for r in range(self.size)
                 if r != root
             ]
             for h in handles:
                 yield from self.session.wait(h)
         else:
-            msg = self.session.isend(_rank_name(root), nbytes, tag=tag)
+            msg = self.session.isend(self.peer_name(root), nbytes, tag=tag)
             yield from self.session.wait(msg)
 
-    def alltoall(self, size: "int | str") -> Iterator:
-        """Each rank sends ``size`` bytes to every other rank."""
+    def alltoall(
+        self, size: "int | str", algorithm: Optional[str] = None
+    ) -> Iterator:
+        """Each rank sends ``size`` bytes to every other rank.
+
+        ``algorithm``: ``naive`` (post everything at once, the default),
+        ``ring`` (rank-shifted pairwise rounds — no port storm),
+        ``doubling`` (Bruck, log rounds of aggregated blocks), ``rails``
+        (RailS-style segmented/balanced schedule), or ``auto``.
+        """
         nbytes = parse_size(size)
+        n = self.size
+        if n > 1:
+            algo = self._resolve_algorithm("alltoall", algorithm, nbytes)
+            if algo != "naive":
+                if algo == "ring":
+                    tag = self._next_collective_tag(span=n)
+                    yield from coll.alltoall_ring(self, nbytes, tag)
+                elif algo == "doubling":
+                    span = max(1, math.ceil(math.log2(n)))
+                    tag = self._next_collective_tag(span=span)
+                    yield from coll.alltoall_doubling(self, nbytes, tag)
+                else:  # rails
+                    matrix = coll.uniform_matrix(n, nbytes)
+                    yield from self._alltoallv_rails(matrix)
+                return
         tag = self._next_collective_tag()
         handles = [
-            self.session.irecv(source=_rank_name(r), tag=tag)
+            self.session.irecv(source=self.peer_name(r), tag=tag)
             for r in range(self.size)
             if r != self.rank
         ]
         for r in range(self.size):
             if r != self.rank:
-                self.session.isend(_rank_name(r), nbytes, tag=tag)
+                self.session.isend(self.peer_name(r), nbytes, tag=tag)
         for h in handles:
             yield from self.session.wait(h)
 
@@ -229,23 +320,35 @@ class Communicator:
             last: Optional[Message] = None
             for r in range(self.size):
                 if r != root:
-                    last = self.session.isend(_rank_name(r), nbytes, tag=tag)
+                    last = self.session.isend(self.peer_name(r), nbytes, tag=tag)
             if last is not None:
                 yield from self.session.wait(last)
         else:
-            handle = self.session.irecv(source=_rank_name(root), tag=tag)
+            handle = self.session.irecv(source=self.peer_name(root), tag=tag)
             yield from self.session.wait(handle)
 
-    def allgather(self, size: "int | str") -> Iterator:
+    def allgather(
+        self, size: "int | str", algorithm: Optional[str] = None
+    ) -> Iterator:
         """Every rank ends up with every rank's ``size``-byte block.
 
-        Bruck/dissemination style: ceil(log2(n)) rounds; in round ``k``
-        rank ``r`` sends its accumulated blocks (``2^k`` of them) to
-        ``r - 2^k`` and receives as many from ``r + 2^k``.
+        ``algorithm``: ``naive`` (Bruck/dissemination, the default),
+        ``ring`` (n-1 neighbour rounds, bandwidth-optimal), ``doubling``
+        (recursive doubling on power-of-two worlds), or ``auto``.
         """
         n = self.size
         nbytes = parse_size(size)
         if n == 1:
+            return
+        algo = self._resolve_algorithm("allgather", algorithm, nbytes)
+        if algo != "naive":
+            if algo == "ring":
+                tag = self._next_collective_tag(span=n - 1)
+                yield from coll.allgather_ring(self, nbytes, tag)
+            else:  # doubling
+                span = max(1, math.ceil(math.log2(n)))
+                tag = self._next_collective_tag(span=span)
+                yield from coll.allgather_doubling(self, nbytes, tag)
             return
         base_tag = self._next_collective_tag()
         round_no = 0
@@ -256,27 +359,42 @@ class Communicator:
             peer_from = (self.rank + dist) % n
             block = min(accumulated, n - accumulated) * nbytes
             self.session.isend(
-                _rank_name(peer_to), max(1, block), tag=base_tag + round_no
+                self.peer_name(peer_to), max(1, block), tag=base_tag + round_no
             )
             handle = self.session.irecv(
-                source=_rank_name(peer_from), tag=base_tag + round_no
+                source=self.peer_name(peer_from), tag=base_tag + round_no
             )
             yield from self.session.wait(handle)
             accumulated = min(n, accumulated * 2)
             dist *= 2
             round_no += 1
 
-    def reduce(self, size: "int | str", root: int = 0) -> Iterator:
-        """Binomial-tree reduction of ``size``-byte contributions to root.
+    def reduce(
+        self, size: "int | str", root: int = 0,
+        algorithm: Optional[str] = None,
+    ) -> Iterator:
+        """Reduction of ``size``-byte contributions to ``root``.
 
-        The mirror image of :meth:`bcast`: leaves send first, inner nodes
-        combine (combination cost is the receive itself here — payloads
-        are sizes, not values) and forward up.
+        ``algorithm``: ``naive`` (whole-message binomial tree, the
+        default — the mirror image of :meth:`bcast`), ``binomial``
+        (segmented/pipelined tree), ``ring`` (reduce-scatter + block
+        gather), or ``auto``.  Combination cost is the receive itself —
+        payloads are sizes, not values.
         """
         n = self.size
         self._check_root(root)
         nbytes = parse_size(size)
         if n == 1:
+            return
+        algo = self._resolve_algorithm("reduce", algorithm, nbytes)
+        if algo != "naive":
+            if algo == "ring":
+                tag = self._next_collective_tag(span=n)
+                yield from coll.reduce_ring(self, nbytes, root, tag)
+                return
+            segs = coll.pipeline_segments(nbytes, self.world.rail_estimators())
+            tag = self._next_collective_tag(span=len(segs))
+            yield from coll.reduce_binomial(self, nbytes, root, tag, segs)
             return
         tag = self._next_collective_tag()
         vrank = (self.rank - root) % n
@@ -288,37 +406,174 @@ class Communicator:
             child_v = vrank + mask
             if child_v < n:
                 child = (child_v + root) % n
-                handle = self.session.irecv(source=_rank_name(child), tag=tag)
+                handle = self.session.irecv(source=self.peer_name(child), tag=tag)
                 yield from self.session.wait(handle)
             mask <<= 1
         # Then send our combined contribution to the parent (root: none).
         if vrank != 0:
             parent = ((vrank ^ mask) + root) % n
-            msg = self.session.isend(_rank_name(parent), nbytes, tag=tag)
+            msg = self.session.isend(self.peer_name(parent), nbytes, tag=tag)
             yield from self.session.wait(msg)
+
+    def alltoallv(
+        self,
+        matrix: Sequence[Sequence["int | str"]],
+        algorithm: Optional[str] = None,
+    ) -> Iterator:
+        """Irregular all-to-all from a global n×n traffic ``matrix``
+        (``matrix[i][j]`` = bytes rank i sends rank j; zero diagonal).
+
+        Every rank receives the same matrix — the traffic-engineering
+        setting of RailS, where the demand is known (e.g. an MoE
+        router's expert counts).  ``algorithm``: ``naive`` (one message
+        per flow, posted at once — uniform striping) or ``rails`` (the
+        segmented, rank-shifted, windowed balanced schedule); ``auto``
+        picks ``rails``.
+        """
+        n = self.size
+        if len(matrix) != n or any(len(row) != n for row in matrix):
+            raise ConfigurationError(
+                f"traffic matrix must be {n}x{n} for this world"
+            )
+        try:
+            sizes = [
+                [parse_size(v) if v else 0 for v in row] for row in matrix
+            ]
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"bad traffic matrix entry: {exc}"
+            ) from exc
+        for i in range(n):
+            if sizes[i][i]:
+                raise ConfigurationError(
+                    f"traffic matrix has a self-send at rank {i} "
+                    "(self-sends are not modelled)"
+                )
+            for j in range(n):
+                if sizes[i][j] < 0:
+                    raise ConfigurationError(
+                        f"negative traffic matrix entry [{i}][{j}]: {sizes[i][j]}"
+                    )
+        peak = max((s for row in sizes for s in row), default=0)
+        algo = self._resolve_algorithm("alltoallv", algorithm, max(1, peak))
+        if algo in ("rails", "auto"):
+            yield from self._alltoallv_rails(sizes)
+            return
+        tag = self._next_collective_tag()
+        yield from coll.alltoallv_naive(self, sizes, tag)
+
+    def _alltoallv_rails(self, sizes: List[List[int]]) -> Iterator:
+        """Shared rails path for :meth:`alltoall`/:meth:`alltoallv`."""
+        ests = self.world.rail_estimators()
+        span = max(
+            (
+                len(coll.rails_segments(s, ests))
+                for row in sizes
+                for s in row
+                if s > 0
+            ),
+            default=1,
+        )
+        tag = self._next_collective_tag(span=span)
+        yield from coll.alltoallv_rails(self, sizes, tag, ests)
 
 
 class MpiWorld:
-    """A fully-connected set of ranks over multirail point-to-point links."""
+    """A set of ranks over a multirail fabric (full mesh by default)."""
 
-    def __init__(self, cluster: Cluster, size: int) -> None:
+    def __init__(
+        self,
+        cluster: Cluster,
+        size: int,
+        node_names: Optional[Sequence[str]] = None,
+        collectives: Optional[Dict[str, str]] = None,
+    ) -> None:
         self.cluster = cluster
         self.size = size
+        if node_names is None:
+            node_names = [_rank_name(r) for r in range(size)]
+        if len(node_names) != size:
+            raise ConfigurationError(
+                f"world of {size} ranks got {len(node_names)} node names"
+            )
+        self._node_names: List[str] = list(node_names)
+        overrides = dict(collectives) if collectives else {}
+        if not overrides and cluster.collectives:
+            overrides = dict(cluster.collectives)
+        self.collectives: Dict[str, str] = coll.validate_overrides(overrides)
+        self._selector: Optional[AlgorithmSelector] = None
         self.comms: List[Communicator] = [Communicator(self, r) for r in range(size)]
 
     def __repr__(self) -> str:
         return f"<MpiWorld size={self.size}>"
 
+    def node_name(self, rank: int) -> str:
+        """Cluster node name hosting a rank."""
+        if not 0 <= rank < self.size:
+            raise ConfigurationError(f"rank {rank} outside 0..{self.size - 1}")
+        return self._node_names[rank]
+
+    def rail_estimators(self) -> List:
+        """Sampled per-technology estimators (sorted; empty unsampled).
+
+        The hetero-split curves the collective algorithms size their
+        pipeline segments from.
+        """
+        profiles = self.cluster.profiles
+        if profiles is None:
+            return []
+        return [profiles.estimators[t] for t in sorted(profiles.estimators)]
+
+    def selector(self) -> AlgorithmSelector:
+        """The cost-model selector behind ``algorithm="auto"``."""
+        if self._selector is None:
+            profiles = self.cluster.profiles
+            if profiles is None or not profiles.estimators:
+                raise ConfigurationError(
+                    'algorithm="auto" needs sampled profiles; build the '
+                    "cluster with sampling enabled"
+                )
+            self._selector = AlgorithmSelector(profiles.estimators)
+        return self._selector
+
     @classmethod
     def create(
         cls,
-        n_ranks: int,
+        n_ranks: Optional[int] = None,
         strategy: StrategySpec = "hetero_split",
         rails: Sequence[str] = ("myri10g", "quadrics"),
         profiles=None,
+        fabric: Optional[Fabric] = None,
+        collectives: Optional[Dict[str, str]] = None,
     ) -> "MpiWorld":
-        """Build a full mesh: every rank pair joined by one rail per
-        technology (point-to-point wires, as on the paper's testbed)."""
+        """Build a world — a full mesh by default (every rank pair joined
+        by one wire per technology, the paper's testbed generalized), or
+        any :class:`~repro.hardware.topology.Fabric`::
+
+            MpiWorld.create(8)                                # full mesh
+            MpiWorld.create(fabric=Fabric.fat_tree(16))       # switched
+            MpiWorld.create(8, collectives={"alltoall": "ring"})
+
+        ``collectives`` sets the world's default algorithm per
+        collective; individual calls can still override it.
+        """
+        if fabric is not None:
+            if n_ranks is not None and n_ranks != fabric.size:
+                raise ConfigurationError(
+                    f"n_ranks {n_ranks} != fabric size {fabric.size}; "
+                    "pass one or the other"
+                )
+            ranked = fabric.with_node_names(
+                [_rank_name(r) for r in range(fabric.size)]
+            )
+            builder = ClusterBuilder(strategy=strategy).fabric(ranked)
+            if profiles is not None:
+                builder.sampling(profiles=profiles)
+            return cls(
+                builder.build(), fabric.size, collectives=collectives
+            )
+        if n_ranks is None:
+            raise ConfigurationError("pass n_ranks or a fabric")
         if n_ranks < 2:
             raise ConfigurationError(f"an MPI world needs >= 2 ranks, got {n_ranks}")
         builder = ClusterBuilder(strategy=strategy)
@@ -330,7 +585,37 @@ class MpiWorld:
                     builder.add_rail(rail, _rank_name(a), _rank_name(b))
         if profiles is not None:
             builder.sampling(profiles=profiles)
-        return cls(builder.build(), n_ranks)
+        return cls(builder.build(), n_ranks, collectives=collectives)
+
+    @classmethod
+    def from_cluster(
+        cls,
+        cluster: Cluster,
+        node_names: Optional[Sequence[str]] = None,
+        collectives: Optional[Dict[str, str]] = None,
+    ) -> "MpiWorld":
+        """Wrap an already-built cluster: one rank per node.
+
+        Rank order follows ``node_names``, else the cluster's fabric
+        description (config-built clusters carry one), else sorted node
+        names.  Collective defaults fall back to the cluster's
+        (:meth:`ClusterBuilder.collectives`, the config ``collectives:``
+        section).
+        """
+        if node_names is None:
+            if cluster.fabric is not None:
+                node_names = list(cluster.fabric.nodes)
+            else:
+                node_names = sorted(cluster.engines)
+        unknown = [n for n in node_names if n not in cluster.engines]
+        if unknown:
+            raise ConfigurationError(
+                f"unknown node(s) {unknown}; have {sorted(cluster.engines)}"
+            )
+        return cls(
+            cluster, len(node_names), node_names=node_names,
+            collectives=collectives,
+        )
 
     def comm(self, rank: int) -> Communicator:
         try:

@@ -12,12 +12,14 @@ Usage::
     python -m repro.bench.cli accuracy --faults
     python -m repro.bench.cli chaos --seeds 50
     python -m repro.bench.cli calibration --demo
+    python -m repro.bench.cli collectives --demo
+    python -m repro.bench.cli topology --shape fat_tree --nodes 16
 
 ``run`` regenerates a registered paper artefact and prints its table;
 ``sweep`` is a free-form bandwidth sweep for ad-hoc exploration;
 ``perf`` times the kernel/estimator/split hot paths (``--smoke`` also
 fails when any guarded metric regresses >30% vs the committed
-``BENCH_PR6.json`` trajectory; ``--compare BENCH_PRn.json`` prints a
+``BENCH_PR7.json`` trajectory; ``--compare BENCH_PRn.json`` prints a
 per-metric delta table against any committed trajectory file — see
 docs/performance.md);
 ``faults`` showcases the fault-injection subsystem (``--demo`` narrates
@@ -34,7 +36,14 @@ the drift loop against them), ``--json`` regenerates the
 ``calibration`` showcases the estimator drift defense (``--demo``
 narrates a silent rail degradation being detected, re-sampled and
 recovered; ``--json`` regenerates ``BENCH_PR5.json`` — see
-docs/calibration.md).
+docs/calibration.md);
+``collectives`` races the classic collective schedules against the
+naive compositions on switched fabrics (``--demo`` shows the cost
+model's predictions next to measured makespans; ``--json`` regenerates
+``BENCH_PR7.json`` — see docs/collectives.md);
+``topology`` prints the ASCII picture of a fabric — a canned shape via
+``--shape``/``--nodes`` or the ``fabric:`` section of a cluster config
+via ``--config``.
 """
 
 from __future__ import annotations
@@ -97,7 +106,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--smoke",
         action="store_true",
         help="fast run; exit 1 if any guarded metric regresses >30%% vs "
-        "the committed BENCH_PR6.json",
+        "the committed BENCH_PR7.json",
     )
     perf.add_argument(
         "--json", metavar="PATH", help="also dump the measured stats as JSON"
@@ -222,6 +231,48 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="run the CAL guard scenario and dump the BENCH_PR5-shaped "
         "payload as JSON ('-' for stdout)",
+    )
+
+    collectives = sub.add_parser(
+        "collectives",
+        help="collective algorithms vs naive (docs/collectives.md)",
+    )
+    collectives.add_argument(
+        "--demo",
+        action="store_true",
+        help="race naive/ring/doubling/rails all-to-all on a switched "
+        "8-rank fabric, with the cost model's predictions alongside",
+    )
+    collectives.add_argument(
+        "--json",
+        metavar="PATH",
+        help="measure the full BENCH_PR7-shaped payload (8/32/128-rank "
+        "race + skewed RailS points + perf metrics) and dump it as "
+        "JSON ('-' for stdout)",
+    )
+
+    topo = sub.add_parser(
+        "topology", help="describe a fabric (nodes, per-rail link graphs)"
+    )
+    topo.add_argument(
+        "--shape",
+        choices=("paper", "full_mesh", "flat", "fat_tree"),
+        default="paper",
+        help="canned fabric shape (default: the two-node paper testbed)",
+    )
+    topo.add_argument(
+        "--nodes", type=int, default=8, help="node count for canned shapes"
+    )
+    topo.add_argument(
+        "--rails",
+        default="myri10g,quadrics",
+        help="comma-separated rail technologies for canned shapes",
+    )
+    topo.add_argument(
+        "--config",
+        metavar="PATH",
+        help="describe the 'fabric' section of a cluster config file "
+        "instead of a canned shape",
     )
     return parser
 
@@ -590,6 +641,87 @@ def _cmd_calibration(demo: bool, json_path: Optional[str]) -> int:
     return 0
 
 
+def _cmd_collectives(demo: bool, json_path: Optional[str]) -> int:
+    if not demo and not json_path:
+        print("collectives: pass --demo and/or --json PATH", file=sys.stderr)
+        return 2
+    if demo:
+        _collectives_demo()
+    if json_path:
+        from repro.bench import perfstats
+
+        payload = perfstats.collect_pr7_payload()
+        _dump_json(payload, json_path, "collectives payload")
+    return 0
+
+
+def _collectives_demo() -> None:
+    """The collective-algorithm race, narrated: the cost model's
+    predictions for an 8-rank switched all-to-all, then the measured
+    makespans (uniform + skewed RailS scenario)."""
+    from repro.api.collectives import AlgorithmSelector
+    from repro.bench.experiments import collectives as C
+    from repro.bench.runners import default_profiles
+
+    size = C.ALLTOALL_SIZES[8]
+    print(
+        "scenario: all-to-all across 8 ranks on one flat contended "
+        f"switch per rail ({'+'.join(C.RAILS)})"
+    )
+    print()
+    selector = AlgorithmSelector(default_profiles(C.RAILS).estimators)
+    print(selector.table("alltoall", size, 8))
+    print()
+    print(C.run(ranks=(8,)).render())
+
+
+def _cmd_topology(
+    shape: str, nodes: int, rails: str, config_path: Optional[str]
+) -> int:
+    from repro.bench.runners import default_profiles
+    from repro.hardware.topology import Fabric
+    from repro.util.errors import ConfigurationError
+
+    try:
+        if config_path:
+            import json as _json
+            from pathlib import Path
+
+            try:
+                config = _json.loads(Path(config_path).read_text())
+            except (OSError, _json.JSONDecodeError) as exc:
+                print(f"cannot read {config_path}: {exc}", file=sys.stderr)
+                return 2
+            spec = config.get("fabric")
+            if spec is None:
+                print(
+                    f"{config_path} has no 'fabric' section "
+                    "(explicit nodes+rails configs have no fabric "
+                    "description to draw)",
+                    file=sys.stderr,
+                )
+                return 2
+            fabric = Fabric.from_dict(spec)
+        else:
+            rail_tuple = tuple(r.strip() for r in rails.split(",") if r.strip())
+            maker = {
+                "paper": lambda: Fabric.paper_testbed(rails=rail_tuple),
+                "full_mesh": lambda: Fabric.full_mesh(nodes, rails=rail_tuple),
+                "flat": lambda: Fabric.flat(nodes, rails=rail_tuple),
+                "fat_tree": lambda: Fabric.fat_tree(nodes, rails=rail_tuple),
+            }[shape]
+            fabric = maker()
+        try:
+            profiles = default_profiles(fabric.technologies).estimators
+        except (ConfigurationError, KeyError):
+            profiles = None  # unknown driver: describe without rates
+        print(fabric.describe(profiles))
+    except ConfigurationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    return 0
+
+
 def _calibration_demo() -> None:
     """The drift-defense acceptance scenario, narrated: a rail silently
     halves its bandwidth; the drift loop notices from prediction error
@@ -695,6 +827,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
         if args.command == "calibration":
             return _cmd_calibration(args.demo, args.json)
+        if args.command == "collectives":
+            return _cmd_collectives(args.demo, args.json)
+        if args.command == "topology":
+            return _cmd_topology(
+                args.shape, args.nodes, args.rails, args.config
+            )
     except BrokenPipeError:  # e.g. `... | head` closed the pipe; not an error
         return 0
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover

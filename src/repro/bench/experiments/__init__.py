@@ -14,6 +14,7 @@ DEG         degraded-mode bandwidth: one rail flapping at 50% duty
 OBS         observability overhead: hooks off vs fully enabled
 CHAOS       chaos soak + invariant-checker overhead guard
 CAL         drift defense: blind vs calibrated under silent degrade
+COLL        collective algorithms vs naive on switched fabrics
 ==========  ========================================================
 
 Every module exposes ``run(...) -> SweepResult`` (or a small dataclass
@@ -25,6 +26,7 @@ from repro.bench.experiments import (
     ablations,
     calibration,
     chaos_soak,
+    collectives,
     degraded,
     fig1,
     fig3,
@@ -60,12 +62,14 @@ experiment_registry = {
     "OBS": obs_overhead.run,
     "CHAOS": chaos_soak.run,
     "CAL": calibration.run,
+    "COLL": collectives.run,
 }
 
 __all__ = [
     "experiment_registry",
     "calibration",
     "chaos_soak",
+    "collectives",
     "degraded",
     "obs_overhead",
     "fig1",

@@ -12,17 +12,25 @@ Every experiment in this repository funnels through three hot paths:
 This module times all three plus the wall-clock of a representative
 figure-benchmark slice — and, since the calendar-queue/batched-pricing
 PR, the large-N event storm (where the calendar backend earns its keep)
-and the vectorized candidate-pricing path.  The numbers are recorded in
-``BENCH_PR6.json`` at the repository root, extending the trajectory that
-started with ``BENCH_PR1.json``; :func:`load_trajectory` walks every
-committed ``BENCH_PR*.json`` so the CLI can show the whole history.
-``python -m repro.bench.cli perf --smoke`` (or ``make bench-smoke``)
-re-measures quickly and fails when any guarded metric regresses more
-than 30% against the committed baseline.
+and the vectorized candidate-pricing path.  The collectives PR adds two
+*simulated-time* metrics on top: the ring-vs-naive all-to-all speedup on
+an 8-rank switched fabric and the RailS-balancer-vs-uniform-striping
+speedup on a skewed traffic matrix (module
+:mod:`repro.bench.experiments.collectives`).  The numbers are recorded
+in ``BENCH_PR7.json`` at the repository root, extending the trajectory
+that started with ``BENCH_PR1.json``; :func:`load_trajectory` walks
+every committed ``BENCH_PR*.json`` so the CLI can show the whole
+history.  ``python -m repro.bench.cli perf --smoke`` (or ``make
+bench-smoke``) re-measures quickly and fails when any guarded metric
+regresses more than 30% against the committed baseline (5% for the
+simulated collective speedups — those are deterministic, so any drift
+is a code change, not noise).
 
-All rates are best-of-``repeats`` to shave scheduler noise; the absolute
-numbers are machine-dependent, only the committed before/after ratios
-and the regression guard are meaningful across machines.
+All wall-clock rates are best-of-``repeats`` to shave scheduler noise;
+the absolute rates are machine-dependent, only the committed
+before/after ratios and the regression guard are meaningful across
+machines.  The ``*_speedup`` metrics are simulated time and reproduce
+exactly everywhere.
 """
 
 from __future__ import annotations
@@ -34,14 +42,17 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
 #: the committed perf trajectory for this PR, at the repository root
-BASELINE_FILENAME = "BENCH_PR6.json"
+BASELINE_FILENAME = "BENCH_PR7.json"
 
 #: metrics guarded by the smoke check, and the tolerated fractional drop
+#: (the simulated collective speedups are deterministic — tight bound)
 GUARDED_METRICS = {
     "events_per_s": 0.30,
     "events_large_n_per_s": 0.30,
     "pricing_batch_per_s": 0.30,
     "splits_cached_per_s": 0.30,
+    "alltoall_ring_speedup_8r": 0.05,
+    "alltoall_rails_skew_speedup_8r": 0.05,
 }
 
 
@@ -254,6 +265,27 @@ def bench_split_throughput(
     return n_calls / _best_seconds(run_once, repeats)
 
 
+def bench_alltoall_speedups() -> Dict[str, float]:
+    """Simulated collective metrics: makespans + speedups at 8 ranks.
+
+    Deterministic (simulated µs, no wall clock): the ring-vs-naive
+    all-to-all ratio on a flat switched fabric and the RailS-vs-uniform
+    ratio on the skewed MoE matrix, both small enough for ``--smoke``.
+    """
+    from repro.bench.experiments import collectives as C
+
+    size = C.ALLTOALL_SIZES[8]
+    naive = C.measure_alltoall(8, size, "naive")
+    ring = C.measure_alltoall(8, size, "ring")
+    skew = C.skewed_table()
+    return {
+        "alltoall_naive_8r_us": naive,
+        "alltoall_ring_8r_us": ring,
+        "alltoall_ring_speedup_8r": naive / ring,
+        "alltoall_rails_skew_speedup_8r": skew["mean_speedup"],
+    }
+
+
 def bench_fig_slice(messages: int = 32, repeats: int = 2) -> float:
     """Wall-clock seconds of a Fig. 1/8-style slice: build the §IV
     testbed and stream ``messages`` mixed-size sends (64 KiB – 4 MiB)
@@ -283,7 +315,7 @@ def bench_fig_slice(messages: int = 32, repeats: int = 2) -> float:
 def collect_perfstats(smoke: bool = False) -> Dict[str, float]:
     """Run every micro-benchmark; ``smoke`` shrinks sizes to run in seconds."""
     scale = 5 if smoke else 1
-    return {
+    stats = {
         "events_per_s": bench_event_throughput(n_events=100_000 // scale),
         "events_large_n_per_s": bench_event_storm(n_events=250_000 // scale),
         "estimates_per_s": bench_estimator_throughput(n_calls=100_000 // scale),
@@ -301,6 +333,8 @@ def collect_perfstats(smoke: bool = False) -> Dict[str, float]:
         ),
         "fig_slice_wall_s": bench_fig_slice(),
     }
+    stats.update(bench_alltoall_speedups())
+    return stats
 
 
 def load_baseline(path: Optional[Path] = None) -> Optional[Dict]:
@@ -521,4 +555,50 @@ def collect_pr6_payload(
             "scenarios_per_s_jobsN": soak_sharded,
             "speedup": soak_sharded / soak_serial if soak_serial else 0.0,
         },
+    }
+
+
+# --------------------------------------------------------------------- #
+# BENCH_PR7 payload generation
+# --------------------------------------------------------------------- #
+
+
+def collect_pr7_payload(smoke: bool = False) -> Dict:
+    """Measure the BENCH_PR7 payload: the collective-algorithm race.
+
+    Two deterministic sections carry the headline numbers — the uniform
+    all-to-all makespans at 8/32/128 ranks on a flat switched fabric and
+    the RailS-vs-uniform-striping comparison on skewed MoE matrices over
+    a fat tree (module :mod:`repro.bench.experiments.collectives`) — and
+    a ``current`` section carries the usual wall-clock kernel metrics
+    plus the guarded simulated speedups, so ``perf --smoke`` keeps one
+    file to compare against.
+    """
+    from repro.bench.experiments import collectives as C
+
+    return {
+        "schema": 1,
+        "pr": 7,
+        "description": (
+            "Collective algorithms over switched fabrics. "
+            "'alltoall_flat_switch' races naive/ring/doubling/rails "
+            "uniform all-to-all at 8/32/128 ranks on a flat contended "
+            "switch (per-pair size scaled so every rank moves ~2 MiB); "
+            "'skewed_alltoallv_fat_tree' races uniform striping vs the "
+            "RailS-style balanced schedule on an 8-rank fat tree with "
+            "two hot destinations at 8x base traffic, averaged over "
+            "hot-rank placements.  Both sections are simulated time — "
+            "deterministic, reproduced exactly by 'python -m "
+            "repro.bench.cli collectives --json PATH'.  'current' holds "
+            "this host's wall-clock kernel rates plus the guarded "
+            "simulated speedups."
+        ),
+        "harness": "python -m repro.bench.cli collectives --json PATH",
+        "guard": {
+            m: f"perf --smoke fails on >{int(tol * 100)}% drop vs 'current'"
+            for m, tol in GUARDED_METRICS.items()
+        },
+        "current": collect_perfstats(smoke=smoke),
+        "alltoall_flat_switch": C.alltoall_table(),
+        "skewed_alltoallv_fat_tree": C.skewed_table(),
     }

@@ -43,6 +43,7 @@ from repro.core.strategies.splitting import (
     IsoSplitStrategy,
     StaticRatioStrategy,
     HeteroSplitStrategy,
+    striped_transfer_time,
 )
 from repro.core.strategies.multicore import MulticoreSplitStrategy
 from repro.core.strategies.adaptive import AdaptiveStrategy
@@ -85,4 +86,5 @@ __all__ = [
     "AdaptiveStrategy",
     "strategy_registry",
     "make_strategy",
+    "striped_transfer_time",
 ]

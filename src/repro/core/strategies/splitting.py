@@ -18,12 +18,45 @@ Eager packets are not split by any of these (that needs idle cores — see
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.core.packets import Message, TransferMode
 from repro.core.strategies.base import Strategy
 from repro.networks.nic import Nic
 from repro.util.errors import ConfigurationError
+
+
+def striped_transfer_time(
+    estimators: Sequence["NicEstimator"],
+    size: int,
+    mode: Optional[TransferMode] = None,
+) -> float:
+    """Predicted one-hop time of ``size`` bytes striped across rails.
+
+    The planning primitive the collective-algorithm cost models share
+    with :class:`HeteroSplitStrategy`: an idle-fabric equal-time
+    waterfill over the sampled curves — i.e. "what does one hop cost
+    when the engine hetero-splits it across these rails?".  ``mode``
+    defaults to the paper's eager/rendezvous choice at the slowest
+    rail's threshold, matching what the engine will actually do.
+    """
+    from repro.core.split import waterfill_split
+
+    if not estimators:
+        raise ConfigurationError("striped_transfer_time needs >= 1 estimator")
+    if size <= 0:
+        return 0.0
+    if mode is None:
+        threshold = min(est.rdv_threshold() for est in estimators)
+        mode = (
+            TransferMode.RENDEZVOUS if size > threshold else TransferMode.EAGER
+        )
+    if mode is TransferMode.EAGER:
+        # Eager packets ride one rail (no eager splitting without idle
+        # cores); the fastest sampled curve is the hop cost.
+        return min(est.transfer_time(size, mode) for est in estimators)
+    rails = [(est, 0.0) for est in estimators]
+    return waterfill_split(size, rails, mode).predicted_completion
 
 
 class _SplitBase(Strategy):

@@ -143,3 +143,116 @@ class Switch:
             f"switch {self.name}: no port on node {dst_node!r} "
             f"(ports: {[p.qualified_name for p in self._ports]})"
         )
+
+
+class FatTreeSwitch(Switch):
+    """A two-stage fat tree: per-pod edge switching plus spine uplinks.
+
+    Ports are grouped into *pods* of ``pod_size`` in attach order.
+    Intra-pod packets see exactly the flat-switch behaviour (one
+    ``switch_latency`` hop, destination-port contention).  Inter-pod
+    packets cross edge → spine → edge: they pay one extra latency per
+    stage and additionally serialize on one of ``spines`` shared spine
+    links, chosen by a deterministic flow hash (static ECMP-style
+    routing — the spine a flow lands on does not adapt to load, which is
+    precisely the skew RailS-style balancing works around at the
+    collective layer).
+
+    Cut-through carries over: an uncontended inter-pod packet pays only
+    the two extra stage latencies; simultaneous inter-pod flows hashed
+    onto one spine serialize there before contending for the output
+    port — the oversubscription effect of real multi-stage fabrics.
+    """
+
+    def __init__(
+        self,
+        name: str = "fattree",
+        switch_latency: float = 0.3,
+        pod_size: int = 4,
+        spines: int = 2,
+    ) -> None:
+        super().__init__(name=name, switch_latency=switch_latency)
+        if pod_size < 1:
+            raise ConfigurationError(f"pod_size must be >= 1, got {pod_size}")
+        if spines < 1:
+            raise ConfigurationError(f"spines must be >= 1, got {spines}")
+        self.pod_size = pod_size
+        self.spines = spines
+        #: per spine link: instant it frees up
+        self._spine_free: List[float] = [0.0] * spines
+        self.intra_pod_packets = 0
+        self.inter_pod_packets = 0
+        #: inter-pod packets that waited for a busy spine link
+        self.spine_contended_packets = 0
+        #: packets forwarded per spine link (load-balance visibility)
+        self.spine_packets: List[int] = [0] * spines
+
+    def __repr__(self) -> str:
+        pods = (len(self._ports) + self.pod_size - 1) // self.pod_size
+        return (
+            f"<FatTreeSwitch {self.name}: {len(self._ports)} ports, "
+            f"{pods} pods x {self.pod_size}, {self.spines} spines>"
+        )
+
+    def pod_of(self, nic: Nic) -> int:
+        """Pod index of a port (ports are podded in attach order)."""
+        try:
+            idx = self._ports.index(nic)
+        except ValueError:
+            raise ConfigurationError(f"{nic!r} is not a port of {self!r}") from None
+        return idx // self.pod_size
+
+    def _spine_for(self, src_idx: int, dst_idx: int) -> int:
+        """Static flow-hash routing: one spine per (src pod, dst pod)."""
+        pods = (len(self._ports) + self.pod_size - 1) // self.pod_size
+        src_pod, dst_pod = src_idx // self.pod_size, dst_idx // self.pod_size
+        return (src_pod * pods + dst_pod) % self.spines
+
+    def transmit(self, src: Nic, transfer: Transfer) -> None:
+        """Forward through edge (and, inter-pod, spine) stages."""
+        if not transfer.dst_node:
+            raise ProtocolError(
+                f"{transfer!r} has no destination node; switched transfers "
+                "must carry one"
+            )
+        dst = self._resolve(src, transfer.dst_node)
+        src_idx, dst_idx = self._ports.index(src), self._ports.index(dst)
+        if src_idx // self.pod_size == dst_idx // self.pod_size:
+            # Same pod: one edge hop — exactly the flat-switch path.
+            self.intra_pod_packets += 1
+            super().transmit(src, transfer)
+            return
+        sim = src.sim
+        rate = src.profile.dma_rate
+        drain = transfer.size / rate
+        t_start = (
+            transfer.t_wire_start if transfer.t_wire_start is not None else sim.now
+        )
+        # Stage 1+2: the head crosses the source edge switch and reaches
+        # its spine two latencies after leaving the NIC, then serializes
+        # on the hashed spine link.
+        spine = self._spine_for(src_idx, dst_idx)
+        head_at_spine = t_start + 2.0 * self.switch_latency
+        spine_free = self._spine_free[spine]
+        spine_start = max(head_at_spine, spine_free)
+        if spine_free > head_at_spine:
+            self.spine_contended_packets += 1
+        self._spine_free[spine] = spine_start + drain
+        self.spine_packets[spine] += 1
+        # Stage 3: the head reaches the destination edge one latency
+        # later and drains through the (possibly busy) output port.  The
+        # tail cannot leave the port before it has arrived off the
+        # spine, so an uncontended inter-pod packet pays exactly two
+        # extra stage latencies over the flat switch.
+        head_at_port = spine_start + self.switch_latency
+        free_at = self._port_free[id(dst)]
+        start = max(head_at_port, free_at)
+        if free_at > head_at_port:
+            self.contended_packets += 1
+        delivery = max(start + drain, sim.now + 3.0 * self.switch_latency)
+        self._port_free[id(dst)] = delivery
+        self.packets_forwarded += 1
+        self.inter_pod_packets += 1
+        transfer.wire_event = sim.schedule_at(
+            delivery + src.extra_latency, self._deliver, dst, transfer
+        )
