@@ -22,7 +22,7 @@ faults-demo:
 	$(PYTHON) -m repro.bench.cli faults --demo
 
 # Fast kernel microbench (<30 s); fails when any guarded metric
-# regresses versus the committed BENCH_PR7.json trajectory (30% for
+# regresses versus the committed BENCH_PR8.json trajectory (30% for
 # wall-clock rates, 5% for the deterministic collective speedups).
 bench-smoke:
 	$(PYTHON) -m repro.bench.cli perf --smoke

@@ -269,6 +269,7 @@ class Cluster:
         """The run so far as a Chrome ``trace_event`` JSON object."""
         from repro.obs.chrome_export import chrome_trace
 
+        self.obs.collectives.flush_to_tracer(self.obs.tracer)
         return chrome_trace(self.obs.tracer)
 
     def export_chrome_trace(self, target) -> int:
@@ -277,6 +278,7 @@ class Cluster:
         ``chrome://tracing`` or https://ui.perfetto.dev."""
         from repro.obs.chrome_export import export_chrome_trace
 
+        self.obs.collectives.flush_to_tracer(self.obs.tracer)
         return export_chrome_trace(self.obs.tracer, target)
 
     # ------------------------------------------------------------------ #
@@ -302,18 +304,28 @@ class Cluster:
         context in the violation); otherwise performs the stuck-message
         check directly.  Raises :class:`InvariantViolation` on failure.
         """
-        if self.invariants is not None:
-            self.invariants.check_drain(self)
-            return
-        stuck = self.drain_report()
-        if stuck:
-            raise InvariantViolation(
-                "drain-no-stuck",
-                f"{len(stuck)} message(s) non-terminal at drain: "
-                + "; ".join(stuck[:6])
-                + ("; ..." if len(stuck) > 6 else ""),
+        try:
+            if self.invariants is not None:
+                self.invariants.check_drain(self)
+                return
+            stuck = self.drain_report()
+            if stuck:
+                raise InvariantViolation(
+                    "drain-no-stuck",
+                    f"{len(stuck)} message(s) non-terminal at drain: "
+                    + "; ".join(stuck[:6])
+                    + ("; ..." if len(stuck) > 6 else ""),
+                    self.sim.now,
+                )
+        except InvariantViolation as exc:
+            # Post-mortem before propagating: the flight recorder's ring
+            # holds the events leading up to the violation.
+            self.obs.flight.trigger(
+                "invariant-violation",
                 self.sim.now,
+                detail={"invariant": exc.invariant, "message": exc.detail},
             )
+            raise
 
     def drain_stuck(self) -> List[Any]:
         """Degrade every still-pending send on every node (see
@@ -321,6 +333,15 @@ class Cluster:
         drained: List[Any] = []
         for name in sorted(self.engines):
             drained.extend(self.engines[name].drain_stuck())
+        if drained:
+            self.obs.flight.trigger(
+                "drain-stuck",
+                self.sim.now,
+                detail={
+                    "drained": len(drained),
+                    "msg_ids": [m.msg_id for m in drained[:16]],
+                },
+            )
         return drained
 
 
@@ -594,14 +615,19 @@ class ClusterBuilder:
         metrics: bool = True,
         accuracy: bool = True,
         trace_limit: Optional[int] = None,
+        flight: bool = True,
+        flight_capacity: Optional[int] = None,
+        collectives: bool = True,
     ) -> "ClusterBuilder":
         """Attach a cluster-wide :class:`repro.obs.Observability` hub.
 
         Off by default — and the disabled path is bit-identical to a
         build without this call (all hooks are record-only and guarded).
-        ``trace``/``metrics``/``accuracy`` toggle the three telemetry
-        planes individually; ``trace_limit`` bounds the event buffer
-        (oldest runs keep, newest drop, counted deterministically).
+        ``trace``/``metrics``/``accuracy``/``flight``/``collectives``
+        toggle the telemetry planes individually; ``trace_limit`` bounds
+        the trace event buffer (oldest runs keep, newest drop, counted
+        deterministically); ``flight_capacity`` sizes the flight
+        recorder's event ring (see :mod:`repro.obs.flight`).
         """
         if not enabled:
             self._observability = None
@@ -610,6 +636,8 @@ class ClusterBuilder:
             "trace": trace,
             "metrics": metrics,
             "accuracy": accuracy,
+            "flight": flight,
+            "collectives": collectives,
         }
         if trace_limit is not None:
             if trace_limit < 1:
@@ -617,6 +645,12 @@ class ClusterBuilder:
                     f"trace_limit must be positive, got {trace_limit}"
                 )
             spec["trace_limit"] = trace_limit
+        if flight_capacity is not None:
+            if flight_capacity < 1:
+                raise ConfigurationError(
+                    f"flight_capacity must be positive, got {flight_capacity}"
+                )
+            spec["flight_capacity"] = flight_capacity
         self._observability = spec
         return self
 

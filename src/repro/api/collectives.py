@@ -188,15 +188,50 @@ class AlgorithmSelector:
         self.technologies = tuple(technologies)
         self.estimators = [estimators[t] for t in self.technologies]
         self._hop_memo: Dict[int, float] = {}
+        #: measured/predicted blend applied to unmeasured sizes after
+        #: :meth:`calibrate`; 1.0 until measurements arrive
+        self.hop_scale: float = 1.0
 
     def hop(self, size: int) -> float:
         """Predicted striped one-hop time of ``size`` bytes (µs)."""
         size = max(1, int(size))
         t = self._hop_memo.get(size)
         if t is None:
-            t = striped_transfer_time(self.estimators, size)
+            t = striped_transfer_time(self.estimators, size) * self.hop_scale
             self._hop_memo[size] = t
         return t
+
+    def calibrate(self, measured: Mapping[int, float]) -> float:
+        """Blend measured per-size hop times into the cost model.
+
+        ``measured`` is a ``size → mean measured µs`` table — exactly
+        what :func:`repro.obs.collective.measured_hop_table` produces
+        from the collective profiler's hop rows.  Measured sizes
+        override the model's prediction outright; unmeasured sizes are
+        scaled by the mean measured/predicted ratio, so queueing and
+        contention the contention-blind model missed shift every
+        decision consistently.  Deterministic: iteration is size-sorted
+        and the memo is rebuilt from scratch.  Returns the ratio
+        (1.0 when nothing usable was measured).
+        """
+        overrides: Dict[int, float] = {}
+        ratios: List[float] = []
+        for size in sorted(measured):
+            s = max(1, int(size))
+            t = float(measured[size])
+            if t <= 0:
+                continue
+            base = striped_transfer_time(self.estimators, s)
+            if base > 0:
+                ratios.append(t / base)
+            overrides[s] = t
+        if overrides:
+            self.hop_scale = (
+                sum(ratios) / len(ratios) if ratios else self.hop_scale
+            )
+            self._hop_memo.clear()
+            self._hop_memo.update(overrides)
+        return self.hop_scale
 
     def _segments_of(self, size: int) -> int:
         return len(pipeline_segments(size, self.estimators))

@@ -100,7 +100,15 @@ _RESILIENCE_KEYS = {
     "backoff_max",
 }
 
-_OBSERVABILITY_KEYS = {"trace", "metrics", "accuracy", "trace_limit"}
+_OBSERVABILITY_KEYS = {
+    "trace",
+    "metrics",
+    "accuracy",
+    "trace_limit",
+    "flight",
+    "flight_capacity",
+    "collectives",
+}
 
 _INVARIANTS_KEYS = {"strict_checksums", "trail_depth"}
 

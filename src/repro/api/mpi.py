@@ -56,6 +56,15 @@ def _rank_name(rank: int) -> str:
     return f"rank{rank}"
 
 
+def _safe_size(size) -> int:
+    """``parse_size`` that never raises — profiling metadata only (the
+    schedule body re-parses the size and raises the proper error)."""
+    try:
+        return parse_size(size)
+    except (ValueError, TypeError):
+        return 0
+
+
 class Communicator:
     """One rank's handle on the world (MPI_COMM_WORLD equivalent)."""
 
@@ -64,6 +73,12 @@ class Communicator:
         self.rank = rank
         self.session: Session = world.cluster.session(world.node_name(rank))
         self._collective_seq = 0
+        #: resolved algorithm of the collective currently executing
+        #: (read by the obs profiler after the schedule finishes)
+        self._last_algorithm = "naive"
+        #: per-rank profiled-op counter (ranks call collectives in the
+        #: same order, so equal seq values line up across ranks)
+        self._profile_seq = 0
 
     def peer_name(self, rank: int) -> str:
         """Node name of a rank (``rank3`` in default worlds; the fabric's
@@ -158,7 +173,50 @@ class Communicator:
             algorithm = self.world.selector().select(
                 collective, max(1, nbytes), self.size
             )
+        self._last_algorithm = algorithm
         return algorithm
+
+    # -- obs: collective critical-path profiler (docs/observability.md) --
+
+    def _profiling(self) -> bool:
+        """One ``obs.on`` read when off — the obs overhead contract."""
+        obs = self.world.cluster.obs
+        return obs.on and obs.collectives.enabled
+
+    def _profile(self, name: str, nbytes: int, body: Iterator) -> Iterator:
+        """Run a collective generator inside a profiling scope.
+
+        Purely passive: marks this rank's send log before the schedule
+        runs and hands the profiler the slice of messages it posted
+        afterwards — no extra event, no timestamp moved.  Completion
+        times are read lazily once the run drains.
+        """
+        cluster = self.world.cluster
+        engine = self.session.engine
+        mark = len(engine.sent_log)
+        t0 = cluster.sim.now
+        self._last_algorithm = "naive"
+        yield from body
+        cluster.obs.collectives.finish_op(
+            rank=self.rank,
+            node=self.session.node,
+            collective=name,
+            algorithm=self._last_algorithm,
+            nbytes=nbytes,
+            seq=self._profile_seq,
+            t_start=t0,
+            t_end=cluster.sim.now,
+            msgs=list(engine.sent_log[mark:]),
+            hop_predict=self._hop_predict(),
+        )
+        self._profile_seq += 1
+
+    def _hop_predict(self):
+        """The cost model's memoized per-hop lookup, or None unsampled."""
+        profiles = self.world.cluster.profiles
+        if profiles is None or not profiles.estimators:
+            return None
+        return self.world.selector().hop
 
     def barrier(self) -> Iterator:
         """Dissemination barrier: ceil(log2(n)) rounds of 1-byte tokens.
@@ -167,7 +225,15 @@ class Communicator:
         token from ``rank - 2^k`` (mod n); after the last round all ranks
         are transitively synchronized.
         """
+        body = self._barrier_impl()
+        if self._profiling():
+            yield from self._profile("barrier", 0, body)
+        else:
+            yield from body
+
+    def _barrier_impl(self) -> Iterator:
         n = self.size
+        self._last_algorithm = "dissemination"
         if n == 1:
             return
         base_tag = self._next_collective_tag()
@@ -195,6 +261,15 @@ class Communicator:
         ``ring`` (segmented ring pipeline), ``doubling`` (scatter +
         allgather), or ``auto``.
         """
+        body = self._bcast_impl(size, root, algorithm)
+        if self._profiling():
+            yield from self._profile("bcast", _safe_size(size), body)
+        else:
+            yield from body
+
+    def _bcast_impl(
+        self, size: "int | str", root: int, algorithm: Optional[str]
+    ) -> Iterator:
         n = self.size
         self._check_root(root)
         nbytes = parse_size(size)
@@ -244,6 +319,15 @@ class Communicator:
         ``algorithm``: ``naive`` (linear, the default), ``binomial``
         (combining tree), ``ring`` (neighbour pipeline), or ``auto``.
         """
+        body = self._gather_impl(size, root, algorithm)
+        if self._profiling():
+            yield from self._profile("gather", _safe_size(size), body)
+        else:
+            yield from body
+
+    def _gather_impl(
+        self, size: "int | str", root: int, algorithm: Optional[str]
+    ) -> Iterator:
         self._check_root(root)
         nbytes = parse_size(size)
         if self.size > 1:
@@ -278,6 +362,15 @@ class Communicator:
         ``doubling`` (Bruck, log rounds of aggregated blocks), ``rails``
         (RailS-style segmented/balanced schedule), or ``auto``.
         """
+        body = self._alltoall_impl(size, algorithm)
+        if self._profiling():
+            yield from self._profile("alltoall", _safe_size(size), body)
+        else:
+            yield from body
+
+    def _alltoall_impl(
+        self, size: "int | str", algorithm: Optional[str]
+    ) -> Iterator:
         nbytes = parse_size(size)
         n = self.size
         if n > 1:
@@ -313,8 +406,16 @@ class Communicator:
         move *more* bytes; linear matches MPICH's default for scatter of
         large blocks).
         """
+        body = self._scatter_impl(size, root)
+        if self._profiling():
+            yield from self._profile("scatter", _safe_size(size), body)
+        else:
+            yield from body
+
+    def _scatter_impl(self, size: "int | str", root: int) -> Iterator:
         self._check_root(root)
         nbytes = parse_size(size)
+        self._last_algorithm = "linear"
         tag = self._next_collective_tag()
         if self.rank == root:
             last: Optional[Message] = None
@@ -336,6 +437,15 @@ class Communicator:
         ``ring`` (n-1 neighbour rounds, bandwidth-optimal), ``doubling``
         (recursive doubling on power-of-two worlds), or ``auto``.
         """
+        body = self._allgather_impl(size, algorithm)
+        if self._profiling():
+            yield from self._profile("allgather", _safe_size(size), body)
+        else:
+            yield from body
+
+    def _allgather_impl(
+        self, size: "int | str", algorithm: Optional[str]
+    ) -> Iterator:
         n = self.size
         nbytes = parse_size(size)
         if n == 1:
@@ -381,6 +491,15 @@ class Communicator:
         gather), or ``auto``.  Combination cost is the receive itself —
         payloads are sizes, not values.
         """
+        body = self._reduce_impl(size, root, algorithm)
+        if self._profiling():
+            yield from self._profile("reduce", _safe_size(size), body)
+        else:
+            yield from body
+
+    def _reduce_impl(
+        self, size: "int | str", root: int, algorithm: Optional[str]
+    ) -> Iterator:
         n = self.size
         self._check_root(root)
         nbytes = parse_size(size)
@@ -430,6 +549,21 @@ class Communicator:
         segmented, rank-shifted, windowed balanced schedule); ``auto``
         picks ``rails``.
         """
+        body = self._alltoallv_impl(matrix, algorithm)
+        if self._profiling():
+            try:
+                nbytes = sum(_safe_size(v) if v else 0 for v in matrix[self.rank])
+            except (TypeError, IndexError):
+                nbytes = 0
+            yield from self._profile("alltoallv", nbytes, body)
+        else:
+            yield from body
+
+    def _alltoallv_impl(
+        self,
+        matrix: Sequence[Sequence["int | str"]],
+        algorithm: Optional[str],
+    ) -> Iterator:
         n = self.size
         if len(matrix) != n or any(len(row) != n for row in matrix):
             raise ConfigurationError(
@@ -545,6 +679,7 @@ class MpiWorld:
         profiles=None,
         fabric: Optional[Fabric] = None,
         collectives: Optional[Dict[str, str]] = None,
+        observability: bool = False,
     ) -> "MpiWorld":
         """Build a world — a full mesh by default (every rank pair joined
         by one wire per technology, the paper's testbed generalized), or
@@ -556,6 +691,8 @@ class MpiWorld:
 
         ``collectives`` sets the world's default algorithm per
         collective; individual calls can still override it.
+        ``observability=True`` arms the full obs bundle (tracer, metrics,
+        link/spine accounting, collective profiler, flight recorder).
         """
         if fabric is not None:
             if n_ranks is not None and n_ranks != fabric.size:
@@ -569,6 +706,8 @@ class MpiWorld:
             builder = ClusterBuilder(strategy=strategy).fabric(ranked)
             if profiles is not None:
                 builder.sampling(profiles=profiles)
+            if observability:
+                builder.observability()
             return cls(
                 builder.build(), fabric.size, collectives=collectives
             )
@@ -585,6 +724,8 @@ class MpiWorld:
                     builder.add_rail(rail, _rank_name(a), _rank_name(b))
         if profiles is not None:
             builder.sampling(profiles=profiles)
+        if observability:
+            builder.observability()
         return cls(builder.build(), n_ranks, collectives=collectives)
 
     @classmethod

@@ -106,7 +106,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--smoke",
         action="store_true",
         help="fast run; exit 1 if any guarded metric regresses >30%% vs "
-        "the committed BENCH_PR7.json",
+        "the committed BENCH_PR8.json",
     )
     perf.add_argument(
         "--json", metavar="PATH", help="also dump the measured stats as JSON"
@@ -152,6 +152,11 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write the Chrome trace_event JSON (load in Perfetto)",
     )
+    metrics.add_argument(
+        "--fabric",
+        action="store_true",
+        help="only the fabric.* section (per-link/spine/wire accounting)",
+    )
 
     accuracy = sub.add_parser(
         "accuracy", help="prediction-accuracy telemetry demo scenario"
@@ -165,6 +170,42 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json",
         metavar="PATH",
         help="dump the accuracy snapshot as JSON ('-' for stdout)",
+    )
+    accuracy.add_argument(
+        "--fabric",
+        action="store_true",
+        help="run the switched-fabric scenario instead (8-rank flat "
+        "switch alltoall) — predictions vs a contended fabric",
+    )
+
+    obs = sub.add_parser(
+        "obs",
+        help="fabric observability: utilization, critical path, stragglers",
+    )
+    obs.add_argument(
+        "action",
+        choices=("report",),
+        help="'report': run an obs-on collective on a switched fabric "
+        "and summarize what the fabric did",
+    )
+    obs.add_argument(
+        "--shape",
+        choices=("flat", "fat_tree"),
+        default="fat_tree",
+        help="fabric shape (default fat_tree)",
+    )
+    obs.add_argument(
+        "--ranks", type=int, default=8, help="world size (default 8)"
+    )
+    obs.add_argument(
+        "--algorithm",
+        default="ring",
+        help="alltoall algorithm to profile (default ring)",
+    )
+    obs.add_argument(
+        "--json",
+        metavar="PATH",
+        help="dump the full report payload as JSON ('-' for stdout)",
     )
 
     chaos = sub.add_parser(
@@ -215,6 +256,13 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="dump the deterministic soak results as JSON (wall-clock "
         "fields excluded: byte-identical for --jobs 1 and --jobs N)",
+    )
+    chaos.add_argument(
+        "--flight-dump",
+        metavar="PATH",
+        dest="flight_dump",
+        help="write the flight-recorder post-mortems of every failing "
+        "seed as JSON (empty list when the soak is green)",
     )
 
     calib = sub.add_parser(
@@ -479,14 +527,37 @@ def _metrics_cluster(faults: bool):
     return cluster
 
 
+def _fabric_slice(snap):
+    """Only the ``fabric.*`` names (link/spine/wire accounting) of a
+    metrics snapshot, family structure preserved."""
+    return {
+        family: (
+            {
+                name: value
+                for name, value in values.items()
+                if name.startswith("fabric.")
+            }
+            if isinstance(values, dict)
+            else values
+        )
+        for family, values in snap.items()
+    }
+
+
 def _cmd_metrics(
-    faults: bool, json_path: Optional[str], trace_path: Optional[str]
+    faults: bool,
+    json_path: Optional[str],
+    trace_path: Optional[str],
+    fabric: bool = False,
 ) -> int:
     cluster = _metrics_cluster(faults)
     snap = cluster.metrics_snapshot()
+    if fabric:
+        snap = _fabric_slice(snap)
     print(
         f"scenario: paper testbed, 4K..4M both ways"
         f"{' + flapping node0.myri10g0' if faults else ''}"
+        f"{' [fabric.* section]' if fabric else ''}"
     )
     print(f"simulated time: {cluster.sim.now:.2f}us")
     print()
@@ -541,16 +612,159 @@ def _accuracy_cluster(faults: bool):
     return cluster
 
 
-def _cmd_accuracy(faults: bool, json_path: Optional[str]) -> int:
-    cluster = _accuracy_cluster(faults)
-    print(
-        "scenario: dual identical myri10g rails, pow2 sizes 4K/16K/2M/8M"
-        + (" + node0.myri10g0 degraded 2x at t=0" if faults else "")
-    )
+def _cmd_accuracy(
+    faults: bool, json_path: Optional[str], fabric: bool = False
+) -> int:
+    if fabric:
+        world, size = _obs_world("flat", 8, "ring")
+        cluster = world.cluster
+        print(
+            "scenario: 8-rank ring alltoall on a flat contended switch "
+            f"({size} B per pair) — prediction error includes the port "
+            "queueing the contention-blind model misses"
+        )
+    else:
+        cluster = _accuracy_cluster(faults)
+        print(
+            "scenario: dual identical myri10g rails, pow2 sizes 4K/16K/2M/8M"
+            + (" + node0.myri10g0 degraded 2x at t=0" if faults else "")
+        )
     print()
     print(cluster.accuracy_report())
     if json_path:
         _dump_json(cluster.accuracy_snapshot(), json_path, "accuracy snapshot")
+    return 0
+
+
+# ---------------------------------------------------------------------- #
+# obs report
+# ---------------------------------------------------------------------- #
+
+
+def _obs_world(shape: str, ranks: int, algorithm: str):
+    """An obs-on switched world after one profiled alltoall; returns
+    ``(world, bytes_per_pair)``."""
+    from repro.api.mpi import MpiWorld
+    from repro.bench.runners import default_profiles
+    from repro.hardware.topology import Fabric
+
+    rails = ("myri10g", "quadrics")
+    maker = Fabric.flat if shape == "flat" else Fabric.fat_tree
+    world = MpiWorld.create(
+        fabric=maker(ranks, rails=rails),
+        profiles=default_profiles(rails),
+        observability=True,
+    )
+    # ~2 MiB moved per rank regardless of the world size — the same
+    # scaling the COLL bench uses, so numbers stay comparable
+    size = max(1, 2 * 1024 * 1024 // max(1, ranks))
+
+    def program(comm):
+        yield from comm.alltoall(size, algorithm=algorithm)
+
+    world.spawn_all(program)
+    world.run()
+    return world, size
+
+
+def _fabric_utilization(counters, now: float):
+    """Per-lane rows from the ``fabric.*`` counters, busiest first."""
+    rows = []
+    for name in counters:
+        if not name.startswith("fabric.") or not name.endswith(".busy_us"):
+            continue
+        lane = name[len("fabric.") : -len(".busy_us")]
+        base = f"fabric.{lane}"
+        rows.append(
+            {
+                "lane": lane,
+                "busy_us": counters[name],
+                "utilization": counters[name] / now if now > 0 else 0.0,
+                "packets": counters.get(f"{base}.packets", 0),
+                "queued_bytes": counters.get(f"{base}.queued_bytes", 0),
+                "stall_us": counters.get(f"{base}.stall_total_us", 0.0),
+                "stalled_packets": counters.get(f"{base}.stalled_packets", 0),
+            }
+        )
+    rows.sort(key=lambda r: (-r["utilization"], r["lane"]))
+    return rows
+
+
+def _cmd_obs_report(
+    shape: str, ranks: int, algorithm: str, json_path: Optional[str]
+) -> int:
+    from repro.obs.collective import measured_hop_table
+
+    world, size = _obs_world(shape, ranks, algorithm)
+    cluster = world.cluster
+    obs = cluster.obs
+    now = cluster.sim.now
+    util = _fabric_utilization(obs.metrics.snapshot()["counters"], now)
+    coll = obs.collectives.snapshot()
+    hop_scale = world.selector().calibrate(
+        measured_hop_table(obs.collectives.hops())
+    )
+
+    print(
+        f"scenario: {ranks}-rank {algorithm} alltoall, {size} B per pair, "
+        f"{shape} fabric (myri10g+quadrics)"
+    )
+    print(f"makespan: {now:.1f} us")
+    print()
+    print("link/spine utilization (busy / makespan):")
+    width = max((len(r["lane"]) for r in util), default=4)
+    for r in util:
+        bar = "#" * int(round(min(1.0, r["utilization"]) * 30))
+        print(
+            f"  {r['lane']:<{width}} {r['utilization']:>6.1%} "
+            f"|{bar:<30}| {int(r['packets']):>4} pkt  "
+            f"stall {r['stall_us']:>8.1f} us"
+        )
+    print()
+    print("critical path (the chain that bounded the makespan):")
+    for row in coll["critical_path"]:
+        print(
+            f"  rank{row['rank']} -> {row['dst']:<7} "
+            f"{row['size']:>8} B  post {row['t_post']:>9.1f}  "
+            f"done {row['t_complete']:>9.1f}  hop {row['hop_us']:>8.1f} us"
+            + (f"  (+{row['gap_us']:.1f} idle)" if row["gap_us"] > 0 else "")
+        )
+    print()
+    print("stragglers (who the collective waited on):")
+    for s in coll["stragglers"][:5]:
+        print(
+            f"  rank{s['rank']:<3} last hop done {s['last_complete_us']:>9.1f} us  "
+            f"{s['hops']} hops, {s['bytes']} B, "
+            f"{s['hop_time_us']:.1f} us in flight"
+        )
+    print()
+    print("predicted vs measured per-hop (feeds AlgorithmSelector.calibrate):")
+    for row in coll["predicted_vs_measured"]:
+        ratio = f"{row['ratio']:.2f}x" if row["ratio"] is not None else "n/a"
+        predicted = (
+            f"{row['predicted_us']:.1f}"
+            if row["predicted_us"] is not None
+            else "n/a"
+        )
+        print(
+            f"  {row['size']:>8} B  predicted {predicted:>8} us  "
+            f"measured {row['measured_us']:>8.1f} us  ratio {ratio}"
+        )
+    print(f"  selector hop_scale after calibration: {hop_scale:.2f}")
+    if json_path:
+        payload = {
+            "shape": shape,
+            "ranks": ranks,
+            "algorithm": algorithm,
+            "bytes_per_pair": size,
+            "makespan_us": now,
+            "utilization": util,
+            "critical_path": coll["critical_path"],
+            "stragglers": coll["stragglers"],
+            "predicted_vs_measured": coll["predicted_vs_measured"],
+            "hop_scale": hop_scale,
+        }
+        _dump_json(payload, json_path, "obs report")
     return 0
 
 
@@ -563,6 +777,7 @@ def _cmd_chaos(
     calibration: bool = False,
     jobs: int = 1,
     artifact_path: Optional[str] = None,
+    flight_dump_path: Optional[str] = None,
 ) -> int:
     from repro.bench.parallel import (
         parallel_soak,
@@ -605,6 +820,13 @@ def _cmd_chaos(
         )
     if artifact_path:
         _dump_json(soak_artifact(report), artifact_path, "soak artifact")
+    if flight_dump_path:
+        dumps = [
+            {"seed": s.seed, "dump": s.flight_dump}
+            for s in report.scenarios
+            if not s.ok
+        ]
+        _dump_json(dumps, flight_dump_path, "flight-recorder dumps")
     print(report.summary())
     for bad in report.violations:
         assert bad.violation is not None
@@ -811,9 +1033,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.command == "faults":
             return _cmd_faults(args.demo, json_path=args.json)
         if args.command == "metrics":
-            return _cmd_metrics(args.faults, args.json, args.trace)
+            return _cmd_metrics(args.faults, args.json, args.trace, args.fabric)
         if args.command == "accuracy":
-            return _cmd_accuracy(args.faults, args.json)
+            return _cmd_accuracy(args.faults, args.json, args.fabric)
+        if args.command == "obs":
+            return _cmd_obs_report(
+                args.shape, args.ranks, args.algorithm, args.json
+            )
         if args.command == "chaos":
             return _cmd_chaos(
                 args.seeds,
@@ -824,6 +1050,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 calibration=args.calibration,
                 jobs=args.jobs,
                 artifact_path=args.artifact,
+                flight_dump_path=args.flight_dump,
             )
         if args.command == "calibration":
             return _cmd_calibration(args.demo, args.json)

@@ -96,6 +96,7 @@ def parallel_soak(
     invariants: bool = True,
     silent: bool = False,
     calibration: bool = False,
+    obs_metrics: bool = False,
 ):
     """A :func:`repro.faults.chaos.soak` sharded over ``jobs`` processes.
 
@@ -128,6 +129,7 @@ def parallel_soak(
         "invariants": invariants,
         "silent": silent,
         "calibration": calibration,
+        "obs_metrics": obs_metrics,
     }
     report = SoakReport()
     t0 = time.perf_counter()
@@ -161,6 +163,35 @@ def soak_artifact(report) -> Dict[str, Any]:
     payload.pop("wall_seconds", None)
     payload.pop("scenarios_per_sec", None)
     return payload
+
+
+def soak_obs_artifact(report) -> Dict[str, Any]:
+    """Merged observability artifact of a metrics-armed soak.
+
+    Each scenario carries its own per-seed metrics snapshot (workers
+    cannot share a registry across process boundaries); this folds them
+    with :func:`repro.obs.metrics.merge_snapshots` — counters add,
+    histograms add bucket-wise, gauges keep the last shard's value —
+    and collects every flight dump.  ``parallel_map`` returns shards in
+    input order, so the merge order (and therefore the serialized
+    artifact) is byte-identical for ``--jobs 1`` and ``--jobs N``.
+    """
+    from repro.obs.metrics import merge_snapshots
+
+    snapshots = [
+        s.metrics_snapshot
+        for s in report.scenarios
+        if s.metrics_snapshot is not None
+    ]
+    return {
+        "seeds": len(report.scenarios),
+        "metrics": merge_snapshots(snapshots),
+        "flight_dumps": [
+            {"seed": s.seed, "dump": s.flight_dump}
+            for s in report.scenarios
+            if s.flight_dump is not None
+        ],
+    }
 
 
 # ---------------------------------------------------------------------- #
@@ -226,4 +257,5 @@ __all__ = [
     "parallel_sweep_oneway",
     "resolve_jobs",
     "soak_artifact",
+    "soak_obs_artifact",
 ]

@@ -16,9 +16,13 @@ and the vectorized candidate-pricing path.  The collectives PR adds two
 *simulated-time* metrics on top: the ring-vs-naive all-to-all speedup on
 an 8-rank switched fabric and the RailS-balancer-vs-uniform-striping
 speedup on a skewed traffic matrix (module
-:mod:`repro.bench.experiments.collectives`).  The numbers are recorded
-in ``BENCH_PR7.json`` at the repository root, extending the trajectory
-that started with ``BENCH_PR1.json``; :func:`load_trajectory` walks
+:mod:`repro.bench.experiments.collectives`).  The observability PR adds
+the obs-overhead section: obs-off runs must stay bit-identical to the
+committed BENCH_PR7 simulated tables, and obs-on wall-clock overhead is
+recorded for the event-storm and 8-rank collective scenarios.  The
+numbers are recorded in ``BENCH_PR8.json`` at the repository root,
+extending the trajectory that started with ``BENCH_PR1.json``;
+:func:`load_trajectory` walks
 every committed ``BENCH_PR*.json`` so the CLI can show the whole
 history.  ``python -m repro.bench.cli perf --smoke`` (or ``make
 bench-smoke``) re-measures quickly and fails when any guarded metric
@@ -42,7 +46,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
 #: the committed perf trajectory for this PR, at the repository root
-BASELINE_FILENAME = "BENCH_PR7.json"
+BASELINE_FILENAME = "BENCH_PR8.json"
 
 #: metrics guarded by the smoke check, and the tolerated fractional drop
 #: (the simulated collective speedups are deterministic — tight bound)
@@ -601,4 +605,158 @@ def collect_pr7_payload(smoke: bool = False) -> Dict:
         "current": collect_perfstats(smoke=smoke),
         "alltoall_flat_switch": C.alltoall_table(),
         "skewed_alltoallv_fat_tree": C.skewed_table(),
+    }
+
+
+# --------------------------------------------------------------------- #
+# BENCH_PR8 payload generation (fabric observability)
+# --------------------------------------------------------------------- #
+
+
+def _run_collective_8r(observability: bool) -> float:
+    """Makespan (simulated µs) of an obs-on/off 8-rank ring alltoall."""
+    from repro.api.mpi import MpiWorld
+    from repro.bench.runners import default_profiles
+    from repro.hardware.topology import Fabric
+
+    rails = ("myri10g", "quadrics")
+    world = MpiWorld.create(
+        fabric=Fabric.flat(8, rails=rails),
+        profiles=default_profiles(rails),
+        observability=observability,
+    )
+
+    def program(comm):
+        yield from comm.alltoall(256 * 1024, algorithm="ring")
+
+    world.spawn_all(program)
+    world.run()
+    return world.cluster.sim.now
+
+
+def _run_message_storm(observability: bool, messages: int = 400) -> float:
+    """Makespan (simulated µs) of a small-message storm on the paper
+    testbed — every engine obs hook (send/complete counters, flight
+    ring, async spans) on the hot path."""
+    from repro.api import ClusterBuilder
+
+    builder = ClusterBuilder.paper_testbed(strategy="hetero_split")
+    if observability:
+        builder.observability()
+    cluster = builder.build()
+    a, b = cluster.sessions("node0", "node1")
+    for i in range(messages):
+        b.irecv(source="node0")
+        a.isend("node1", 4096, tag=i)
+    cluster.run()
+    return cluster.sim.now
+
+
+def _obs_overhead_pair(run, repeats: int) -> Dict[str, float]:
+    """Wall-clock off/on comparison + simulated-timestamp identity."""
+    makespans: Dict[bool, float] = {}
+
+    def once(obs_on: bool) -> None:
+        makespans[obs_on] = run(obs_on)
+
+    off_wall = _best_seconds(lambda: once(False), repeats)
+    on_wall = _best_seconds(lambda: once(True), repeats)
+    return {
+        "off_wall_s": off_wall,
+        "on_wall_s": on_wall,
+        "overhead_frac": (on_wall - off_wall) / off_wall if off_wall else 0.0,
+        "makespan_off_us": makespans[False],
+        "makespan_on_us": makespans[True],
+        "timestamps_identical": makespans[False] == makespans[True],
+    }
+
+
+def obs_off_bit_equality(smoke: bool = False) -> Dict:
+    """Re-measure the obs-off simulated tables; compare against the
+    committed BENCH_PR7 sections bit-for-bit.
+
+    Obs-off runs go through exactly the PR 7 code path (every hook is
+    one ``obs.on`` read against the null bundle), so the deterministic
+    collective tables must serialize byte-identically to what PR 7
+    committed.  ``smoke`` restricts to the 8-rank row — the 128-rank
+    point alone dominates the full table's runtime.
+    """
+    from repro.bench.experiments import collectives as C
+
+    ranks = (8,) if smoke else (8, 32, 128)
+    pr7 = load_baseline(repo_root() / "BENCH_PR7.json") or {}
+    fresh = C.alltoall_table(ranks=ranks)
+    committed = [
+        row
+        for row in pr7.get("alltoall_flat_switch", [])
+        if row.get("ranks") in set(ranks)
+    ]
+    alltoall_ok = bool(committed) and json.dumps(
+        fresh, sort_keys=True
+    ) == json.dumps(committed, sort_keys=True)
+    out: Dict[str, object] = {
+        "ranks": list(ranks),
+        "alltoall_flat_switch_identical": alltoall_ok,
+    }
+    if not smoke:
+        skew = C.skewed_table()
+        out["skewed_alltoallv_fat_tree_identical"] = json.dumps(
+            skew, sort_keys=True
+        ) == json.dumps(pr7.get("skewed_alltoallv_fat_tree"), sort_keys=True)
+    return out
+
+
+def collect_pr8_payload(smoke: bool = False) -> Dict:
+    """Measure the BENCH_PR8 payload: fabric observability overhead.
+
+    Three sections on top of the usual ``current`` kernel metrics:
+    ``obs_off_bit_equality`` proves the obs-off collective tables still
+    serialize byte-identically to the committed BENCH_PR7 file;
+    ``obs_overhead`` records obs-on wall-clock cost (and asserts the
+    simulated makespan does not move) for the message-storm and 8-rank
+    collective scenarios; the simulated tables themselves are carried
+    forward so the trajectory file stays self-contained.
+    """
+    from repro.bench.experiments import collectives as C
+
+    repeats = 2 if smoke else 3
+    return {
+        "schema": 1,
+        "pr": 8,
+        "description": (
+            "Fabric-scale observability: link/spine utilization "
+            "accounting, collective critical-path profiler, flight "
+            "recorder.  'obs_off_bit_equality' re-measures the obs-off "
+            "simulated collective tables and compares them bit-for-bit "
+            "against the committed BENCH_PR7.json — the obs-off path "
+            "must stay the PR 7 path exactly.  'obs_overhead' records "
+            "obs-on vs obs-off wall clock for a 400-message storm on "
+            "the paper testbed and an 8-rank ring alltoall on a flat "
+            "switch; 'timestamps_identical' asserts the simulated "
+            "makespan is bit-equal either way (the obs contract).  "
+            "'current' holds this host's wall-clock kernel rates plus "
+            "the guarded simulated speedups, as every perf PR before."
+        ),
+        "harness": (
+            "python -m repro.bench.cli perf  "
+            "(payload: repro.bench.perfstats.collect_pr8_payload)"
+        ),
+        "guard": {
+            m: f"perf --smoke fails on >{int(tol * 100)}% drop vs 'current'"
+            for m, tol in GUARDED_METRICS.items()
+        },
+        "current": collect_perfstats(smoke=smoke),
+        "obs_off_bit_equality": obs_off_bit_equality(smoke=smoke),
+        "obs_overhead": {
+            "message_storm_400x4K": _obs_overhead_pair(
+                _run_message_storm, repeats
+            ),
+            "alltoall_ring_8r": _obs_overhead_pair(
+                _run_collective_8r, repeats
+            ),
+        },
+        "alltoall_flat_switch": C.alltoall_table(
+            ranks=(8,) if smoke else (8, 32, 128)
+        ),
+        "skewed_alltoallv_fat_tree": None if smoke else C.skewed_table(),
     }

@@ -301,6 +301,21 @@ class CalibrationController:
                     "confidence": min(confs.values()),
                 },
             )
+            if level < before:
+                # A ladder *drop* (lost trust) is a post-mortem moment:
+                # dump the flight-recorder ring leading up to it.
+                obs = self._cluster.obs
+                if obs.on:
+                    obs.flight.trigger(
+                        "ladder-drop",
+                        now,
+                        detail={
+                            "node": engine.machine.name,
+                            "from": before.name,
+                            "to": level.name,
+                            "confidence": min(confs.values()),
+                        },
+                    )
         if level is TrustLevel.FULL:
             plan = strategy.hetero_plan(msg, rails)
             plan = self._maybe_clamp(strategy, msg, plan)

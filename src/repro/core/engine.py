@@ -282,6 +282,10 @@ class NmadEngine:
             node = self.machine.name
             obs.metrics.counter(f"engine.{node}.messages_sent").inc()
             obs.metrics.counter(f"engine.{node}.bytes_sent").inc(size)
+            obs.flight.record(
+                "send", self.sim.now, node,
+                {"msg": msg.msg_id, "dest": dest, "size": size, "tag": tag},
+            )
             if obs.tracer.enabled:
                 obs.tracer.async_begin(
                     node, "messages", f"msg{msg.msg_id}", msg.msg_id,
@@ -578,6 +582,10 @@ class NmadEngine:
                 obs.metrics.counter(
                     f"engine.{self.machine.name}.duplicates_suppressed"
                 ).inc()
+                obs.flight.record(
+                    "duplicate-suppressed", self.sim.now, self.machine.name,
+                    {"msg": msg.msg_id, "transfer": transfer.transfer_id},
+                )
             if inv.on:
                 inv.on_duplicate(msg, transfer, self.sim.now)
             return
@@ -670,6 +678,10 @@ class NmadEngine:
                 obs.metrics.histogram(
                     f"engine.{msg.src}.message_latency_us"
                 ).observe(self.sim.now - msg.t_post)
+            obs.flight.record(
+                "complete", self.sim.now, msg.src,
+                {"msg": msg.msg_id, "retries": msg.retries},
+            )
             if obs.tracer.enabled:
                 obs.tracer.async_end(
                     msg.src, "messages", f"msg{msg.msg_id}", msg.msg_id,
@@ -786,6 +798,14 @@ class NmadEngine:
             node = self.machine.name
             obs.metrics.counter(f"engine.{node}.retries_issued").inc()
             obs.metrics.counter(f"engine.{node}.retries_{reason}").inc()
+            obs.flight.record(
+                "retry", self.sim.now, node,
+                {
+                    "msg": primary.msg_id,
+                    "rail": nic.qualified_name,
+                    "reason": reason,
+                },
+            )
             if obs.tracer.enabled:
                 obs.tracer.instant(
                     node, "faults", "retry", self.sim.now, cat="fault",
@@ -866,6 +886,21 @@ class NmadEngine:
         if obs.on:
             node = self.machine.name
             obs.metrics.counter(f"engine.{node}.messages_degraded").inc()
+            obs.flight.record(
+                "degraded", self.sim.now, node,
+                {
+                    "msg": msg.msg_id,
+                    "reason": reason,
+                    "retries": msg.retries,
+                    "bytes_received": msg.bytes_received,
+                },
+            )
+            # A send was given up on — dump the ring for post-mortem.
+            obs.flight.trigger(
+                "degraded-send",
+                self.sim.now,
+                detail={"msg": msg.msg_id, "reason": reason, "node": node},
+            )
             if obs.tracer.enabled:
                 obs.tracer.instant(
                     node, "faults", "degraded", self.sim.now, cat="fault",

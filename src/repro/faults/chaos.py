@@ -320,6 +320,12 @@ class ScenarioResult:
     deliveries_cancelled: int
     faults_fired: int
     checks_performed: int
+    #: flight-recorder post-mortem for the violation (None when ok or
+    #: when the recorder was not armed) — see repro.obs.flight
+    flight_dump: Optional[Dict[str, Any]] = None
+    #: metrics snapshot (only with ``run_scenario(obs_metrics=True)``);
+    #: merged across shards by repro.bench.parallel.soak_obs_artifact
+    metrics_snapshot: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         out = {
@@ -337,6 +343,8 @@ class ScenarioResult:
         }
         if self.violation is not None:
             out["violation"] = self.violation.to_dict()
+        if self.flight_dump is not None:
+            out["flight_dump"] = self.flight_dump
         return out
 
 
@@ -392,6 +400,7 @@ def run_scenario(
     invariants: bool = True,
     silent: bool = False,
     calibration: bool = False,
+    obs_metrics: bool = False,
 ) -> ScenarioResult:
     """Run one chaos scenario: paper testbed + seeded faults + invariants.
 
@@ -407,6 +416,12 @@ def run_scenario(
     ``silent=True`` draws episodes from the pool that includes
     unannounced bandwidth drops; ``calibration=True`` arms the drift
     loop so those drops can be detected and re-sampled away mid-run.
+
+    The flight recorder is always armed (cheap ring; a violating seed
+    ships its own post-mortem in ``flight_dump``).  ``obs_metrics=True``
+    additionally arms the metrics registry and attaches its snapshot to
+    the result — the per-shard input to
+    :func:`repro.bench.parallel.soak_obs_artifact`'s merge.
     """
     from repro.api.cluster import ClusterBuilder
     from repro.bench.runners import default_profiles
@@ -421,6 +436,12 @@ def run_scenario(
         .sampling(profiles=default_profiles(("myri10g", "quadrics")))
         .resilience(timeout=CHAOS_TIMEOUT, max_retries=CHAOS_MAX_RETRIES)
         .faults(chaos.schedule())
+        # Flight recorder always on: a cheap ring of recent events, so a
+        # violating seed ships its own post-mortem.  Purely passive —
+        # the obs contract guarantees identical timestamps either way.
+        .observability(
+            trace=False, metrics=obs_metrics, accuracy=False, collectives=False
+        )
     )
     if invariants:
         builder.invariants()
@@ -438,6 +459,21 @@ def run_scenario(
         cluster.check_drain()
     except InvariantViolation as exc:
         violation = exc
+    flight_dump = None
+    if violation is not None:
+        flight = cluster.obs.flight
+        flight_dump = flight.last_dump()
+        if flight_dump is None or flight_dump.get("reason") != "invariant-violation":
+            # Mid-run violations (monitor raises inside cluster.run())
+            # bypass check_drain's trigger — snapshot the ring now.
+            flight_dump = flight.trigger(
+                "invariant-violation",
+                cluster.sim.now,
+                detail={
+                    "invariant": violation.invariant,
+                    "message": violation.detail,
+                },
+            )
     engine = cluster.engine("node0")
     return ScenarioResult(
         seed=seed,
@@ -462,6 +498,10 @@ def run_scenario(
             cluster.fault_injector.faults_fired if cluster.fault_injector else 0
         ),
         checks_performed=monitor.checks_performed if monitor else 0,
+        flight_dump=flight_dump,
+        metrics_snapshot=(
+            cluster.obs.metrics.snapshot() if obs_metrics else None
+        ),
     )
 
 

@@ -120,9 +120,97 @@ class Switch:
         delivery = max(start + drain, sim.now + self.switch_latency)
         self._port_free[id(dst)] = delivery
         self.packets_forwarded += 1
+        obs = src.obs
+        if obs.on:
+            # Purely passive: every value is already computed above.
+            self._observe_link(
+                obs, src, dst, transfer, start, drain,
+                max(0.0, free_at - head_in),
+            )
         transfer.wire_event = sim.schedule_at(
             delivery + src.extra_latency, self._deliver, dst, transfer
         )
+
+    # ------------------------------------------------------------------ #
+    # link accounting (obs hook sites; see docs/observability.md)
+    # ------------------------------------------------------------------ #
+
+    def _observe_link(
+        self,
+        obs,
+        src: Nic,
+        dst: Nic,
+        transfer: Transfer,
+        start: float,
+        drain: float,
+        stall: float,
+    ) -> None:
+        """Record one output-port occupancy interval.
+
+        Busy time, queued bytes and contention stalls accumulate as
+        metrics; the drain interval becomes an ``X`` span in a per-link
+        lane of a ``fabric:{switch}`` pseudo-node — port draining
+        serializes, so the spans in one lane never overlap and Perfetto
+        shows incast as back-to-back blocks.
+        """
+        node = dst.machine.name
+        m = obs.metrics
+        prefix = f"fabric.{self.name}.link.{node}"
+        m.counter(f"{prefix}.packets").inc()
+        m.counter(f"{prefix}.queued_bytes").inc(transfer.size)
+        m.counter(f"{prefix}.busy_us").inc(drain)
+        m.histogram(f"{prefix}.packet_bytes").observe(transfer.size)
+        if stall > 0.0:
+            m.counter(f"{prefix}.stalled_packets").inc()
+            m.counter(f"{prefix}.stall_total_us").inc(stall)
+            m.histogram(f"{prefix}.stall_us").observe(stall)
+        if obs.tracer.enabled:
+            obs.tracer.complete(
+                f"fabric:{self.name}", f"link:{node}",
+                f"fwd:{transfer.kind.value}", start, drain, cat="fabric",
+                args={
+                    "transfer": transfer.transfer_id,
+                    "msg": transfer.msg_id,
+                    "size": transfer.size,
+                    "src": src.machine.name,
+                    "stall_us": stall,
+                },
+            )
+
+    def _observe_spine(
+        self,
+        obs,
+        src: Nic,
+        transfer: Transfer,
+        spine: int,
+        start: float,
+        drain: float,
+        stall: float,
+    ) -> None:
+        """Record one spine-link occupancy interval (fat tree only, but
+        defined here so both accounting sites share one home)."""
+        m = obs.metrics
+        prefix = f"fabric.{self.name}.spine{spine}"
+        m.counter(f"{prefix}.packets").inc()
+        m.counter(f"{prefix}.queued_bytes").inc(transfer.size)
+        m.counter(f"{prefix}.busy_us").inc(drain)
+        if stall > 0.0:
+            m.counter(f"{prefix}.stalled_packets").inc()
+            m.counter(f"{prefix}.stall_total_us").inc(stall)
+            m.histogram(f"{prefix}.stall_us").observe(stall)
+        if obs.tracer.enabled:
+            obs.tracer.complete(
+                f"fabric:{self.name}", f"spine:{spine}",
+                f"fwd:{transfer.kind.value}", start, drain, cat="fabric",
+                args={
+                    "transfer": transfer.transfer_id,
+                    "msg": transfer.msg_id,
+                    "size": transfer.size,
+                    "src": src.machine.name,
+                    "dst": transfer.dst_node,
+                    "stall_us": stall,
+                },
+            )
 
     @staticmethod
     def _deliver(dst: Nic, transfer: Transfer) -> None:
@@ -253,6 +341,17 @@ class FatTreeSwitch(Switch):
         self._port_free[id(dst)] = delivery
         self.packets_forwarded += 1
         self.inter_pod_packets += 1
+        obs = src.obs
+        if obs.on:
+            # Spine serialization and output-port drain, both passive.
+            self._observe_spine(
+                obs, src, transfer, spine, spine_start, drain,
+                max(0.0, spine_free - head_at_spine),
+            )
+            self._observe_link(
+                obs, src, dst, transfer, start, drain,
+                max(0.0, free_at - head_at_port),
+            )
         transfer.wire_event = sim.schedule_at(
             delivery + src.extra_latency, self._deliver, dst, transfer
         )

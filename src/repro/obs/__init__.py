@@ -39,7 +39,24 @@ from repro.obs.chrome_export import (
     export_chrome_trace,
     validate_chrome_trace,
 )
+from repro.obs.collective import (
+    NULL_COLLECTIVES,
+    CollectiveProfiler,
+    NullCollectiveProfiler,
+    critical_path,
+    measured_hop_table,
+    predicted_vs_measured,
+    stragglers,
+)
+from repro.obs.flight import (
+    DEFAULT_FLIGHT_CAPACITY,
+    NULL_FLIGHT,
+    FlightRecorder,
+    NullFlightRecorder,
+)
 from repro.obs.metrics import (
+    DEFAULT_BANDWIDTH_BUCKETS_MBPS,
+    DEFAULT_BYTE_BUCKETS,
     DEFAULT_DEPTH_BUCKETS,
     DEFAULT_TIME_BUCKETS_US,
     Counter,
@@ -48,6 +65,8 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NULL_METRICS,
     NullMetrics,
+    bucket_preset_for,
+    merge_snapshots,
 )
 from repro.obs.tracer import DEFAULT_TRACE_LIMIT, NULL_TRACER, NullTracer, Tracer
 
@@ -65,9 +84,16 @@ class Observability:
     trace_limit:
         Cap on recorded trace events before deterministic dropping
         (``None`` = unbounded).
+    flight / flight_capacity:
+        The crash-dump flight recorder (:mod:`repro.obs.flight`): a
+        bounded ring of recent events dumped on invariant violations,
+        degraded sends and calibration ladder drops.
+    collectives:
+        The collective critical-path profiler
+        (:mod:`repro.obs.collective`).
     """
 
-    __slots__ = ("on", "tracer", "metrics", "accuracy")
+    __slots__ = ("on", "tracer", "metrics", "accuracy", "flight", "collectives")
 
     def __init__(
         self,
@@ -76,12 +102,23 @@ class Observability:
         metrics: bool = True,
         accuracy: bool = True,
         trace_limit: Optional[int] = DEFAULT_TRACE_LIMIT,
+        flight: bool = True,
+        flight_capacity: Optional[int] = None,
+        collectives: bool = True,
     ) -> None:
         self.on = bool(enabled)
         self.tracer = Tracer(trace_limit) if self.on and trace else NULL_TRACER
         self.metrics = MetricsRegistry() if self.on and metrics else NULL_METRICS
         self.accuracy = (
             PredictionAccuracy() if self.on and accuracy else NULL_ACCURACY
+        )
+        self.flight = (
+            FlightRecorder(flight_capacity or DEFAULT_FLIGHT_CAPACITY)
+            if self.on and flight
+            else NULL_FLIGHT
+        )
+        self.collectives = (
+            CollectiveProfiler() if self.on and collectives else NULL_COLLECTIVES
         )
 
     def __repr__(self) -> str:
@@ -155,6 +192,8 @@ class Observability:
                 "events": len(self.tracer.events),
                 "dropped": self.tracer.dropped,
             },
+            "flight": self.flight.snapshot(),
+            "collectives": self.collectives.snapshot(),
         }
 
 
@@ -176,6 +215,21 @@ __all__ = [
     "Histogram",
     "DEFAULT_TIME_BUCKETS_US",
     "DEFAULT_DEPTH_BUCKETS",
+    "DEFAULT_BYTE_BUCKETS",
+    "DEFAULT_BANDWIDTH_BUCKETS_MBPS",
+    "bucket_preset_for",
+    "merge_snapshots",
+    "FlightRecorder",
+    "NullFlightRecorder",
+    "NULL_FLIGHT",
+    "DEFAULT_FLIGHT_CAPACITY",
+    "CollectiveProfiler",
+    "NullCollectiveProfiler",
+    "NULL_COLLECTIVES",
+    "critical_path",
+    "stragglers",
+    "predicted_vs_measured",
+    "measured_hop_table",
     "PredictionAccuracy",
     "NullAccuracy",
     "NULL_ACCURACY",

@@ -1,0 +1,148 @@
+"""Flight recorder: a bounded ring of recent events, dumped post-mortem.
+
+The third obs surface after tracing and metrics.  Where the tracer keeps
+*everything* (up to its limit) for offline visualization, the flight
+recorder keeps only the last ``capacity`` events — cheap enough to leave
+armed through long chaos soaks — and *snapshots* the ring into a
+structured dump when something goes wrong:
+
+* an :class:`~repro.core.invariants.InvariantViolation` (chaos scenarios
+  and :meth:`Cluster.check_drain` both trigger it),
+* a :class:`~repro.core.packets.DegradedSend` (the engine's retry ladder
+  ran out),
+* a calibration fallback-ladder drop (trust demoted a level),
+* messages still stuck at drain (``drain_stuck``).
+
+The usual obs contract applies: every producer site guards on ``obs.on``,
+recording is purely passive (tuple append into a ``deque``; no events
+scheduled, no simulated state read back into planning), and dumps are
+deterministic — events carry only simulated time and stable identifiers,
+so the same seed ships the same dump byte-for-byte, serial or sharded.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional
+
+from repro.util.errors import ConfigurationError
+
+#: ring capacity when not configured (events, not bytes — small on
+#: purpose: the dump is evidence around the failure, not a full trace)
+DEFAULT_FLIGHT_CAPACITY = 256
+
+#: dumps retained per recorder (a soak scenario rarely needs more than
+#: the first failure; keep a few in case faults cascade)
+MAX_DUMPS = 8
+
+
+class FlightRecorder:
+    """Bounded ring buffer of recent simulator events + trigger dumps."""
+
+    __slots__ = ("capacity", "events", "dumps", "recorded", "triggered")
+
+    enabled = True
+
+    def __init__(self, capacity: int = DEFAULT_FLIGHT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ConfigurationError(
+                f"flight recorder capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = capacity
+        self.events: deque = deque(maxlen=capacity)
+        self.dumps: List[Dict[str, object]] = []
+        self.recorded = 0
+        self.triggered = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<FlightRecorder {len(self.events)}/{self.capacity} events, "
+            f"{len(self.dumps)} dump(s)>"
+        )
+
+    def record(
+        self, kind: str, t: float, node: str, detail: Optional[Dict] = None
+    ) -> None:
+        """Append one event to the ring (old events fall off the back)."""
+        self.recorded += 1
+        self.events.append((t, node, kind, detail))
+
+    def trigger(
+        self, reason: str, t: float, detail: Optional[Dict] = None
+    ) -> Dict[str, object]:
+        """Snapshot the ring into a post-mortem dump.
+
+        The triggering condition itself is included (as ``trigger``) so
+        the dump is self-contained evidence.  Retention keeps the *most
+        recent* :data:`MAX_DUMPS` dumps (oldest evicted) — a cascade of
+        degraded sends must not crowd out the invariant violation that
+        follows them.
+        """
+        self.triggered += 1
+        if len(self.dumps) >= MAX_DUMPS:
+            self.dumps.pop(0)
+        dump: Dict[str, object] = {
+            "reason": reason,
+            "time_us": t,
+            "trigger": detail or {},
+            "events_recorded": self.recorded,
+            "events": [
+                {"time_us": et, "node": node, "kind": kind, "detail": d or {}}
+                for et, node, kind, d in self.events
+            ],
+        }
+        self.dumps.append(dump)
+        return dump
+
+    def last_dump(self) -> Optional[Dict[str, object]]:
+        return self.dumps[-1] if self.dumps else None
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-able state: ring summary + every retained dump."""
+        return {
+            "capacity": self.capacity,
+            "recorded": self.recorded,
+            "buffered": len(self.events),
+            "triggered": self.triggered,
+            "dumps": list(self.dumps),
+        }
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.dumps.clear()
+        self.recorded = 0
+        self.triggered = 0
+
+
+class NullFlightRecorder:
+    """Disabled recorder: every method is a no-op."""
+
+    __slots__ = ()
+
+    enabled = False
+    capacity = 0
+    dumps: List[Dict[str, object]] = []
+
+    def record(self, kind, t, node, detail=None) -> None:
+        pass
+
+    def trigger(self, reason, t, detail=None) -> None:
+        return None
+
+    def last_dump(self) -> None:
+        return None
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "capacity": 0, "recorded": 0, "buffered": 0,
+            "triggered": 0, "dumps": [],
+        }
+
+    def clear(self) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return "<NullFlightRecorder>"
+
+
+NULL_FLIGHT = NullFlightRecorder()

@@ -13,7 +13,7 @@ event counts); wall-clock time never enters the registry.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 from repro.util.errors import ConfigurationError
 
@@ -28,6 +28,38 @@ DEFAULT_TIME_BUCKETS_US: Tuple[float, ...] = (
 #: fixed boundaries for small-cardinality histograms (queue depths,
 #: rails per plan, retries per message)
 DEFAULT_DEPTH_BUCKETS: Tuple[float, ...] = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+
+#: fixed power-of-four boundaries (bytes) for size histograms — control
+#: packets (~1B) up to multi-MiB rendezvous payloads
+DEFAULT_BYTE_BUCKETS: Tuple[float, ...] = (
+    64.0, 256.0, 1024.0, 4096.0, 16_384.0, 65_536.0,
+    262_144.0, 1_048_576.0, 4_194_304.0, 16_777_216.0,
+)
+
+#: fixed boundaries (MB/s) for bandwidth histograms — spans a degraded
+#: single rail (~tens of MB/s) to a healthy striped multirail (GB/s)
+DEFAULT_BANDWIDTH_BUCKETS_MBPS: Tuple[float, ...] = (
+    10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+    1_000.0, 2_500.0, 5_000.0, 10_000.0,
+)
+
+
+def bucket_preset_for(name: str) -> Tuple[float, ...]:
+    """Default bucket edges for a metric, picked by its name's family.
+
+    The suffix conventions are the registry-wide naming contract:
+    ``*_us`` is a duration, ``*_bytes`` a size, ``*_mbps`` a bandwidth,
+    ``*_depth`` a queue depth.  Everything else falls back to the time
+    buckets (the pre-fabric behaviour), so existing histograms keep
+    their exact boundaries.
+    """
+    if name.endswith("_bytes") or name.endswith(".bytes"):
+        return DEFAULT_BYTE_BUCKETS
+    if name.endswith("_mbps") or name.endswith(".mbps"):
+        return DEFAULT_BANDWIDTH_BUCKETS_MBPS
+    if name.endswith("_depth") or name.endswith(".depth"):
+        return DEFAULT_DEPTH_BUCKETS
+    return DEFAULT_TIME_BUCKETS_US
 
 
 class Counter:
@@ -149,10 +181,12 @@ class MetricsRegistry:
         return g
 
     def histogram(
-        self, name: str, bounds: Sequence[float] = DEFAULT_TIME_BUCKETS_US
+        self, name: str, bounds: Optional[Sequence[float]] = None
     ) -> Histogram:
         h = self._histograms.get(name)
         if h is None:
+            if bounds is None:
+                bounds = bucket_preset_for(name)
             h = self._histograms[name] = Histogram(name, bounds)
         return h
 
@@ -171,6 +205,40 @@ class MetricsRegistry:
                 for name in sorted(self._histograms)
             },
         }
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold another registry into this one (cross-process reduce).
+
+        Counters and histogram contents add; gauges take the incoming
+        value (last-merged-wins — merge workers in a deterministic
+        order).  Histograms must agree on their bucket boundaries; the
+        fixed-at-creation contract makes that hold for same-build
+        workers by construction.  Returns ``self`` for chaining.
+        """
+        for name in sorted(other._counters):
+            self.counter(name).value += other._counters[name].value
+        for name in sorted(other._gauges):
+            self.gauge(name).value = other._gauges[name].value
+        for name in sorted(other._histograms):
+            theirs = other._histograms[name]
+            mine = self.histogram(name, theirs.bounds)
+            if mine.bounds != theirs.bounds:
+                raise ConfigurationError(
+                    f"histogram {name}: bucket boundaries differ "
+                    f"({mine.bounds} vs {theirs.bounds})"
+                )
+            for i, c in enumerate(theirs.counts):
+                mine.counts[i] += c
+            mine.count += theirs.count
+            mine.total += theirs.total
+            for attr in ("min", "max"):
+                val = getattr(theirs, attr)
+                if val is None:
+                    continue
+                cur = getattr(mine, attr)
+                pick = min if attr == "min" else max
+                setattr(mine, attr, val if cur is None else pick(cur, val))
+        return self
 
 
 class _NullInstrument:
@@ -217,3 +285,66 @@ class NullMetrics:
 
 
 NULL_METRICS = NullMetrics()
+
+
+def merge_snapshots(
+    snapshots: Iterable[Dict[str, Dict[str, object]]]
+) -> Dict[str, Dict[str, object]]:
+    """Reduce :meth:`MetricsRegistry.snapshot` dicts from several workers
+    into one (the pickled-artifact counterpart of :meth:`~MetricsRegistry.merge`).
+
+    Same semantics: counters and histogram contents add, gauges take the
+    last value in iteration order.  The reduce is associative and the
+    output name-sorted, so a serial run and any sharded fan-out of the
+    same work merge byte-identically.
+    """
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, float] = {}
+    histograms: Dict[str, Dict[str, object]] = {}
+    for snap in snapshots:
+        for name, value in snap.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + value
+        for name, value in snap.get("gauges", {}).items():
+            gauges[name] = value
+        for name, h in snap.get("histograms", {}).items():
+            cur = histograms.get(name)
+            if cur is None:
+                histograms[name] = {
+                    "buckets": dict(h["buckets"]),
+                    "count": h["count"],
+                    "total": h["total"],
+                    "min": h["min"],
+                    "max": h["max"],
+                }
+                continue
+            if set(cur["buckets"]) != set(h["buckets"]):
+                raise ConfigurationError(
+                    f"histogram {name}: bucket boundaries differ across "
+                    "snapshots"
+                )
+            for edge, c in h["buckets"].items():
+                cur["buckets"][edge] += c
+            cur["count"] += h["count"]
+            cur["total"] += h["total"]
+            for attr, pick in (("min", min), ("max", max)):
+                val = h[attr]
+                if val is None:
+                    continue
+                cur[attr] = val if cur[attr] is None else pick(cur[attr], val)
+    return {
+        "counters": {n: counters[n] for n in sorted(counters)},
+        "gauges": {n: gauges[n] for n in sorted(gauges)},
+        "histograms": {
+            n: {
+                "buckets": {
+                    e: histograms[n]["buckets"][e]
+                    for e in sorted(histograms[n]["buckets"])
+                },
+                "count": histograms[n]["count"],
+                "total": histograms[n]["total"],
+                "min": histograms[n]["min"],
+                "max": histograms[n]["max"],
+            }
+            for n in sorted(histograms)
+        },
+    }

@@ -37,9 +37,21 @@ class TestBaselineFile:
         traj = perfstats.load_trajectory()
         prs = [p["pr"] for p in traj]
         assert prs == sorted(prs)
-        assert 7 in prs
-        this = next(p for p in traj if p["pr"] == 7)
+        assert 7 in prs and 8 in prs
+        this = next(p for p in traj if p["pr"] == 8)
         assert this["_file"] == perfstats.BASELINE_FILENAME
+
+    def test_pr8_obs_guard_remains_committed(self):
+        """The PR 8 acceptance contract: obs-off collective tables are
+        bit-equal to the BENCH_PR7 rows, and obs-on moves wall clock
+        only — never a simulated timestamp."""
+        traj = perfstats.load_trajectory()
+        pr8 = next(p for p in traj if p["pr"] == 8)
+        eq = pr8["obs_off_bit_equality"]
+        assert eq["alltoall_flat_switch_identical"] is True
+        for pair in pr8["obs_overhead"].values():
+            assert pair["timestamps_identical"] is True
+            assert pair["makespan_off_us"] == pair["makespan_on_us"]
 
     def test_load_baseline_missing_file_returns_none(self, tmp_path):
         assert perfstats.load_baseline(tmp_path / "nope.json") is None

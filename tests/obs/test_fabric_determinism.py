@@ -1,0 +1,160 @@
+"""Fabric-scale observability under collectives: the PR contract tests.
+
+* double-run determinism: an obs-on 8-rank collective produces
+  byte-identical metrics / trace / accuracy / profiler artifacts across
+  two runs, on both switched shapes;
+* zero perturbation: arming the full fabric bundle moves no simulated
+  timestamp relative to an obs-off run of the same collective;
+* link/spine accounting: the switch paths surface ``fabric.*`` counters
+  and per-link trace lanes that pass the Chrome-trace validator.
+"""
+
+import json
+
+import pytest
+
+from repro.api.mpi import MpiWorld
+from repro.bench.runners import default_profiles
+from repro.faults.chaos import _reset_id_counters
+from repro.hardware.topology import Fabric
+from repro.obs import validate_chrome_trace
+
+RAILS = ("myri10g", "quadrics")
+RANKS = 8
+#: same per-pair scaling as the COLL bench / ``cli obs report``
+SIZE = 2 * 1024 * 1024 // RANKS
+
+
+def _collective_world(shape, observability=True, algorithm="ring"):
+    """One profiled alltoall on a switched 8-rank world, run to drain."""
+    maker = Fabric.flat if shape == "flat" else Fabric.fat_tree
+    world = MpiWorld.create(
+        fabric=maker(RANKS, rails=RAILS),
+        profiles=default_profiles(RAILS),
+        observability=observability,
+    )
+    # after the build: the first default_profiles() call runs sampling
+    # transfers whose ids must not leak into the workload's trace
+    _reset_id_counters()
+
+    def program(comm):
+        yield from comm.alltoall(SIZE, algorithm=algorithm)
+
+    world.spawn_all(program)
+    world.run()
+    return world
+
+
+def _exports(world):
+    """Every obs artifact, serialized with stable key order."""
+    cluster = world.cluster
+    return {
+        "metrics": json.dumps(cluster.metrics_snapshot(), sort_keys=True),
+        "trace": json.dumps(cluster.chrome_trace(), sort_keys=True),
+        "accuracy": json.dumps(cluster.accuracy_snapshot(), sort_keys=True),
+        "collectives": json.dumps(
+            cluster.obs.collectives.snapshot(), sort_keys=True
+        ),
+    }
+
+
+@pytest.fixture(scope="module")
+def fat_tree_world():
+    return _collective_world("fat_tree")
+
+
+class TestDoubleRunByteIdentity:
+    @pytest.mark.parametrize("shape", ["flat", "fat_tree"])
+    def test_obs_artifacts_are_byte_identical(self, shape):
+        first = _exports(_collective_world(shape))
+        second = _exports(_collective_world(shape))
+        for surface in ("metrics", "trace", "accuracy", "collectives"):
+            assert first[surface] == second[surface], surface
+
+
+class TestZeroTimestampDrift:
+    @pytest.mark.parametrize("shape", ["flat", "fat_tree"])
+    def test_obs_on_moves_no_timestamp(self, shape):
+        off = _collective_world(shape, observability=False)
+        on = _collective_world(shape, observability=True)
+        assert off.cluster.sim.now == on.cluster.sim.now
+        assert (
+            off.cluster.sim.events_processed
+            == on.cluster.sim.events_processed
+        )
+
+    def test_obs_off_records_nothing(self):
+        world = _collective_world("flat", observability=False)
+        cluster = world.cluster
+        assert cluster.obs.on is False
+        assert cluster.metrics_snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+        assert cluster.obs.collectives.hops() == []
+
+
+class TestFabricAccounting:
+    def test_fat_tree_has_link_and_spine_counters(self, fat_tree_world):
+        c = fat_tree_world.cluster.metrics_snapshot()["counters"]
+        links = [n for n in c if ".link." in n and n.endswith(".busy_us")]
+        spines = [n for n in c if ".spine" in n and n.endswith(".busy_us")]
+        # one uplink lane per node on each rail's tree
+        assert len(links) % RANKS == 0 and links
+        nodes = {n.split(".link.")[1].rsplit(".", 1)[0] for n in links}
+        assert nodes == {f"rank{r}" for r in range(RANKS)}
+        assert spines, "fat tree must account per-spine busy time"
+        assert all(n.startswith("fabric.") for n in links + spines)
+
+    def test_flat_switch_has_link_counters(self):
+        c = _collective_world("flat").cluster.metrics_snapshot()["counters"]
+        assert any(
+            n.startswith("fabric.") and ".link." in n and n.endswith(".packets")
+            for n in c
+        )
+
+    def test_wire_path_has_fabric_counters(self):
+        # Unswitched full mesh: the point-to-point wires account too.
+        _reset_id_counters()
+        world = MpiWorld.create(
+            4, profiles=default_profiles(RAILS), observability=True
+        )
+
+        def program(comm):
+            yield from comm.alltoall("64K", algorithm="naive")
+
+        world.spawn_all(program)
+        world.run()
+        c = world.cluster.metrics_snapshot()["counters"]
+        assert any(n.startswith("fabric.wire.") for n in c)
+
+    def test_busy_time_bounded_by_makespan(self, fat_tree_world):
+        cluster = fat_tree_world.cluster
+        c = cluster.metrics_snapshot()["counters"]
+        for name, value in c.items():
+            if name.startswith("fabric.") and name.endswith(".busy_us"):
+                assert 0 < value <= cluster.sim.now, name
+
+    def test_contention_stalls_surface_on_fat_tree(self, fat_tree_world):
+        # 8 ranks share 2 spines: an alltoall necessarily queues somewhere.
+        c = fat_tree_world.cluster.metrics_snapshot()["counters"]
+        stalled = sum(
+            v
+            for n, v in c.items()
+            if n.startswith("fabric.") and n.endswith(".stalled_packets")
+        )
+        assert stalled > 0
+
+
+class TestFabricTrace:
+    def test_trace_validates_with_fabric_and_hop_lanes(self, fat_tree_world):
+        trace = fat_tree_world.cluster.chrome_trace()
+        assert validate_chrome_trace(trace) == []
+        cats = {ev.get("cat") for ev in trace["traceEvents"]}
+        assert "fabric" in cats
+        assert "collective" in cats and "collective-hop" in cats
+
+    def test_link_lanes_named_per_port(self, fat_tree_world):
+        events = fat_tree_world.cluster.obs.tracer.events
+        lanes = {ev["tid"] for ev in events if ev.get("cat") == "fabric"}
+        assert any(lane.startswith("link:") for lane in lanes)
+        assert any(lane.startswith("spine:") for lane in lanes)

@@ -1,0 +1,175 @@
+"""Flight recorder: ring semantics, trigger sites, config plumbing."""
+
+import json
+
+import pytest
+
+from repro.api import ClusterBuilder, load_cluster
+from repro.core.invariants import InvariantViolation
+from repro.faults.chaos import run_scenario
+from repro.obs.flight import (
+    DEFAULT_FLIGHT_CAPACITY,
+    MAX_DUMPS,
+    FlightRecorder,
+    NullFlightRecorder,
+)
+from repro.util.errors import ConfigurationError
+
+
+class TestRing:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            FlightRecorder(capacity=0)
+
+    def test_ring_keeps_only_the_most_recent_events(self):
+        fr = FlightRecorder(capacity=4)
+        for i in range(10):
+            fr.record("send", float(i), "node0", {"i": i})
+        assert fr.recorded == 10
+        dump = fr.trigger("test", 10.0)
+        assert [e["detail"]["i"] for e in dump["events"]] == [6, 7, 8, 9]
+
+    def test_dump_is_self_contained_and_jsonable(self):
+        fr = FlightRecorder()
+        fr.record("send", 1.0, "node0", {"msg": 1})
+        dump = fr.trigger("invariant-violation", 2.0, detail={"invariant": "x"})
+        assert dump["reason"] == "invariant-violation"
+        assert dump["time_us"] == 2.0
+        assert dump["trigger"] == {"invariant": "x"}
+        assert dump["events_recorded"] == 1
+        assert fr.last_dump() is dump
+        assert json.loads(json.dumps(fr.snapshot()))["triggered"] == 1
+
+    def test_retention_evicts_oldest_dump(self):
+        # A cascade of degraded-send dumps must not crowd out the
+        # invariant violation that arrives after them.
+        fr = FlightRecorder(capacity=2)
+        for i in range(MAX_DUMPS + 3):
+            fr.trigger(f"degraded-send-{i}", float(i))
+        final = fr.trigger("invariant-violation", 99.0)
+        assert len(fr.dumps) == MAX_DUMPS
+        assert fr.dumps[-1] is final
+        assert fr.last_dump()["reason"] == "invariant-violation"
+
+    def test_clear_resets_everything(self):
+        fr = FlightRecorder()
+        fr.record("send", 1.0, "node0")
+        fr.trigger("test", 1.0)
+        fr.clear()
+        assert fr.recorded == 0 and fr.triggered == 0
+        assert fr.last_dump() is None
+
+    def test_null_recorder_is_inert(self):
+        null = NullFlightRecorder()
+        null.record("send", 1.0, "node0")
+        assert null.trigger("test", 1.0) is None
+        assert null.last_dump() is None
+        assert null.snapshot()["capacity"] == 0
+
+
+def _stuck_cluster():
+    """An unmatched 4M rendezvous send: parks at drain, audit raises."""
+    cluster = (
+        ClusterBuilder.paper_testbed(strategy="hetero_split")
+        .invariants()
+        .observability(trace=False, metrics=False, accuracy=False,
+                       collectives=False)
+        .build()
+    )
+    sender, _ = cluster.sessions("node0", "node1")
+    msg = sender.isend("node1", "4M")
+    cluster.run()
+    return cluster, msg
+
+
+class TestClusterTriggers:
+    def test_check_drain_violation_dumps_the_ring(self):
+        cluster, msg = _stuck_cluster()
+        with pytest.raises(InvariantViolation):
+            cluster.check_drain()
+        dump = cluster.obs.flight.last_dump()
+        assert dump is not None
+        assert dump["reason"] == "invariant-violation"
+        assert dump["trigger"]["invariant"] == "drain-no-stuck"
+        # the violating message's post is in the ring
+        sends = [e for e in dump["events"] if e["kind"] == "send"]
+        assert any(e["detail"]["msg"] == msg.msg_id for e in sends)
+
+    def test_drain_stuck_dumps_before_degrading(self):
+        cluster, msg = _stuck_cluster()
+        drained = cluster.drain_stuck()
+        assert [m.msg_id for m in drained] == [msg.msg_id]
+        dump = cluster.obs.flight.last_dump()
+        assert dump["reason"] == "drain-stuck"
+        assert dump["trigger"]["drained"] == 1
+        assert msg.msg_id in dump["trigger"]["msg_ids"]
+
+    def test_engine_feeds_the_ring(self):
+        cluster = (
+            ClusterBuilder.paper_testbed(strategy="hetero_split")
+            .observability()
+            .build()
+        )
+        a, b = cluster.sessions("node0", "node1")
+        b.irecv(source="node0")
+        a.isend("node1", "1M")
+        cluster.run()
+        flight = cluster.obs.flight
+        assert flight.capacity == DEFAULT_FLIGHT_CAPACITY
+        kinds = {e[2] for e in flight.events}
+        assert "send" in kinds and "complete" in kinds
+        assert flight.last_dump() is None  # nothing went wrong
+
+    def test_obs_off_cluster_has_null_recorder(self):
+        cluster = ClusterBuilder.paper_testbed().build()
+        assert cluster.obs.flight.enabled is False
+
+
+class TestChaosIntegration:
+    def test_clean_scenario_ships_no_dump(self):
+        result = run_scenario(5)
+        assert result.ok
+        assert result.flight_dump is None
+        assert "flight_dump" not in result.to_dict()
+
+    def test_obs_metrics_attaches_snapshot_out_of_band(self):
+        result = run_scenario(5, obs_metrics=True)
+        assert result.metrics_snapshot is not None
+        assert result.metrics_snapshot["counters"]
+        # the deterministic soak artifact stays lean: snapshots merge
+        # via soak_obs_artifact, they don't ride to_dict
+        assert "metrics_snapshot" not in result.to_dict()
+
+    def test_obs_metrics_moves_no_timestamp(self):
+        bare = run_scenario(7)
+        armed = run_scenario(7, obs_metrics=True)
+        assert bare.elapsed_us == armed.elapsed_us
+        assert bare.to_dict() == armed.to_dict()
+
+
+class TestConfig:
+    def _config(self, observability):
+        return {
+            "nodes": [{"name": "node0"}, {"name": "node1"}],
+            "rails": [{"driver": "myri10g", "between": ["node0", "node1"]}],
+            "observability": observability,
+        }
+
+    def test_flight_keys_accepted(self):
+        cluster = load_cluster(
+            self._config({"flight": True, "flight_capacity": 32,
+                          "collectives": False})
+        )
+        assert cluster.obs.flight.capacity == 32
+        assert cluster.obs.collectives.enabled is False
+
+    def test_flight_can_be_disabled(self):
+        cluster = load_cluster(self._config({"flight": False}))
+        assert cluster.obs.on is True
+        assert cluster.obs.flight.enabled is False
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClusterBuilder.paper_testbed().observability(flight_capacity=0)
+        with pytest.raises(ConfigurationError):
+            load_cluster(self._config({"flight_capacity": 0}))
