@@ -7,8 +7,8 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 JOBS ?= 0
 
 .PHONY: test bench-smoke perf bench check faults-demo chaos chaos-wide \
-        chaos-silent calibration-demo collectives-demo bench-parallel \
-        soak-parallel
+        chaos-silent chaos-fabric fabric-demo calibration-demo \
+        collectives-demo bench-parallel soak-parallel
 
 # Tier-1 verify (the ROADMAP contract).
 test:
@@ -48,6 +48,17 @@ chaos-wide:
 # drift loop armed — the invariant monitor must stay silent too.
 chaos-silent:
 	$(PYTHON) -m repro.bench.cli chaos --seeds 50 --silent --calibration
+
+# Fabric chaos soak: 8-rank fat tree, spine outages / port flaps / pod
+# partitions mixed into the episode pool, a re-planning alltoallv as
+# the workload (docs/fabric-faults.md; the CI window).
+chaos-fabric:
+	$(PYTHON) -m repro.bench.cli chaos --seeds 25 --shape fat_tree --ranks 8
+
+# Narrated fabric fault-tolerance demo: the BENCH_PR10 degraded-
+# alltoall guard plus the healthy bit-equality check.
+fabric-demo:
+	$(PYTHON) -m repro.bench.cli fabric --demo
 
 # Narrated estimator-drift-defense demo (docs/calibration.md).
 calibration-demo:

@@ -443,6 +443,7 @@ class ClusterBuilder:
         switch_latency: float = 0.3,
         pod_size: int = 4,
         spines: int = 2,
+        adaptive: bool = True,
         **driver_overrides,
     ) -> "ClusterBuilder":
         """Join several nodes through a two-stage fat tree (one NIC each).
@@ -451,7 +452,9 @@ class ClusterBuilder:
         ``pod_size`` nodes share an edge pod (intra-pod traffic behaves
         exactly like a flat switch), and inter-pod packets serialize on
         one of ``spines`` shared uplinks chosen by a static flow hash —
-        see :class:`repro.networks.switch.FatTreeSwitch`.
+        see :class:`repro.networks.switch.FatTreeSwitch`.  ``adaptive``
+        re-routes flows off down/degraded spines (the default; identical
+        to the static hash until a fabric fault fires).
         """
         if isinstance(driver, str):
             driver = make_driver(driver, **driver_overrides)
@@ -473,7 +476,7 @@ class ClusterBuilder:
                 tuple(nodes),
                 driver,
                 switch_latency,
-                {"pod_size": pod_size, "spines": spines},
+                {"pod_size": pod_size, "spines": spines, "adaptive": adaptive},
             )
         )
         return self
@@ -518,6 +521,7 @@ class ClusterBuilder:
                     switch_latency=rail.switch_latency,
                     pod_size=fabric.pod_size_of(rail),
                     spines=rail.spines,
+                    adaptive=rail.adaptive,
                     **rail.overrides,
                 )
         self._fabric = fabric
@@ -731,6 +735,7 @@ class ClusterBuilder:
                     switch_latency=latency,
                     pod_size=stages["pod_size"],
                     spines=stages["spines"],
+                    adaptive=stages.get("adaptive", True),
                 )
             else:
                 switch = Switch(name=f"switch{s_idx}", switch_latency=latency)

@@ -35,12 +35,14 @@ import math
 from collections import deque
 from typing import (
     TYPE_CHECKING,
+    Callable,
     Dict,
     Iterator,
     List,
     Mapping,
     Optional,
     Sequence,
+    Set,
     Tuple,
 )
 
@@ -60,7 +62,7 @@ VALID_ALGORITHMS: Dict[str, Tuple[str, ...]] = {
     "allgather": ("naive", "ring", "doubling", "auto"),
     "reduce": ("naive", "binomial", "ring", "auto"),
     "alltoall": ("naive", "ring", "doubling", "rails", "auto"),
-    "alltoallv": ("naive", "rails", "auto"),
+    "alltoallv": ("naive", "rails", "replan", "auto"),
 }
 
 #: per-hop pipeline segmentation: never cut below this
@@ -71,6 +73,8 @@ PIPELINE_COST_RATIO = 8.0
 MAX_SEGMENTS = 32
 #: rails-balanced all-to-all: cap on segments per flow
 BALANCE_MAX_SEGMENTS = 32
+#: re-planning all-to-all: sends in flight between checkpoint looks
+REPLAN_WINDOW = 4
 
 
 def validate_algorithm(collective: str, algorithm: str) -> str:
@@ -236,8 +240,20 @@ class AlgorithmSelector:
     def _segments_of(self, size: int) -> int:
         return len(pipeline_segments(size, self.estimators))
 
-    def costs(self, collective: str, size: int, ranks: int) -> Dict[str, float]:
-        """Predicted completion (µs) per implemented algorithm."""
+    def costs(
+        self,
+        collective: str,
+        size: int,
+        ranks: int,
+        health: Optional["FabricHealth"] = None,
+    ) -> Dict[str, float]:
+        """Predicted completion (µs) per implemented algorithm.
+
+        With a :class:`FabricHealth` view, algorithms whose schedule
+        requires a currently-down link are excluded outright — pricing a
+        schedule that cannot deliver is worse than useless.  Raises
+        :class:`ConfigurationError` only when *no* algorithm is feasible.
+        """
         if ranks < 2:
             raise ConfigurationError(f"cost model needs >= 2 ranks, got {ranks}")
         if size < 1:
@@ -306,17 +322,41 @@ class AlgorithmSelector:
                 f"unknown collective {collective!r}; known: "
                 f"{sorted(VALID_ALGORITHMS)}"
             )
+        if health is not None:
+            feasible = {
+                name: cost
+                for name, cost in out.items()
+                if health.feasible(collective, name, ranks)
+            }
+            if not feasible:
+                raise ConfigurationError(
+                    f"no feasible {collective} algorithm: every schedule "
+                    f"in {sorted(out)} requires a down link or spine"
+                )
+            out = feasible
         return out
 
-    def select(self, collective: str, size: int, ranks: int) -> str:
+    def select(
+        self,
+        collective: str,
+        size: int,
+        ranks: int,
+        health: Optional["FabricHealth"] = None,
+    ) -> str:
         """The cheapest algorithm for this shape (deterministic ties)."""
-        costs = self.costs(collective, size, ranks)
+        costs = self.costs(collective, size, ranks, health=health)
         return min(costs.items(), key=lambda kv: (kv[1], kv[0]))[0]
 
-    def table(self, collective: str, size: int, ranks: int) -> str:
+    def table(
+        self,
+        collective: str,
+        size: int,
+        ranks: int,
+        health: Optional["FabricHealth"] = None,
+    ) -> str:
         """Human-readable cost table (the ``cli collectives`` view)."""
-        costs = self.costs(collective, size, ranks)
-        pick = self.select(collective, size, ranks)
+        costs = self.costs(collective, size, ranks, health=health)
+        pick = self.select(collective, size, ranks, health=health)
         lines = [
             f"{collective} of {size}B across {ranks} ranks "
             f"on {'+'.join(self.technologies)}:"
@@ -325,6 +365,166 @@ class AlgorithmSelector:
             marker = " <- selected" if name == pick else ""
             lines.append(f"  {name:<10} {cost:>12.1f} us predicted{marker}")
         return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- #
+# fabric health: which schedules can still deliver
+# --------------------------------------------------------------------- #
+
+
+def required_pairs(
+    collective: str, algorithm: str, ranks: int, root: int = 0
+) -> Set[Tuple[int, int]]:
+    """Rank pairs an algorithm's schedule must be able to reach.
+
+    Undirected ``(i, j)`` pairs (``i < j``) mirroring each schedule's
+    communication pattern: tree edges for binomial schedules, successor
+    edges for rings, XOR/dissemination partners for doubling, and all
+    pairs for the post-everything and balanced all-to-alls.  The
+    feasibility side of the cost model: an algorithm is only priceable
+    if every one of its pairs has a live path.
+    """
+    validate_algorithm(collective, algorithm)
+    if algorithm == "auto":
+        raise ConfigurationError(
+            "required_pairs wants a concrete algorithm, not 'auto'"
+        )
+    n = ranks
+    if n < 2:
+        return set()
+    pairs: Set[Tuple[int, int]] = set()
+
+    def add(a: int, b: int) -> None:
+        a, b = a % n, b % n
+        if a != b:
+            pairs.add((min(a, b), max(a, b)))
+
+    def add_binomial_tree() -> None:
+        for v in range(1, n):
+            parent, _ = _binomial_parent_children(v, n)
+            if parent is not None:
+                add((v + root) % n, (parent + root) % n)
+
+    def add_ring() -> None:
+        for i in range(n):
+            add(i, (i + 1) % n)
+
+    def add_dissemination() -> None:
+        dist = 1
+        while dist < n:
+            for i in range(n):
+                add(i, (i + dist) % n)
+            dist *= 2
+
+    def add_all() -> None:
+        for i in range(n):
+            for j in range(i + 1, n):
+                pairs.add((i, j))
+
+    if collective in ("alltoall", "alltoallv"):
+        if algorithm == "doubling":
+            add_dissemination()
+        else:  # naive / ring / rails / replan all touch every pair
+            add_all()
+    elif algorithm == "ring":
+        add_ring()
+        if collective == "reduce":
+            # Reduce-scatter rides the ring; the final block gather
+            # converges on the root directly.
+            for j in range(n):
+                add(j, root)
+    elif algorithm == "doubling":  # bcast doubling, allgather doubling
+        if collective == "bcast":
+            add_binomial_tree()
+        add_dissemination()
+    elif collective == "gather" and algorithm == "naive":
+        for j in range(n):
+            add(j, root)
+    elif collective == "allgather":  # naive = dissemination
+        add_dissemination()
+    else:
+        # bcast/reduce naive+binomial, gather binomial: the mask-walk tree
+        add_binomial_tree()
+    return pairs
+
+
+class FabricHealth:
+    """Liveness view over a built cluster's rails and fabric.
+
+    ``alive(i, j)`` is True when *any* rail between ranks ``i`` and
+    ``j`` can currently deliver: both NICs up, both switch edge links up
+    and — for inter-pod fat-tree flows — a usable spine (any up spine
+    when the switch routes adaptively, the statically hashed one
+    otherwise).  Purely read-only: probing health mutates no simulator
+    state.
+    """
+
+    def __init__(self, cluster, node_names: Sequence[str]) -> None:
+        self.cluster = cluster
+        self.node_names = list(node_names)
+        self._memo: Dict[Tuple[str, str], bool] = {}
+
+    def invalidate(self) -> None:
+        """Drop memoized liveness (call after any fault fires)."""
+        self._memo.clear()
+
+    def _rail_alive(self, nic, peer_node: str) -> bool:
+        from repro.networks.switch import FatTreeSwitch, Switch
+        from repro.networks.wire import Wire
+
+        if not nic.is_up:
+            return False
+        wire = nic.wire
+        if wire is None:
+            return False
+        if isinstance(wire, Switch):
+            ports = {p.machine.name: p for p in wire._ports}
+            peer = ports.get(peer_node)
+            if peer is None or not peer.is_up:
+                return False
+            src_node = nic.machine.name
+            if not (wire.link_is_up(src_node) and wire.link_is_up(peer_node)):
+                return False
+            if isinstance(wire, FatTreeSwitch):
+                si = wire._ports.index(nic)
+                di = wire._ports.index(peer)
+                if si // wire.pod_size != di // wire.pod_size:
+                    if wire.adaptive:
+                        return any(wire._spine_up)
+                    return wire._spine_up[wire._spine_for(si, di)]
+            return True
+        if isinstance(wire, Wire):
+            peer = wire.nic_b if wire.nic_a is nic else wire.nic_a
+            return peer.machine.name == peer_node and peer.is_up
+        return False
+
+    def node_pair_alive(self, node_a: str, node_b: str) -> bool:
+        """Any live rail between two cluster nodes (memoized)."""
+        if node_a == node_b:
+            return True
+        key = (node_a, node_b) if node_a < node_b else (node_b, node_a)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        machine = self.cluster.machines.get(node_a)
+        alive = machine is not None and any(
+            self._rail_alive(nic, node_b) for nic in machine.nics
+        )
+        self._memo[key] = alive
+        return alive
+
+    def alive(self, i: int, j: int) -> bool:
+        """Any live rail between ranks ``i`` and ``j``."""
+        return self.node_pair_alive(self.node_names[i], self.node_names[j])
+
+    def feasible(
+        self, collective: str, algorithm: str, ranks: int, root: int = 0
+    ) -> bool:
+        """Can this schedule's every required pair still communicate?"""
+        return all(
+            self.alive(i, j)
+            for i, j in required_pairs(collective, algorithm, ranks, root)
+        )
 
 
 # --------------------------------------------------------------------- #
@@ -770,6 +970,150 @@ def alltoallv_rails(
     ]
     for msg in sends:
         yield from comm.session.wait(msg)
+    for handle in handles:
+        yield from comm.session.wait(handle)
+
+
+def _replan_order(
+    pending: Sequence[Tuple[int, int, int]],
+    rank: int,
+    n: int,
+    price: Optional[Callable[[int], float]] = None,
+) -> "deque":
+    """Re-cut a remaining send schedule largest-remaining-first.
+
+    Takes the not-yet-sent ``(dst, segment_index, segment_bytes)``
+    triples and rebuilds the cycle order of :func:`balanced_schedule`
+    from what is *actually* left — the destinations that lost the most
+    to the fault lead every cycle.  ``price`` (the selector's per-hop
+    cost, when sampled) re-prices the remaining work against the
+    degraded fabric; without it raw bytes stand in.  Per-destination
+    segment order is preserved, so segment indices — and therefore tags
+    — still match the receives posted up front: a re-plan reorders
+    hops, it never re-sends or re-sizes them.
+    """
+    queues: Dict[int, deque] = {}
+    remaining: Dict[int, int] = {}
+    for dst, t, seg in pending:
+        queues.setdefault(dst, deque()).append((t, seg))
+        remaining[dst] = remaining.get(dst, 0) + seg
+    weigh = price if price is not None else float
+    order: deque = deque()
+    while queues:
+        cycle = sorted(
+            queues,
+            key=lambda dst: (-weigh(remaining[dst]), (dst - rank) % n),
+        )
+        for dst in cycle:
+            q = queues[dst]
+            t, seg = q.popleft()
+            order.append((dst, t, seg))
+            remaining[dst] -= seg
+            if not q:
+                del queues[dst]
+                del remaining[dst]
+    return order
+
+
+def alltoallv_rails_replan(
+    comm: "Communicator",
+    matrix: Sequence[Sequence[int]],
+    tag: int,
+    estimators: Sequence["NicEstimator"],
+    window: int = REPLAN_WINDOW,
+    price: Optional[Callable[[int], float]] = None,
+) -> Iterator:
+    """Balanced all-to-all with mid-collective re-planning.
+
+    Sends ride the same segmentation and initial
+    :func:`balanced_schedule` order as ``rails``, but are paced in
+    windows of ``window`` instead of posted all at once.  After each
+    window drains, the checkpoint look reads the fault signals — engine
+    retries, degraded sends, fault-injector firings.  Any movement while
+    hops remain pending triggers a re-plan: the remaining schedule is
+    re-cut largest-remaining-first (:func:`_replan_order`, re-priced by
+    the selector when sampled), the invariant monitor audits byte
+    conservation across the cut, and the flight recorder dumps the
+    decision.  Completed hops are never re-sent — tags bind each segment
+    to the receive posted for it up front, so exactly-once holds through
+    any number of re-plans.
+    """
+    n = comm.size
+    r = comm.rank
+    name = comm.peer_name
+    handles = []
+    for src in range(n):
+        if src == r or matrix[src][r] <= 0:
+            continue
+        segs = rails_segments(matrix[src][r], estimators)
+        handles.extend(
+            comm.session.irecv(source=name(src), tag=tag + t)
+            for t in range(len(segs))
+        )
+    pending: deque = deque(balanced_schedule(r, matrix, estimators))
+    planned = sum(seg for _, _, seg in pending)
+    accounted = 0
+    cluster = comm.world.cluster
+    sim = comm.session.sim
+    engine = comm.session.engine
+    injector = getattr(cluster, "fault_injector", None)
+    inv = cluster.invariants
+    obs = cluster.obs
+
+    def signals() -> Tuple[int, int, int]:
+        return (
+            engine.retries_issued,
+            engine.messages_degraded,
+            injector.faults_fired if injector is not None else 0,
+        )
+
+    baseline = signals()
+    replans = 0
+    while pending:
+        batch = [
+            pending.popleft()
+            for _ in range(min(max(1, window), len(pending)))
+        ]
+        msgs = [
+            comm.session.isend(name(dst), seg, tag=tag + t)
+            for dst, t, seg in batch
+        ]
+        for msg in msgs:
+            yield from comm.session.wait(msg)
+        # A degraded send still consumed its planned hop: the engine
+        # exhausted the retry budget and the bytes are accounted to the
+        # schedule either way (the receive side parks, by design).
+        accounted += sum(seg for _, _, seg in batch)
+        current = signals()
+        if pending and current != baseline:
+            baseline = current
+            replans += 1
+            left = sum(seg for _, _, seg in pending)
+            if inv is not None and inv.on:
+                inv.on_replan(r, tag, planned, accounted, left, sim.now)
+            if obs.on:
+                obs.metrics.counter("collective.replans").inc()
+                obs.flight.record(
+                    "collective-replan",
+                    sim.now,
+                    comm.session.node,
+                    {
+                        "rank": r,
+                        "tag": tag,
+                        "replan": replans,
+                        "accounted_bytes": accounted,
+                        "pending_bytes": left,
+                        "pending_hops": len(pending),
+                    },
+                )
+                obs.flight.trigger(
+                    "collective-replan",
+                    sim.now,
+                    {"rank": r, "tag": tag, "replan": replans},
+                )
+            pending = _replan_order(pending, r, n, price)
+    if inv is not None and inv.on:
+        inv.on_collective_complete(r, tag, planned, accounted, sim.now)
     for handle in handles:
         yield from comm.session.wait(handle)
 

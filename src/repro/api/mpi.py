@@ -171,7 +171,10 @@ class Communicator:
         coll.validate_algorithm(collective, algorithm)
         if algorithm == "auto":
             algorithm = self.world.selector().select(
-                collective, max(1, nbytes), self.size
+                collective,
+                max(1, nbytes),
+                self.size,
+                health=self.world.fabric_health(),
             )
         self._last_algorithm = algorithm
         return algorithm
@@ -590,15 +593,17 @@ class Communicator:
                     )
         peak = max((s for row in sizes for s in row), default=0)
         algo = self._resolve_algorithm("alltoallv", algorithm, max(1, peak))
+        if algo == "replan":
+            yield from self._alltoallv_replan(sizes)
+            return
         if algo in ("rails", "auto"):
             yield from self._alltoallv_rails(sizes)
             return
         tag = self._next_collective_tag()
         yield from coll.alltoallv_naive(self, sizes, tag)
 
-    def _alltoallv_rails(self, sizes: List[List[int]]) -> Iterator:
-        """Shared rails path for :meth:`alltoall`/:meth:`alltoallv`."""
-        ests = self.world.rail_estimators()
+    def _rails_tag(self, sizes: List[List[int]], ests) -> int:
+        """One tag block spanning the widest flow's segment count."""
         span = max(
             (
                 len(coll.rails_segments(s, ests))
@@ -608,8 +613,27 @@ class Communicator:
             ),
             default=1,
         )
-        tag = self._next_collective_tag(span=span)
+        return self._next_collective_tag(span=span)
+
+    def _alltoallv_rails(self, sizes: List[List[int]]) -> Iterator:
+        """Shared rails path for :meth:`alltoall`/:meth:`alltoallv`."""
+        ests = self.world.rail_estimators()
+        tag = self._rails_tag(sizes, ests)
         yield from coll.alltoallv_rails(self, sizes, tag, ests)
+
+    def _alltoallv_replan(self, sizes: List[List[int]]) -> Iterator:
+        """Re-planning balanced path (``algorithm="replan"``)."""
+        ests = self.world.rail_estimators()
+        tag = self._rails_tag(sizes, ests)
+        profiles = self.world.cluster.profiles
+        price = (
+            self.world.selector().hop
+            if profiles is not None and profiles.estimators
+            else None
+        )
+        yield from coll.alltoallv_rails_replan(
+            self, sizes, tag, ests, price=price
+        )
 
 
 class MpiWorld:
@@ -657,6 +681,17 @@ class MpiWorld:
         if profiles is None:
             return []
         return [profiles.estimators[t] for t in sorted(profiles.estimators)]
+
+    def fabric_health(self) -> Optional[coll.FabricHealth]:
+        """Liveness view for feasibility filtering, or ``None`` healthy.
+
+        Only built when a fault schedule is armed against the cluster —
+        an un-faulted world skips the probing entirely, so the healthy
+        ``auto`` path stays byte-identical to pre-fault-surface builds.
+        """
+        if getattr(self.cluster, "fault_injector", None) is None:
+            return None
+        return coll.FabricHealth(self.cluster, self._node_names)
 
     def selector(self) -> AlgorithmSelector:
         """The cost-model selector behind ``algorithm="auto"``."""

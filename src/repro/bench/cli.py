@@ -245,6 +245,20 @@ def _build_parser() -> argparse.ArgumentParser:
         help="arm the calibration drift loop during the soak",
     )
     chaos.add_argument(
+        "--shape",
+        choices=("paper", "flat", "fat_tree"),
+        default="paper",
+        help="testbed shape: the two-node paper testbed (default) or a "
+        "switched fabric whose episode pool adds spine outages, port "
+        "flaps and pod partitions (docs/fabric-faults.md)",
+    )
+    chaos.add_argument(
+        "--ranks",
+        type=int,
+        default=8,
+        help="world size for fabric shapes (default 8)",
+    )
+    chaos.add_argument(
         "--jobs",
         type=int,
         default=1,
@@ -263,6 +277,25 @@ def _build_parser() -> argparse.ArgumentParser:
         dest="flight_dump",
         help="write the flight-recorder post-mortems of every failing "
         "seed as JSON (empty list when the soak is green)",
+    )
+
+    fabric = sub.add_parser(
+        "fabric",
+        help="fabric fault tolerance: re-planning vs blind under spine "
+        "loss (docs/fabric-faults.md)",
+    )
+    fabric.add_argument(
+        "--demo",
+        action="store_true",
+        help="race the re-planning schedule against the blind one under "
+        "a mid-collective dual-rail spine outage",
+    )
+    fabric.add_argument(
+        "--json",
+        metavar="PATH",
+        help="measure the BENCH_PR10-shaped payload (degraded guard + "
+        "healthy bit-equality vs BENCH_PR8) and dump it as JSON "
+        "('-' for stdout)",
     )
 
     calib = sub.add_parser(
@@ -778,6 +811,8 @@ def _cmd_chaos(
     jobs: int = 1,
     artifact_path: Optional[str] = None,
     flight_dump_path: Optional[str] = None,
+    shape: str = "paper",
+    ranks: int = 8,
 ) -> int:
     from repro.bench.parallel import (
         parallel_soak,
@@ -808,6 +843,8 @@ def _cmd_chaos(
             shrink_failures=do_shrink,
             silent=silent,
             calibration=calibration,
+            shape=shape,
+            ranks=ranks,
         )
         print(f"[{workers} workers]")
     else:
@@ -817,6 +854,8 @@ def _cmd_chaos(
             shrink_failures=do_shrink,
             silent=silent,
             calibration=calibration,
+            shape=shape,
+            ranks=ranks,
         )
     if artifact_path:
         _dump_json(soak_artifact(report), artifact_path, "soak artifact")
@@ -840,6 +879,28 @@ def _cmd_chaos(
         if payload["soak"]["violations_on"]:
             return 1
     return 1 if report.violations else 0
+
+
+def _cmd_fabric(demo: bool, json_path: Optional[str]) -> int:
+    if not demo and not json_path:
+        print("fabric: pass --demo and/or --json PATH", file=sys.stderr)
+        return 2
+    from repro.bench.experiments import fabric_faults
+
+    if demo:
+        print(fabric_faults.run().render())
+    if json_path:
+        payload = fabric_faults.collect(
+            json_path=None if json_path == "-" else json_path
+        )
+        if json_path == "-":
+            _dump_json(payload, "-", "fabric payload")
+        else:
+            print(f"payload written to {json_path}")
+        healthy = payload["healthy"].get("vs_bench_pr8") or {}
+        if not payload["degraded"]["guard_ok"] or not all(healthy.values()):
+            return 1
+    return 0
 
 
 def _cmd_calibration(demo: bool, json_path: Optional[str]) -> int:
@@ -1051,7 +1112,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                 jobs=args.jobs,
                 artifact_path=args.artifact,
                 flight_dump_path=args.flight_dump,
+                shape=args.shape,
+                ranks=args.ranks,
             )
+        if args.command == "fabric":
+            return _cmd_fabric(args.demo, args.json)
         if args.command == "calibration":
             return _cmd_calibration(args.demo, args.json)
         if args.command == "collectives":

@@ -15,6 +15,7 @@ OBS         observability overhead: hooks off vs fully enabled
 CHAOS       chaos soak + invariant-checker overhead guard
 CAL         drift defense: blind vs calibrated under silent degrade
 COLL        collective algorithms vs naive on switched fabrics
+FAB         fabric fault tolerance: re-planning vs blind under spine loss
 ==========  ========================================================
 
 Every module exposes ``run(...) -> SweepResult`` (or a small dataclass
@@ -28,6 +29,7 @@ from repro.bench.experiments import (
     chaos_soak,
     collectives,
     degraded,
+    fabric_faults,
     fig1,
     fig3,
     fig4,
@@ -63,6 +65,7 @@ experiment_registry = {
     "CHAOS": chaos_soak.run,
     "CAL": calibration.run,
     "COLL": collectives.run,
+    "FAB": fabric_faults.run,
 }
 
 __all__ = [
@@ -71,6 +74,7 @@ __all__ = [
     "chaos_soak",
     "collectives",
     "degraded",
+    "fabric_faults",
     "obs_overhead",
     "fig1",
     "fig3",

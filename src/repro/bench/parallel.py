@@ -97,6 +97,8 @@ def parallel_soak(
     silent: bool = False,
     calibration: bool = False,
     obs_metrics: bool = False,
+    shape: str = "paper",
+    ranks: int = 8,
 ):
     """A :func:`repro.faults.chaos.soak` sharded over ``jobs`` processes.
 
@@ -130,6 +132,8 @@ def parallel_soak(
         "silent": silent,
         "calibration": calibration,
         "obs_metrics": obs_metrics,
+        "shape": shape,
+        "ranks": ranks,
     }
     report = SoakReport()
     t0 = time.perf_counter()
@@ -144,6 +148,8 @@ def parallel_soak(
                     strategy=strategy,
                     horizon=options["horizon"],
                     intensity=options["intensity"],
+                    shape=shape,
+                    ranks=ranks,
                 )
                 report.shrunk[result.seed] = minimal.to_json()
     report.wall_seconds = time.perf_counter() - t0

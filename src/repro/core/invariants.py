@@ -40,6 +40,17 @@ Checked invariants (the catalogue in ``docs/chaos.md``):
 ``drain-no-stuck``
     At drain (event queue empty) no message is in a non-terminal state:
     every send is COMPLETE or DEGRADED, nothing silently hangs.
+``route-liveness``
+    An adaptive fat-tree switch never pins a flow to a down spine while
+    another spine is up (static routing and total outages drop by
+    design and are exempt).
+``replan-byte-conservation``
+    When a collective re-plans mid-flight, bytes already accounted plus
+    bytes still pending equal the originally planned total — a re-plan
+    reorders remaining hops, it never duplicates or leaks them.
+``collective-completion``
+    A re-planning collective finishes with every planned byte accounted
+    exactly once.
 
 On failure the monitor raises a structured :class:`InvariantViolation`
 carrying the chaos seed and schedule JSON (when bound via
@@ -193,6 +204,15 @@ class NullInvariantMonitor:
         pass
 
     def on_fault(self, rule_id, action, now) -> None:
+        pass
+
+    def on_route(self, switch, spine, alive, now) -> None:
+        pass
+
+    def on_replan(self, rank, seq, planned, accounted, remaining, now) -> None:
+        pass
+
+    def on_collective_complete(self, rank, seq, planned, accounted, now) -> None:
         pass
 
     def check_drain(self, cluster) -> None:
@@ -497,6 +517,58 @@ class InvariantMonitor:
             )
         self._last_fault = (now, rule_id)
         self._note(f"fault rule={rule_id} {action.action} {action.nic}")
+
+    # ------------------------------------------------------------------ #
+    # fabric routing / collective re-plan hooks
+    # ------------------------------------------------------------------ #
+
+    def on_route(self, switch: str, spine, alive: bool, now: float) -> None:
+        """An inter-pod flow was assigned a spine (or failed to be)."""
+        self._touch(now, f"route decision on {switch}")
+        if not alive:
+            self._violate(
+                "route-liveness",
+                f"{switch}: flow pinned to down spine {spine} while "
+                f"another spine is up",
+                now,
+            )
+
+    def on_replan(
+        self,
+        rank: int,
+        seq: int,
+        planned: int,
+        accounted: int,
+        remaining: int,
+        now: float,
+    ) -> None:
+        """A collective re-cut its remaining schedule mid-flight."""
+        self._touch(now, f"re-plan on rank {rank}")
+        if accounted + remaining != planned:
+            self._violate(
+                "replan-byte-conservation",
+                f"rank {rank} collective {seq}: {accounted}B accounted + "
+                f"{remaining}B pending != {planned}B planned",
+                now,
+            )
+        self._note(
+            f"replan rank={rank} seq={seq} "
+            f"{accounted}/{planned}B accounted, {remaining}B re-cut"
+        )
+
+    def on_collective_complete(
+        self, rank: int, seq: int, planned: int, accounted: int, now: float
+    ) -> None:
+        """A re-planning collective drained its send schedule."""
+        self._touch(now, f"collective completion on rank {rank}")
+        if accounted != planned:
+            self._violate(
+                "collective-completion",
+                f"rank {rank} collective {seq} finished with {accounted}B "
+                f"accounted of {planned}B planned",
+                now,
+            )
+        self._note(f"collective-done rank={rank} seq={seq} {planned}B")
 
     # ------------------------------------------------------------------ #
     # drain audit

@@ -19,6 +19,12 @@ seeds and reports outcomes plus scenarios/sec; :func:`shrink` reduces a
 failing seed's schedule to a minimal set of episodes that still
 reproduces the violation (greedy ddmin over episodes).
 
+Fabric chaos: a schedule built with a ``fabric`` spec additionally
+draws :data:`FABRIC_EPISODE_KINDS` — spine outage storms, switch-port
+flapping, pod partitions (``docs/fabric-faults.md``) — and
+``run_scenario(shape="fat_tree", ranks=8)`` runs it on a switched
+fat-tree cluster with a re-planning alltoallv as the workload.
+
 See ``docs/chaos.md`` for the workflow.
 """
 
@@ -48,6 +54,19 @@ EPISODE_KINDS = (
 #: EPISODE_KINDS: extending that tuple would re-map every existing
 #: seed's ``rng.choice`` draws and silently change all pinned scenarios.
 SILENT_EPISODE_KINDS = EPISODE_KINDS + ("silent_degrade",)
+
+#: fabric-level episode kinds, only drawn when a schedule is built with
+#: a ``fabric`` spec ({"switches": [...], "spines": int}).  Appended to
+#: the pool rather than merged into EPISODE_KINDS for the same pinned-
+#: seed reason as SILENT_EPISODE_KINDS.
+FABRIC_EPISODE_KINDS = ("spine_outage", "link_flap", "pod_partition")
+
+#: fabric scenario shapes run_scenario understands
+CHAOS_SHAPES = ("paper", "flat", "fat_tree")
+
+#: fat-tree geometry for fabric chaos scenarios (8 ranks = 2 pods)
+FABRIC_POD_SIZE = 4
+FABRIC_SPINES = 2
 
 #: default simulated horizon faults are generated within (µs)
 DEFAULT_HORIZON = 4000.0
@@ -102,6 +121,7 @@ class ChaosSchedule:
         intensity: int = DEFAULT_INTENSITY,
         episodes: Optional[List[Dict[str, Any]]] = None,
         silent: bool = False,
+        fabric: Optional[Dict[str, Any]] = None,
     ) -> None:
         if horizon <= 0:
             raise ConfigurationError(f"chaos horizon must be positive: {horizon}")
@@ -117,6 +137,20 @@ class ChaosSchedule:
         #: opt-in: draw from the pool that includes silent_degrade
         #: episodes (unannounced bandwidth drops, calibration PR)
         self.silent = bool(silent)
+        #: opt-in fabric targets ({"switches": [...], "spines": int});
+        #: set => the pool gains FABRIC_EPISODE_KINDS
+        if fabric is not None:
+            switches = fabric.get("switches")
+            if not switches:
+                raise ConfigurationError(
+                    "chaos fabric spec needs at least one switch name"
+                )
+            self.fabric: Optional[Dict[str, Any]] = {
+                "switches": [str(s) for s in switches],
+                "spines": int(fabric.get("spines", 0)),
+            }
+        else:
+            self.fabric = None
         self.episodes: List[Dict[str, Any]] = (
             list(episodes) if episodes is not None else self._generate()
         )
@@ -136,6 +170,15 @@ class ChaosSchedule:
         rng = random.Random(f"chaos:{self.seed}")
         count = self.intensity + rng.randrange(self.intensity + 1)
         pool = SILENT_EPISODE_KINDS if self.silent else EPISODE_KINDS
+        if self.fabric is not None:
+            extra = (
+                FABRIC_EPISODE_KINDS
+                if self.fabric["spines"] > 0
+                else tuple(
+                    k for k in FABRIC_EPISODE_KINDS if k != "spine_outage"
+                )
+            )
+            pool = pool + extra
         episodes: List[Dict[str, Any]] = []
         for _ in range(count):
             kind = rng.choice(pool)
@@ -206,6 +249,47 @@ class ChaosSchedule:
                 "bw_factor": round(rng.uniform(0.3, 0.7), 2),
                 "duration": _round(rng.uniform(0.2 * h, 0.5 * h)),
             }
+        # Fabric kinds carry their targets inline so any episode subset
+        # (shrinking) round-trips through from_json self-contained.
+        if kind == "spine_outage":
+            # Storm: successive spines of one switch go down in turn.
+            fabric = self.fabric or {}
+            spines = max(1, int(fabric.get("spines", 1)))
+            return {
+                "kind": kind,
+                "switch": rng.choice(list(fabric["switches"])),
+                "spines": spines,
+                "first": rng.randrange(spines),
+                "outages": rng.randrange(1, 4),
+                "start": start,
+                "duration": _round(rng.uniform(0.05 * h, 0.25 * h)),
+            }
+        if kind == "link_flap":
+            return {
+                "kind": kind,
+                "switch": rng.choice(list((self.fabric or {})["switches"])),
+                "node": rng.choice(self.nodes),
+                "start": start,
+                "period": _round(rng.uniform(0.05 * h, 0.2 * h)),
+                "duty": round(rng.uniform(0.2, 0.7), 2),
+                "cycles": rng.randrange(2, 6),
+            }
+        if kind == "pod_partition":
+            # A contiguous slice of edge ports dies (and recovers)
+            # together — one pod cut off from the rest of the fabric.
+            width = max(1, len(self.nodes) // 4)
+            first = rng.randrange(len(self.nodes))
+            nodes = [
+                self.nodes[(first + i) % len(self.nodes)]
+                for i in range(width)
+            ]
+            return {
+                "kind": kind,
+                "switch": rng.choice(list((self.fabric or {})["switches"])),
+                "nodes": nodes,
+                "start": start,
+                "duration": _round(rng.uniform(0.05 * h, 0.2 * h)),
+            }
         raise ConfigurationError(f"unknown chaos episode kind {kind!r}")
 
     # ------------------------------------------------------------------ #
@@ -259,6 +343,33 @@ class ChaosSchedule:
                     bw_factor=ep["bw_factor"],
                     duration=ep["duration"],
                 )
+            elif kind == "spine_outage":
+                t = ep["start"]
+                spines = max(1, int(ep["spines"]))
+                spine = int(ep.get("first", 0)) % spines
+                for _ in range(ep["outages"]):
+                    sched.spine_down(
+                        f"{ep['switch']}.spine{spine}",
+                        at=t,
+                        duration=ep["duration"],
+                    )
+                    spine = (spine + 1) % spines
+                    t = _round(t + 1.5 * ep["duration"])
+            elif kind == "link_flap":
+                sched.port_flapping(
+                    f"{ep['switch']}.{ep['node']}",
+                    period=ep["period"],
+                    duty=ep["duty"],
+                    start=ep["start"],
+                    cycles=ep["cycles"],
+                )
+            elif kind == "pod_partition":
+                for node in ep["nodes"]:
+                    sched.link_down(
+                        f"{ep['switch']}.{node}",
+                        at=ep["start"],
+                        duration=ep["duration"],
+                    )
             else:
                 raise ConfigurationError(f"unknown chaos episode kind {kind!r}")
         return sched
@@ -268,7 +379,7 @@ class ChaosSchedule:
     # ------------------------------------------------------------------ #
 
     def to_json(self) -> Dict[str, Any]:
-        return {
+        out = {
             "seed": self.seed,
             "nics": list(self.nics),
             "nodes": list(self.nodes),
@@ -277,6 +388,9 @@ class ChaosSchedule:
             "silent": self.silent,
             "episodes": [dict(e) for e in self.episodes],
         }
+        if self.fabric is not None:
+            out["fabric"] = dict(self.fabric)
+        return out
 
     @classmethod
     def from_json(cls, data: Dict[str, Any]) -> "ChaosSchedule":
@@ -284,7 +398,7 @@ class ChaosSchedule:
             raise ConfigurationError(f"chaos schedule must be a mapping: {data!r}")
         unknown = set(data) - {
             "seed", "nics", "nodes", "horizon", "intensity", "silent",
-            "episodes",
+            "episodes", "fabric",
         }
         if unknown:
             raise ConfigurationError(f"unknown chaos keys: {sorted(unknown)}")
@@ -296,6 +410,7 @@ class ChaosSchedule:
             intensity=int(data.get("intensity", DEFAULT_INTENSITY)),
             episodes=[dict(e) for e in data.get("episodes", [])],
             silent=bool(data.get("silent", False)),
+            fabric=data.get("fabric"),
         )
 
 
@@ -391,6 +506,173 @@ def _seeded_workload(cluster, chaos: ChaosSchedule, seed: int) -> List[Any]:
     return messages
 
 
+def fabric_spec(shape: str, rails: int = 2) -> Dict[str, Any]:
+    """The chaos ``fabric`` dict matching :func:`run_scenario`'s build.
+
+    Switch names follow ``ClusterBuilder.build``'s naming: one
+    ``fattree<i>`` / ``switch<i>`` per rail, in rail order.
+    """
+    if shape not in ("flat", "fat_tree"):
+        raise ConfigurationError(
+            f"fabric_spec wants 'flat' or 'fat_tree', got {shape!r}"
+        )
+    prefix = "fattree" if shape == "fat_tree" else "switch"
+    return {
+        "switches": [f"{prefix}{i}" for i in range(rails)],
+        "spines": FABRIC_SPINES if shape == "fat_tree" else 0,
+    }
+
+
+def _default_chaos(
+    seed: int,
+    shape: str,
+    ranks: int,
+    horizon: float,
+    intensity: int,
+    silent: bool = False,
+) -> ChaosSchedule:
+    """The schedule :func:`run_scenario` generates when none is given."""
+    if shape == "paper":
+        return ChaosSchedule(
+            seed, horizon=horizon, intensity=intensity, silent=silent
+        )
+    return ChaosSchedule(
+        seed,
+        nodes=tuple(f"rank{i}" for i in range(ranks)),
+        horizon=horizon,
+        intensity=intensity,
+        silent=silent,
+        fabric=fabric_spec(shape),
+    )
+
+
+def _fabric_workload(world, seed: int) -> List[List[int]]:
+    """Spawn a seeded re-planning alltoallv racing the fabric faults.
+
+    An MoE-skewed matrix (random base size, skew and hot destinations
+    from ``random.Random(f"workload:{seed}")``) driven by every rank
+    with ``algorithm="replan"`` — the schedule the fault episodes are
+    aimed at.  Returns the matrix (byte totals feed the report).
+    """
+    from repro.api.collectives import moe_matrix
+
+    rng = random.Random(f"workload:{seed}")
+    n = world.size
+    base = rng.choice((16 * 1024, 64 * 1024))
+    skew = rng.randrange(4, 9)
+    hot = sorted(rng.sample(range(n), max(1, n // 4)))
+    matrix = moe_matrix(n, base, hot=hot, skew=skew)
+    for comm in world.comms:
+        world.cluster.sim.spawn(comm.alltoallv(matrix, algorithm="replan"))
+    return matrix
+
+
+def _violation_flight_dump(cluster, violation) -> Optional[Dict[str, Any]]:
+    """The post-mortem for a violation (snapshotting if none landed)."""
+    if violation is None:
+        return None
+    flight = cluster.obs.flight
+    dump = flight.last_dump()
+    if dump is None or dump.get("reason") != "invariant-violation":
+        # Mid-run violations (monitor raises inside cluster.run())
+        # bypass check_drain's trigger — snapshot the ring now.
+        dump = flight.trigger(
+            "invariant-violation",
+            cluster.sim.now,
+            detail={
+                "invariant": violation.invariant,
+                "message": violation.detail,
+            },
+        )
+    return dump
+
+
+def _run_fabric_scenario(
+    seed: int,
+    chaos: Optional[ChaosSchedule],
+    shape: str,
+    ranks: int,
+    strategy: str,
+    horizon: float,
+    intensity: int,
+    invariants: bool,
+    obs_metrics: bool,
+) -> ScenarioResult:
+    """One chaos scenario on an N-rank switched fabric.
+
+    The fabric analogue of the paper-testbed path: same watchdog, same
+    invariant monitor, same flight recorder — but the cluster is a
+    flat-switch or fat-tree fabric, the fault pool includes spine
+    outages / link flaps / pod partitions, and the workload is a
+    re-planning alltoallv across all ranks.
+    """
+    from repro.api.cluster import ClusterBuilder
+    from repro.api.mpi import MpiWorld
+    from repro.bench.runners import default_profiles
+    from repro.hardware.topology import Fabric
+
+    rails = ("myri10g", "quadrics")
+    if ranks < 2:
+        raise ConfigurationError(f"fabric chaos needs >= 2 ranks, got {ranks}")
+    if chaos is None:
+        chaos = _default_chaos(seed, shape, ranks, horizon, intensity)
+    _reset_id_counters()
+    if shape == "fat_tree":
+        fab = Fabric.fat_tree(
+            ranks,
+            rails,
+            pod_size=FABRIC_POD_SIZE,
+            spines=FABRIC_SPINES,
+            prefix="rank",
+        )
+    else:
+        fab = Fabric.flat(ranks, rails, prefix="rank")
+    builder = (
+        ClusterBuilder(strategy)
+        .fabric(fab)
+        .sampling(profiles=default_profiles(rails))
+        .resilience(timeout=CHAOS_TIMEOUT, max_retries=CHAOS_MAX_RETRIES)
+        .faults(chaos.schedule())
+        .observability(
+            trace=False, metrics=obs_metrics, accuracy=False, collectives=False
+        )
+    )
+    if invariants:
+        builder.invariants()
+    cluster = builder.build()
+    monitor = cluster.invariants
+    if monitor is not None:
+        monitor.bind_context(seed=seed, schedule=chaos.to_json())
+    violation: Optional[InvariantViolation] = None
+    try:
+        _fabric_workload(MpiWorld.from_cluster(cluster), seed)
+        cluster.run()
+        cluster.check_drain()
+    except InvariantViolation as exc:
+        violation = exc
+    engines = cluster.engines.values()
+    return ScenarioResult(
+        seed=seed,
+        ok=violation is None,
+        violation=violation,
+        elapsed_us=cluster.sim.now,
+        messages_sent=sum(e.messages_sent for e in engines),
+        messages_completed=sum(e.messages_completed for e in engines),
+        messages_degraded=sum(e.messages_degraded for e in engines),
+        retries_issued=sum(e.retries_issued for e in engines),
+        duplicates_suppressed=sum(e.duplicates_suppressed for e in engines),
+        deliveries_cancelled=sum(e.deliveries_cancelled for e in engines),
+        faults_fired=(
+            cluster.fault_injector.faults_fired if cluster.fault_injector else 0
+        ),
+        checks_performed=monitor.checks_performed if monitor else 0,
+        flight_dump=_violation_flight_dump(cluster, violation),
+        metrics_snapshot=(
+            cluster.obs.metrics.snapshot() if obs_metrics else None
+        ),
+    )
+
+
 def run_scenario(
     seed: int,
     chaos: Optional[ChaosSchedule] = None,
@@ -401,6 +683,8 @@ def run_scenario(
     silent: bool = False,
     calibration: bool = False,
     obs_metrics: bool = False,
+    shape: str = "paper",
+    ranks: int = 8,
 ) -> ScenarioResult:
     """Run one chaos scenario: paper testbed + seeded faults + invariants.
 
@@ -422,10 +706,33 @@ def run_scenario(
     additionally arms the metrics registry and attaches its snapshot to
     the result — the per-shard input to
     :func:`repro.bench.parallel.soak_obs_artifact`'s merge.
+
+    ``shape`` picks the testbed: ``"paper"`` (default, the two-node §IV
+    testbed), or a switched fabric — ``"flat"`` (one crossbar per rail)
+    or ``"fat_tree"`` (two-tier, :data:`FABRIC_SPINES` spines) across
+    ``ranks`` nodes, where the episode pool additionally draws
+    :data:`FABRIC_EPISODE_KINDS` and the workload is a re-planning
+    alltoallv (``silent``/``calibration`` are paper-shape only).
     """
     from repro.api.cluster import ClusterBuilder
     from repro.bench.runners import default_profiles
 
+    if shape not in CHAOS_SHAPES:
+        raise ConfigurationError(
+            f"chaos shape must be one of {CHAOS_SHAPES}, got {shape!r}"
+        )
+    if shape != "paper":
+        return _run_fabric_scenario(
+            seed,
+            chaos,
+            shape,
+            ranks,
+            strategy,
+            horizon,
+            intensity,
+            invariants,
+            obs_metrics,
+        )
     if chaos is None:
         chaos = ChaosSchedule(
             seed, horizon=horizon, intensity=intensity, silent=silent
@@ -459,21 +766,7 @@ def run_scenario(
         cluster.check_drain()
     except InvariantViolation as exc:
         violation = exc
-    flight_dump = None
-    if violation is not None:
-        flight = cluster.obs.flight
-        flight_dump = flight.last_dump()
-        if flight_dump is None or flight_dump.get("reason") != "invariant-violation":
-            # Mid-run violations (monitor raises inside cluster.run())
-            # bypass check_drain's trigger — snapshot the ring now.
-            flight_dump = flight.trigger(
-                "invariant-violation",
-                cluster.sim.now,
-                detail={
-                    "invariant": violation.invariant,
-                    "message": violation.detail,
-                },
-            )
+    flight_dump = _violation_flight_dump(cluster, violation)
     engine = cluster.engine("node0")
     return ScenarioResult(
         seed=seed,
@@ -570,6 +863,8 @@ def soak(
     invariants: bool = True,
     silent: bool = False,
     calibration: bool = False,
+    shape: str = "paper",
+    ranks: int = 8,
 ) -> SoakReport:
     """Run a chaos scenario per seed; collect outcomes, never abort.
 
@@ -577,7 +872,8 @@ def soak(
     With ``shrink_failures``, every failing seed's schedule is reduced
     to a minimal still-failing episode set (:func:`shrink`) and attached
     to the report.  ``silent``/``calibration`` run the silent-degrade
-    pool with the drift loop armed (the PR 5 soak).
+    pool with the drift loop armed (the PR 5 soak).  ``shape``/``ranks``
+    pick the testbed per :func:`run_scenario` — the fabric soak.
     """
     if isinstance(seeds, int):
         seeds = range(seeds)
@@ -592,11 +888,18 @@ def soak(
             invariants=invariants,
             silent=silent,
             calibration=calibration,
+            shape=shape,
+            ranks=ranks,
         )
         report.scenarios.append(result)
         if not result.ok and shrink_failures:
             minimal = shrink(
-                seed, strategy=strategy, horizon=horizon, intensity=intensity
+                seed,
+                strategy=strategy,
+                horizon=horizon,
+                intensity=intensity,
+                shape=shape,
+                ranks=ranks,
             )
             report.shrunk[seed] = minimal.to_json()
     report.wall_seconds = time.perf_counter() - t0
@@ -614,6 +917,8 @@ def shrink(
     horizon: float = DEFAULT_HORIZON,
     intensity: int = DEFAULT_INTENSITY,
     max_runs: int = 64,
+    shape: str = "paper",
+    ranks: int = 8,
 ) -> ChaosSchedule:
     """Reduce a failing seed's schedule to a minimal failing episode set.
 
@@ -623,8 +928,11 @@ def shrink(
     after ``max_runs`` scenario executions.  Returns the reduced
     :class:`ChaosSchedule` — deterministic, so the returned schedule
     replays the violation via ``run_scenario(seed, chaos=shrunk)``.
+    Works over mixed node + fabric episode sets: with a fabric
+    ``shape``, candidate subsets keep the base schedule's ``fabric``
+    spec, so spine/link episodes replay against the same switch names.
     """
-    base = ChaosSchedule(seed, horizon=horizon, intensity=intensity)
+    base = _default_chaos(seed, shape, ranks, horizon, intensity)
 
     def fails(episodes: List[Dict[str, Any]]) -> bool:
         candidate = ChaosSchedule(
@@ -634,8 +942,11 @@ def shrink(
             horizon=base.horizon,
             intensity=base.intensity,
             episodes=episodes,
+            fabric=base.fabric,
         )
-        return not run_scenario(seed, chaos=candidate, strategy=strategy).ok
+        return not run_scenario(
+            seed, chaos=candidate, strategy=strategy, shape=shape, ranks=ranks
+        ).ok
 
     runs = 0
     if not fails(base.episodes):
@@ -661,19 +972,25 @@ def shrink(
         horizon=base.horizon,
         intensity=base.intensity,
         episodes=episodes,
+        fabric=base.fabric,
     )
 
 
 __all__ = [
     "CHAOS_MAX_RETRIES",
+    "CHAOS_SHAPES",
     "CHAOS_TIMEOUT",
     "ChaosSchedule",
     "DEFAULT_HORIZON",
     "DEFAULT_INTENSITY",
     "EPISODE_KINDS",
+    "FABRIC_EPISODE_KINDS",
+    "FABRIC_POD_SIZE",
+    "FABRIC_SPINES",
     "SILENT_EPISODE_KINDS",
     "ScenarioResult",
     "SoakReport",
+    "fabric_spec",
     "run_scenario",
     "shrink",
     "soak",

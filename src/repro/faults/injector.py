@@ -17,11 +17,17 @@ import random
 from typing import Dict, Iterable, List, Tuple
 
 from repro.core.invariants import NULL_INVARIANTS
-from repro.faults.schedule import FaultAction, FaultSchedule
+from repro.faults.schedule import FABRIC_ACTIONS, FaultAction, FaultSchedule
 from repro.networks.nic import DropRule, Nic
+from repro.networks.switch import FatTreeSwitch, Switch
 from repro.networks.transfer import TransferKind
 from repro.obs import NULL_OBS
 from repro.util.errors import ConfigurationError
+
+#: fabric actions aimed at fat-tree spines rather than edge links
+_SPINE_ACTIONS = frozenset(
+    {"spine_down", "spine_up", "spine_degrade", "spine_restore"}
+)
 
 
 class FaultInjector:
@@ -31,9 +37,14 @@ class FaultInjector:
         self.schedule = schedule
         self._by_qualified: Dict[str, Nic] = {}
         self._by_name: Dict[str, List[Nic]] = {}
+        #: switches discovered behind the NICs, for fabric-targeted rules
+        self._switches: Dict[str, Switch] = {}
         for nic in nics:
             self._by_qualified[nic.qualified_name] = nic
             self._by_name.setdefault(nic.name, []).append(nic)
+            wire = getattr(nic, "wire", None)
+            if isinstance(wire, Switch) and wire.name not in self._switches:
+                self._switches[wire.name] = wire
         if not self._by_qualified:
             raise ConfigurationError("fault injector needs at least one NIC")
         self.sim = next(iter(self._by_qualified.values())).sim
@@ -87,6 +98,64 @@ class FaultInjector:
             f"known: {sorted(self._by_qualified)}"
         )
 
+    def resolve_fabric(self, name: str, action: str) -> List[tuple]:
+        """Switch targets a fabric-targeted schedule entry addresses.
+
+        Spine actions accept ``"fattree0.spine1"`` or the wildcard
+        ``"fattree0.spine*"`` (also plain ``"fattree0.*"``); link actions
+        accept ``"fattree0.node3"`` (the edge port of one node) or
+        ``"fattree0.*"`` (every port).  Returns ``(switch, target,
+        qualified)`` triples — ``target`` is a spine index or node name.
+        """
+        if "." not in name:
+            raise ConfigurationError(
+                f"fabric fault target {name!r} must be qualified "
+                f"('<switch>.<port-or-spine>'); known switches: "
+                f"{sorted(self._switches)}"
+            )
+        sw_name, _, target = name.partition(".")
+        sw = self._switches.get(sw_name)
+        if sw is None:
+            raise ConfigurationError(
+                f"fault schedule names unknown switch {sw_name!r}; "
+                f"known: {sorted(self._switches)}"
+            )
+        if action in _SPINE_ACTIONS:
+            if not isinstance(sw, FatTreeSwitch):
+                raise ConfigurationError(
+                    f"switch {sw_name!r} has no spines; {action!r} needs "
+                    f"a fat-tree switch"
+                )
+            if target in ("spine*", "*"):
+                indices = list(range(sw.spines))
+            elif target.startswith("spine"):
+                try:
+                    k = int(target[len("spine"):])
+                except ValueError:
+                    raise ConfigurationError(
+                        f"bad spine target {name!r}; expected "
+                        f"'{sw_name}.spine<k>' or '{sw_name}.spine*'"
+                    )
+                sw._check_spine(k)
+                indices = [k]
+            else:
+                raise ConfigurationError(
+                    f"bad spine target {name!r}; expected "
+                    f"'{sw_name}.spine<k>' or '{sw_name}.spine*'"
+                )
+            return [(sw, k, f"{sw_name}.spine{k}") for k in indices]
+        port_nodes = [p.machine.name for p in sw._ports]
+        if target == "*":
+            nodes = port_nodes
+        elif target in port_nodes:
+            nodes = [target]
+        else:
+            raise ConfigurationError(
+                f"switch {sw_name!r} has no port for node {target!r}; "
+                f"ports: {sorted(port_nodes)}"
+            )
+        return [(sw, node, f"{sw_name}.{node}") for node in nodes]
+
     # ------------------------------------------------------------------ #
     # arming
     # ------------------------------------------------------------------ #
@@ -105,6 +174,23 @@ class FaultInjector:
             return self
         self._armed = True
         for rule_id, action in enumerate(self.schedule.sorted_actions()):
+            if action.action in FABRIC_ACTIONS:
+                # Fabric rules share the node-rule id space: a node rule
+                # and a spine rule at one timestamp still apply in
+                # rule-id (booking) order.
+                for sw, target, qualified in self.resolve_fabric(
+                    action.nic, action.action
+                ):
+                    self.sim.schedule_at(
+                        max(action.time, self.sim.now),
+                        self._fire_fabric,
+                        action,
+                        sw,
+                        target,
+                        qualified,
+                        rule_id,
+                    )
+                continue
             for nic in self.resolve(action.nic):  # resolves eagerly: typos
                 # surface at arm time, not mid-run
                 self.sim.schedule_at(
@@ -183,6 +269,63 @@ class FaultInjector:
             ]
         else:  # pragma: no cover - schedule validation rejects these
             raise ConfigurationError(f"unknown fault action {action.action!r}")
+
+    def _fire_fabric(
+        self,
+        action: FaultAction,
+        sw: Switch,
+        target,
+        qualified: str,
+        rule_id: int,
+    ) -> None:
+        self.faults_fired += 1
+        self.fired_log.append(
+            (self.sim.now, rule_id, qualified, action.action)
+        )
+        if self.inv.on:
+            self.inv.on_fault(rule_id, action, self.sim.now)
+        obs = self.obs
+        if obs.on:
+            obs.metrics.counter("faults.fired").inc()
+            obs.metrics.counter(f"faults.{action.action}").inc()
+            if obs.tracer.enabled:
+                obs.tracer.instant(
+                    sw.name,
+                    "fabric",
+                    f"fault:{action.action}",
+                    self.sim.now,
+                    cat="fault",
+                    args={
+                        "target": qualified,
+                        "rule_id": rule_id,
+                        "params": dict(action.params),
+                    },
+                )
+        a = action.action
+        if a == "link_down":
+            sw.link_fail(target)
+        elif a == "link_up":
+            sw.link_recover(target)
+        elif a == "link_degrade":
+            sw.link_degrade(
+                target,
+                bw_factor=action.params.get("bw_factor", 1.0),
+                extra_latency=action.params.get("extra_latency", 0.0),
+            )
+        elif a == "link_restore":
+            sw.link_restore(target)
+        elif a == "spine_down":
+            sw.spine_fail(target)
+        elif a == "spine_up":
+            sw.spine_recover(target)
+        elif a == "spine_degrade":
+            sw.spine_degrade(
+                target, bw_factor=action.params.get("bw_factor", 0.5)
+            )
+        elif a == "spine_restore":
+            sw.spine_restore(target)
+        else:  # pragma: no cover - FABRIC_ACTIONS gates the dispatch
+            raise ConfigurationError(f"unknown fabric action {a!r}")
 
 
 def install_faults(cluster, schedule: FaultSchedule) -> FaultInjector:

@@ -37,7 +37,25 @@ _ACTIONS = {
     "silent_restore": (),
     "drop_start": ("probability", "kinds", "label"),
     "drop_stop": ("label",),
+    # Fabric-targeted actions (PR 10).  The ``nic`` field names a switch
+    # port or spine instead of a NIC: ``"fattree0.node3"`` (the edge
+    # link of one node), ``"fattree0.*"`` (every edge link),
+    # ``"fattree0.spine1"`` or ``"fattree0.spine*"``.  The injector
+    # resolves these against the cluster's switches.
+    "link_down": (),
+    "link_up": (),
+    "link_degrade": ("bw_factor", "extra_latency"),
+    "link_restore": (),
+    "spine_down": (),
+    "spine_up": (),
+    "spine_degrade": ("bw_factor",),
+    "spine_restore": (),
 }
+
+#: the subset of actions resolved against switches rather than NICs
+FABRIC_ACTIONS = frozenset(
+    a for a in _ACTIONS if a.startswith(("link_", "spine_"))
+)
 
 
 @dataclass(frozen=True)
@@ -275,6 +293,103 @@ class FaultSchedule:
         )
         if stop is not None:
             self._add(parse_time(stop), nic, "drop_stop", label=label)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # fabric faults: switch links and spines
+    # ------------------------------------------------------------------ #
+
+    def link_down(self, link: str, at, duration=None) -> "FaultSchedule":
+        """Kill a switch edge link (``"fattree0.node3"``, or
+        ``"fattree0.*"`` for every port) at ``at``; a dead link rejects
+        traffic in both directions.  Back up after ``duration`` if given."""
+        start = parse_time(at)
+        self._add(start, link, "link_down")
+        if duration is not None:
+            self._add(start + parse_time(duration), link, "link_up")
+        return self
+
+    def link_up(self, link: str, at) -> "FaultSchedule":
+        return self._add(at, link, "link_up")
+
+    def link_degrade(
+        self,
+        link: str,
+        at,
+        bw_factor: float = 1.0,
+        extra_latency=0.0,
+        duration=None,
+    ) -> "FaultSchedule":
+        """Stretch one edge link's drain/latency from ``at``."""
+        start = parse_time(at)
+        self._add(
+            start,
+            link,
+            "link_degrade",
+            bw_factor=float(bw_factor),
+            extra_latency=parse_time(extra_latency),
+        )
+        if duration is not None:
+            self._add(start + parse_time(duration), link, "link_restore")
+        return self
+
+    def link_restore(self, link: str, at) -> "FaultSchedule":
+        return self._add(at, link, "link_restore")
+
+    def spine_down(self, spine: str, at, duration=None) -> "FaultSchedule":
+        """Kill a fat-tree spine (``"fattree0.spine1"``, or
+        ``"fattree0.spine*"`` for all of them).  A dead spine serializes
+        nothing: flows hashed onto it re-route (adaptive) or drop
+        (static)."""
+        start = parse_time(at)
+        self._add(start, spine, "spine_down")
+        if duration is not None:
+            self._add(start + parse_time(duration), spine, "spine_up")
+        return self
+
+    def spine_up(self, spine: str, at) -> "FaultSchedule":
+        return self._add(at, spine, "spine_up")
+
+    def spine_degrade(
+        self, spine: str, at, bw_factor: float = 0.5, duration=None
+    ) -> "FaultSchedule":
+        """Slow one spine's serialization rate by ``bw_factor``."""
+        start = parse_time(at)
+        self._add(start, spine, "spine_degrade", bw_factor=float(bw_factor))
+        if duration is not None:
+            self._add(start + parse_time(duration), spine, "spine_restore")
+        return self
+
+    def spine_restore(self, spine: str, at) -> "FaultSchedule":
+        return self._add(at, spine, "spine_restore")
+
+    def port_flapping(
+        self,
+        link: str,
+        period,
+        duty: float = 0.5,
+        start=0.0,
+        cycles: int = 1,
+    ) -> "FaultSchedule":
+        """A flapping switch port: each ``period``, down for ``duty`` of
+        it — the fabric-side analogue of :meth:`flapping`."""
+        if not 0.0 < duty < 1.0:
+            raise ConfigurationError(
+                f"port_flapping duty must be in (0, 1), got {duty}"
+            )
+        if cycles < 1:
+            raise ConfigurationError(
+                f"port_flapping needs >= 1 cycle, got {cycles}"
+            )
+        p = parse_time(period)
+        if p <= 0:
+            raise ConfigurationError(
+                f"port_flapping period must be positive, got {p}"
+            )
+        t = parse_time(start)
+        for _ in range(cycles):
+            self.link_down(link, at=t, duration=duty * p)
+            t += p
         return self
 
     # ------------------------------------------------------------------ #

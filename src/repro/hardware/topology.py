@@ -133,8 +133,12 @@ class FabricRail:
       (:class:`repro.networks.switch.FatTreeSwitch`).
 
     ``pod_size`` (fat tree only) is nodes per edge pod; 0 picks a
-    near-square layout at build time.  ``overrides`` are driver profile
-    overrides, as in :meth:`ClusterBuilder.add_rail`.
+    near-square layout at build time.  ``adaptive`` (fat tree only)
+    enables health-aware spine selection: flows hashed onto a
+    down/degraded spine deterministically re-route to a healthy one
+    (bit-identical to the static ECMP hash while no fabric fault has
+    fired).  ``overrides`` are driver profile overrides, as in
+    :meth:`ClusterBuilder.add_rail`.
     """
 
     technology: str
@@ -142,6 +146,7 @@ class FabricRail:
     switch_latency: float = 0.3
     pod_size: int = 0
     spines: int = 2
+    adaptive: bool = True
     overrides: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -168,6 +173,8 @@ class FabricRail:
             if self.pod_size:
                 out["pod_size"] = self.pod_size
             out["spines"] = self.spines
+            if not self.adaptive:
+                out["adaptive"] = False
         if self.overrides:
             out["overrides"] = dict(self.overrides)
         return out
@@ -176,7 +183,7 @@ class FabricRail:
     def from_dict(cls, spec: Mapping[str, Any]) -> "FabricRail":
         known = {
             "driver", "technology", "kind", "switch_latency", "pod_size",
-            "spines", "overrides",
+            "spines", "adaptive", "overrides",
         }
         unknown = set(spec) - known
         if unknown:
@@ -193,6 +200,7 @@ class FabricRail:
             switch_latency=float(spec.get("switch_latency", 0.3)),
             pod_size=int(spec.get("pod_size", 0)),
             spines=int(spec.get("spines", 2)),
+            adaptive=bool(spec.get("adaptive", True)),
             overrides=dict(spec.get("overrides", {})),
         )
 
@@ -308,6 +316,7 @@ class Fabric:
         spines: int = 2,
         switch_latency: float = 0.3,
         prefix: str = "node",
+        adaptive: bool = True,
     ) -> "Fabric":
         """N nodes behind a two-stage fat tree per rail technology."""
         return cls(
@@ -319,6 +328,7 @@ class Fabric:
                     switch_latency=switch_latency,
                     pod_size=pod_size,
                     spines=spines,
+                    adaptive=adaptive,
                 )
                 for r in rails
             ),

@@ -20,11 +20,22 @@ The engine is fabric-agnostic: both :class:`Wire` and :class:`Switch`
 expose ``peers_of(nic)`` and ``transmit(src, transfer)`` (transfers
 through a switch carry their destination node, which the engine's
 protocol constructors always set).
+
+Fabric faults (``docs/fabric-faults.md``): a switch is a fault domain of
+its own.  Per-port *links* (keyed by attached node name) can go down —
+packets to or from a dead link are discarded at the edge, the sender's
+watchdog recovers them — or degrade (output drain stretched by
+``1/bw_factor`` plus extra delivery latency).  A :class:`FatTreeSwitch`
+additionally exposes per-*spine* faults: a down spine serializes nothing
+(packets hashed onto it are discarded at the edge, never queued), and a
+degraded spine drains slower.  All fault state starts empty/healthy and
+every fault adjustment is branch-guarded, so a run with no fabric fault
+armed is bit-identical to one built before this surface existed.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional, Set
 
 from repro.util.errors import ConfigurationError, ProtocolError
 
@@ -45,6 +56,14 @@ class Switch:
         self._port_free: Dict[int, float] = {}
         self.packets_forwarded = 0
         self.contended_packets = 0
+        #: links (keyed by node name) currently down — empty when healthy
+        self._link_down: Set[str] = set()
+        #: per-node-link degrade state (bandwidth factor / extra latency);
+        #: empty dicts on the healthy path, so no float op ever changes
+        self._link_bw: Dict[str, float] = {}
+        self._link_extra: Dict[str, float] = {}
+        #: packets discarded at the edge because a link was down
+        self.link_dropped_packets = 0
 
     def __repr__(self) -> str:
         return f"<Switch {self.name}: {len(self._ports)} ports>"
@@ -93,6 +112,65 @@ class Switch:
         return peers[0]
 
     # ------------------------------------------------------------------ #
+    # fabric faults: per-port link state (docs/fabric-faults.md)
+    # ------------------------------------------------------------------ #
+
+    def _check_link(self, node: str) -> str:
+        names = {p.machine.name for p in self._ports}
+        if node not in names:
+            raise ConfigurationError(
+                f"switch {self.name} has no port on node {node!r}; "
+                f"known: {sorted(names)}"
+            )
+        return node
+
+    def link_fail(self, node: str) -> None:
+        """Take the port link of ``node`` down: packets to or from it are
+        discarded at the edge (the sender's watchdog recovers them)."""
+        self._link_down.add(self._check_link(node))
+
+    def link_recover(self, node: str) -> None:
+        self._link_down.discard(self._check_link(node))
+
+    def link_degrade(
+        self, node: str, bw_factor: float = 1.0, extra_latency: float = 0.0
+    ) -> None:
+        """Stretch the port link of ``node``: its output drains at
+        ``bw_factor`` of the healthy rate, deliveries through it pay
+        ``extra_latency`` more."""
+        self._check_link(node)
+        if bw_factor <= 0:
+            raise ConfigurationError(
+                f"link bw_factor must be positive, got {bw_factor}"
+            )
+        if extra_latency < 0:
+            raise ConfigurationError(
+                f"negative link extra_latency: {extra_latency}"
+            )
+        self._link_bw[node] = float(bw_factor)
+        self._link_extra[node] = float(extra_latency)
+
+    def link_restore(self, node: str) -> None:
+        self._check_link(node)
+        self._link_bw.pop(node, None)
+        self._link_extra.pop(node, None)
+
+    def link_is_up(self, node: str) -> bool:
+        return node not in self._link_down
+
+    def _count_drop(self, src: Nic) -> None:
+        obs = src.obs
+        if obs.on:
+            obs.metrics.counter(f"fabric.{self.name}.dropped_packets").inc()
+
+    @staticmethod
+    def _discard(dst: Nic, transfer: Transfer) -> None:
+        """Drop a packet at the switch (dead link/spine on its path)."""
+        transfer.wire_event = None
+        transfer.dropped = True
+        dst.transfers_dropped += 1
+
+    # ------------------------------------------------------------------ #
     # forwarding
     # ------------------------------------------------------------------ #
 
@@ -105,6 +183,18 @@ class Switch:
             )
         dst = self._resolve(src, transfer.dst_node)
         sim = src.sim
+        if self._link_down and (
+            src.machine.name in self._link_down
+            or dst.machine.name in self._link_down
+        ):
+            # A dead link rejects traffic: the head reaches the edge one
+            # latency in and is discarded there.
+            self.link_dropped_packets += 1
+            self._count_drop(src)
+            transfer.wire_event = sim.schedule_at(
+                sim.now + self.switch_latency, self._discard, dst, transfer
+            )
+            return
         rate = src.profile.dma_rate
         drain = transfer.size / rate
         # Cut-through: the head of the packet reached us one latency after
@@ -113,22 +203,32 @@ class Switch:
         head_in = (
             transfer.t_wire_start if transfer.t_wire_start is not None else sim.now
         ) + self.switch_latency
+        if self._link_extra:
+            head_in += self._link_extra.get(src.machine.name, 0.0)
+        out_drain = drain
+        if self._link_bw:
+            factor = self._link_bw.get(dst.machine.name, 1.0)
+            if factor != 1.0:
+                out_drain = drain / factor
         free_at = self._port_free[id(dst)]
         start = max(head_in, free_at)
         if free_at > head_in:
             self.contended_packets += 1
-        delivery = max(start + drain, sim.now + self.switch_latency)
+        delivery = max(start + out_drain, sim.now + self.switch_latency)
         self._port_free[id(dst)] = delivery
         self.packets_forwarded += 1
         obs = src.obs
         if obs.on:
             # Purely passive: every value is already computed above.
             self._observe_link(
-                obs, src, dst, transfer, start, drain,
+                obs, src, dst, transfer, start, out_drain,
                 max(0.0, free_at - head_in),
             )
+        extra = src.extra_latency
+        if self._link_extra:
+            extra += self._link_extra.get(dst.machine.name, 0.0)
         transfer.wire_event = sim.schedule_at(
-            delivery + src.extra_latency, self._deliver, dst, transfer
+            delivery + extra, self._deliver, dst, transfer
         )
 
     # ------------------------------------------------------------------ #
@@ -258,6 +358,7 @@ class FatTreeSwitch(Switch):
         switch_latency: float = 0.3,
         pod_size: int = 4,
         spines: int = 2,
+        adaptive: bool = True,
     ) -> None:
         super().__init__(name=name, switch_latency=switch_latency)
         if pod_size < 1:
@@ -266,14 +367,31 @@ class FatTreeSwitch(Switch):
             raise ConfigurationError(f"spines must be >= 1, got {spines}")
         self.pod_size = pod_size
         self.spines = spines
+        #: health-aware ECMP: deterministically re-hash flows away from
+        #: down/degraded spines.  While every spine is healthy the static
+        #: hash is returned untouched (bit-identical fallback); with
+        #: ``adaptive=False`` flows stay pinned to the static hash even
+        #: through a dead spine (the blind baseline).
+        self.adaptive = bool(adaptive)
         #: per spine link: instant it frees up
         self._spine_free: List[float] = [0.0] * spines
+        #: per spine link: up/down and degrade factor (fault surface)
+        self._spine_up: List[bool] = [True] * spines
+        self._spine_bw: List[float] = [1.0] * spines
+        #: cached "any spine faulted" flag — the healthy fast path reads
+        #: one bool instead of scanning the spine tables per packet
+        self._spines_faulted = False
         self.intra_pod_packets = 0
         self.inter_pod_packets = 0
         #: inter-pod packets that waited for a busy spine link
         self.spine_contended_packets = 0
         #: packets forwarded per spine link (load-balance visibility)
         self.spine_packets: List[int] = [0] * spines
+        #: inter-pod packets discarded because their spine was down
+        self.spine_dropped_packets = 0
+        #: inter-pod packets the health-aware selector moved off the
+        #: static hash (down or degraded spine avoided)
+        self.spine_rerouted_packets = 0
 
     def __repr__(self) -> str:
         pods = (len(self._ports) + self.pod_size - 1) // self.pod_size
@@ -296,6 +414,89 @@ class FatTreeSwitch(Switch):
         src_pod, dst_pod = src_idx // self.pod_size, dst_idx // self.pod_size
         return (src_pod * pods + dst_pod) % self.spines
 
+    # ------------------------------------------------------------------ #
+    # fabric faults: spine state + health-aware ECMP
+    # ------------------------------------------------------------------ #
+
+    def _check_spine(self, spine: int) -> int:
+        if not 0 <= spine < self.spines:
+            raise ConfigurationError(
+                f"switch {self.name} has spines 0..{self.spines - 1}, "
+                f"got {spine}"
+            )
+        return spine
+
+    def _refresh_spine_health(self) -> None:
+        self._spines_faulted = (not all(self._spine_up)) or any(
+            f != 1.0 for f in self._spine_bw
+        )
+
+    def spine_fail(self, spine: int) -> None:
+        """Take one spine link down.  A dead spine serializes nothing:
+        packets still hashed onto it (``adaptive=False``, or every spine
+        down) are discarded at the edge without touching its queue."""
+        self._spine_up[self._check_spine(spine)] = False
+        self._refresh_spine_health()
+
+    def spine_recover(self, spine: int) -> None:
+        self._spine_up[self._check_spine(spine)] = True
+        self._refresh_spine_health()
+
+    def spine_degrade(self, spine: int, bw_factor: float = 1.0) -> None:
+        """One spine link drains at ``bw_factor`` of the healthy rate."""
+        self._check_spine(spine)
+        if bw_factor <= 0:
+            raise ConfigurationError(
+                f"spine bw_factor must be positive, got {bw_factor}"
+            )
+        self._spine_bw[spine] = float(bw_factor)
+        self._refresh_spine_health()
+
+    def spine_restore(self, spine: int) -> None:
+        self._spine_bw[self._check_spine(spine)] = 1.0
+        self._refresh_spine_health()
+
+    def spine_is_up(self, spine: int) -> bool:
+        return self._spine_up[self._check_spine(spine)]
+
+    def _select_spine(self, src_idx: int, dst_idx: int) -> Optional[int]:
+        """Health-aware ECMP: the static hash unless that spine is
+        down/degraded and re-routing is allowed.
+
+        Healthy fabric (or ``adaptive=False``): exactly
+        :meth:`_spine_for` — the bit-identical static fallback.  Under a
+        fault, probe the spines in deterministic ``(base + k) % spines``
+        order and pick the least-loaded fully-healthy one (earliest
+        ``_spine_free`` — the PR 8 per-spine accounting, consulted only
+        while the fabric is degraded so healthy runs never diverge);
+        with no healthy spine fall back to the first up-but-degraded
+        one; with every spine down return ``None`` (the packet is
+        discarded at the edge).
+        """
+        base = self._spine_for(src_idx, dst_idx)
+        if not self.adaptive or not self._spines_faulted:
+            return base
+        if self._spine_up[base] and self._spine_bw[base] == 1.0:
+            # Only flows whose hashed spine is faulted move — healthy
+            # pod pairs keep their static route through the incident.
+            return base
+        probe = [(base + k) % self.spines for k in range(self.spines)]
+        healthy = [
+            s for s in probe if self._spine_up[s] and self._spine_bw[s] == 1.0
+        ]
+        if healthy:
+            chosen = min(
+                healthy, key=lambda s: (self._spine_free[s], probe.index(s))
+            )
+        else:
+            up = [s for s in probe if self._spine_up[s]]
+            if not up:
+                return None
+            chosen = up[0]
+        if chosen != base:
+            self.spine_rerouted_packets += 1
+        return chosen
+
     def transmit(self, src: Nic, transfer: Transfer) -> None:
         """Forward through edge (and, inter-pod, spine) stages."""
         if not transfer.dst_node:
@@ -306,11 +507,22 @@ class FatTreeSwitch(Switch):
         dst = self._resolve(src, transfer.dst_node)
         src_idx, dst_idx = self._ports.index(src), self._ports.index(dst)
         if src_idx // self.pod_size == dst_idx // self.pod_size:
-            # Same pod: one edge hop — exactly the flat-switch path.
+            # Same pod: one edge hop — exactly the flat-switch path
+            # (including its link-fault handling).
             self.intra_pod_packets += 1
             super().transmit(src, transfer)
             return
         sim = src.sim
+        if self._link_down and (
+            src.machine.name in self._link_down
+            or dst.machine.name in self._link_down
+        ):
+            self.link_dropped_packets += 1
+            self._count_drop(src)
+            transfer.wire_event = sim.schedule_at(
+                sim.now + self.switch_latency, self._discard, dst, transfer
+            )
+            return
         rate = src.profile.dma_rate
         drain = transfer.size / rate
         t_start = (
@@ -318,14 +530,40 @@ class FatTreeSwitch(Switch):
         )
         # Stage 1+2: the head crosses the source edge switch and reaches
         # its spine two latencies after leaving the NIC, then serializes
-        # on the hashed spine link.
-        spine = self._spine_for(src_idx, dst_idx)
+        # on the (health-aware) hashed spine link.
+        spine = self._select_spine(src_idx, dst_idx)
+        inv = src.inv
+        if inv.on:
+            # Route-liveness: the selector must never pin a flow to a
+            # down spine while an alternative is up (static routing and
+            # total outages are deliberate, not violations).
+            pinned_dead = (
+                self.adaptive
+                and any(self._spine_up)
+                and (spine is None or not self._spine_up[spine])
+            )
+            inv.on_route(self.name, spine, not pinned_dead, sim.now)
+        if spine is None or not self._spine_up[spine]:
+            # Dead spine (static hash) or no spine up at all: discarded
+            # at the edge — a dead spine serializes nothing.
+            self.spine_dropped_packets += 1
+            self._count_drop(src)
+            transfer.wire_event = sim.schedule_at(
+                sim.now + 2.0 * self.switch_latency, self._discard, dst, transfer
+            )
+            return
         head_at_spine = t_start + 2.0 * self.switch_latency
+        if self._link_extra:
+            head_at_spine += self._link_extra.get(src.machine.name, 0.0)
         spine_free = self._spine_free[spine]
         spine_start = max(head_at_spine, spine_free)
         if spine_free > head_at_spine:
             self.spine_contended_packets += 1
-        self._spine_free[spine] = spine_start + drain
+        spine_drain = drain
+        bw = self._spine_bw[spine]
+        if bw != 1.0:
+            spine_drain = drain / bw
+        self._spine_free[spine] = spine_start + spine_drain
         self.spine_packets[spine] += 1
         # Stage 3: the head reaches the destination edge one latency
         # later and drains through the (possibly busy) output port.  The
@@ -337,7 +575,17 @@ class FatTreeSwitch(Switch):
         start = max(head_at_port, free_at)
         if free_at > head_at_port:
             self.contended_packets += 1
-        delivery = max(start + drain, sim.now + 3.0 * self.switch_latency)
+        out_drain = drain
+        if self._link_bw:
+            factor = self._link_bw.get(dst.machine.name, 1.0)
+            if factor != 1.0:
+                out_drain = drain / factor
+        delivery = max(start + out_drain, sim.now + 3.0 * self.switch_latency)
+        if spine_drain != drain:
+            # A degraded spine can hold the tail past the port drain.
+            delivery = max(
+                delivery, spine_start + spine_drain + self.switch_latency
+            )
         self._port_free[id(dst)] = delivery
         self.packets_forwarded += 1
         self.inter_pod_packets += 1
@@ -345,13 +593,16 @@ class FatTreeSwitch(Switch):
         if obs.on:
             # Spine serialization and output-port drain, both passive.
             self._observe_spine(
-                obs, src, transfer, spine, spine_start, drain,
+                obs, src, transfer, spine, spine_start, spine_drain,
                 max(0.0, spine_free - head_at_spine),
             )
             self._observe_link(
-                obs, src, dst, transfer, start, drain,
+                obs, src, dst, transfer, start, out_drain,
                 max(0.0, free_at - head_at_port),
             )
+        extra = src.extra_latency
+        if self._link_extra:
+            extra += self._link_extra.get(dst.machine.name, 0.0)
         transfer.wire_event = sim.schedule_at(
-            delivery + src.extra_latency, self._deliver, dst, transfer
+            delivery + extra, self._deliver, dst, transfer
         )

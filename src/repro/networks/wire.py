@@ -4,6 +4,11 @@ The paper's testbed connects two nodes back-to-back on each rail, so a
 wire is a full-duplex point-to-point link: each direction only adds
 propagation latency — throughput serialization is enforced by the sending
 NIC's transmit engine, where it physically happens.
+
+Fault surface: a point-to-point wire has no failure modes of its own —
+NIC-level faults (``repro.faults``) cover both endpoints.  Fabric links
+and spines, which *can* fail independently of the NICs, live in
+:mod:`repro.networks.switch`.
 """
 
 from __future__ import annotations

@@ -1,0 +1,137 @@
+"""Satellite: the selector excludes algorithms that need a down link.
+
+``AlgorithmSelector.costs/select/table`` take a :class:`FabricHealth`
+view; algorithms whose schedule requires a currently-dead rank pair are
+excluded from pricing, and ``ConfigurationError`` fires only when *no*
+algorithm is feasible.
+"""
+
+import pytest
+
+from repro.api import collectives as coll
+from repro.api.mpi import MpiWorld
+from repro.bench.runners import default_profiles
+from repro.hardware.topology import Fabric
+from repro.util.errors import ConfigurationError
+
+RAILS = ("myri10g", "quadrics")
+
+
+def _mesh_world(n=8):
+    """Full mesh of wires: every pair has its own rails."""
+    return MpiWorld.create(n, profiles=default_profiles(RAILS))
+
+
+def _health(world):
+    return coll.FabricHealth(
+        world.cluster, [world.node_name(r) for r in range(world.size)]
+    )
+
+
+def _kill_pair(world, i, j):
+    """Down every rail between ranks i and j (both wire endpoints)."""
+    killed = 0
+    for rank_idx, peer_idx in ((i, j), (j, i)):
+        machine = world.cluster.machines[world.node_name(rank_idx)]
+        peer_name = world.node_name(peer_idx)
+        for nic in machine.nics:
+            wire = nic.wire
+            peer = wire.nic_b if wire.nic_a is nic else wire.nic_a
+            if peer.machine.name == peer_name:
+                nic.fail()
+                killed += 1
+    assert killed, f"no rail between ranks {i} and {j}"
+
+
+class TestHealthyPassThrough:
+    def test_healthy_health_changes_nothing(self):
+        world = _mesh_world()
+        selector = world.selector()
+        health = _health(world)
+        for collective in ("bcast", "gather", "alltoall", "alltoallv"):
+            assert selector.costs(collective, 65536, 8, health=health) == (
+                selector.costs(collective, 65536, 8)
+            )
+            assert selector.select(collective, 65536, 8, health=health) == (
+                selector.select(collective, 65536, 8)
+            )
+
+    def test_unfaulted_world_has_no_health_view(self):
+        # No fault schedule armed => no probing at all: the healthy
+        # auto path must stay exactly the pre-fault-surface path.
+        assert _mesh_world().fabric_health() is None
+
+
+class TestFeasibilityFiltering:
+    def test_ring_excluded_when_a_ring_edge_dies(self):
+        # (1, 2) is a ring successor edge but not a binomial-tree edge
+        # for root 0, and gather-naive only needs (j, root) pairs.
+        world = _mesh_world()
+        selector = world.selector()
+        _kill_pair(world, 1, 2)
+        health = _health(world)
+        assert not health.alive(1, 2)
+        costs = selector.costs("gather", 65536, 8, health=health)
+        assert "ring" not in costs
+        assert "naive" in costs and "binomial" in costs
+        assert selector.select("gather", 65536, 8, health=health) != "ring"
+
+    def test_table_marks_only_feasible_algorithms(self):
+        world = _mesh_world()
+        selector = world.selector()
+        _kill_pair(world, 1, 2)
+        health = _health(world)
+        table = selector.table("gather", 65536, 8, health=health)
+        assert "ring" not in table
+        assert "binomial" in table
+
+    def test_error_only_when_nothing_feasible(self):
+        # All-to-all schedules touch every pair: killing any one pair
+        # kills naive/ring/rails; doubling survives only if the pair is
+        # not a dissemination edge — kill one of those too.
+        world = _mesh_world()
+        selector = world.selector()
+        _kill_pair(world, 0, 1)  # dissemination distance-1 edge
+        health = _health(world)
+        with pytest.raises(ConfigurationError, match="no feasible"):
+            selector.costs("alltoall", 65536, 8, health=health)
+
+    def test_doubling_survives_a_non_dissemination_pair_loss(self):
+        # (1, 4) is distance 3: not a power-of-two dissemination edge,
+        # so Bruck's alltoall stays feasible while all-pair schedules die.
+        world = _mesh_world()
+        selector = world.selector()
+        _kill_pair(world, 1, 4)
+        health = _health(world)
+        costs = selector.costs("alltoall", 65536, 8, health=health)
+        assert set(costs) == {"doubling"}
+        assert selector.select("alltoall", 65536, 8, health=health) == "doubling"
+
+
+class TestFatTreeHealth:
+    def test_adaptive_fat_tree_survives_one_spine(self):
+        fab = Fabric.fat_tree(8, rails=RAILS, pod_size=4, spines=2, prefix="rank")
+        world = MpiWorld.create(fabric=fab, profiles=default_profiles(RAILS))
+        for machine in world.cluster.machines.values():
+            for nic in machine.nics:
+                nic.wire.spine_fail(0)
+            break  # switches are shared; one machine reaches them all
+        health = _health(world)
+        assert health.alive(0, 4)
+        assert world.selector().costs("alltoall", 65536, 8, health=health)
+
+    def test_static_fat_tree_loses_pairs_pinned_to_a_dead_spine(self):
+        fab = Fabric.fat_tree(
+            8, rails=RAILS, pod_size=4, spines=2, prefix="rank", adaptive=False
+        )
+        world = MpiWorld.create(fabric=fab, profiles=default_profiles(RAILS))
+        switches = set()
+        for machine in world.cluster.machines.values():
+            for nic in machine.nics:
+                switches.add(nic.wire)
+        for sw in switches:
+            sw.spine_fail(sw._spine_for(0, 4))
+        health = _health(world)
+        assert not health.alive(0, 4)
+        with pytest.raises(ConfigurationError, match="no feasible"):
+            world.selector().costs("alltoall", 65536, 8, health=health)

@@ -1,0 +1,88 @@
+"""Satellite regression: node + fabric rules share one rule-id space.
+
+Before the fabric fault surface, every rule targeted a NIC; now a
+schedule can mix NIC rules with link/spine rules.  Same-instant firing
+order must stay deterministic across the *combined* schedule: rule ids
+are assigned in booking order over all rules, node and fabric alike,
+and same-instant events fire in rule-id order.
+"""
+
+from repro.api import ClusterBuilder, FaultSchedule
+from repro.bench.runners import default_profiles
+from repro.hardware.topology import Fabric
+
+RAILS = ("myri10g", "quadrics")
+
+
+def _fired(schedule):
+    fab = Fabric.fat_tree(8, rails=RAILS, pod_size=4, spines=2, prefix="rank")
+    cluster = (
+        ClusterBuilder("hetero_split")
+        .fabric(fab)
+        .sampling(profiles=default_profiles(RAILS))
+        .invariants()
+        .faults(schedule)
+        .build()
+    )
+    cluster.run()
+    return cluster.fault_injector.fired_log
+
+
+class TestMixedSameInstantOrdering:
+    def test_node_then_fabric_rules_fire_in_booking_order(self):
+        schedule = FaultSchedule()
+        schedule.nic_down("rank0.myri10g0", at=100.0, duration=50.0)
+        schedule.spine_down("fattree0.spine0", at=100.0, duration=50.0)
+        schedule.link_down("fattree1.rank3", at=100.0, duration=50.0)
+        log = _fired(schedule)
+        assert [(t, r, n, a) for t, r, n, a in log] == [
+            (100.0, 0, "rank0.myri10g0", "down"),
+            (100.0, 1, "fattree0.spine0", "spine_down"),
+            (100.0, 2, "fattree1.rank3", "link_down"),
+            (150.0, 3, "rank0.myri10g0", "up"),
+            (150.0, 4, "fattree0.spine0", "spine_up"),
+            (150.0, 5, "fattree1.rank3", "link_up"),
+        ]
+
+    def test_fabric_before_node_keeps_booking_order(self):
+        schedule = FaultSchedule()
+        schedule.spine_down("fattree0.spine1", at=200.0, duration=100.0)
+        schedule.nic_down("rank1.quadrics1", at=200.0, duration=100.0)
+        log = _fired(schedule)
+        at_200 = [(r, n, a) for t, r, n, a in log if t == 200.0]
+        assert at_200 == [
+            (0, "fattree0.spine1", "spine_down"),
+            (1, "rank1.quadrics1", "down"),
+        ]
+
+    def test_rule_ids_never_regress_within_an_instant(self):
+        schedule = FaultSchedule(seed=9)
+        schedule.flapping(
+            "rank0.myri10g0", period=100.0, duty=0.5, start=50.0, cycles=4
+        )
+        schedule.port_flapping(
+            "fattree0.rank2", period=100.0, duty=0.5, start=50.0, cycles=4
+        )
+        log = _fired(schedule)
+        assert log, "flapping schedules fired nothing"
+        by_time = {}
+        for t, rule_id, _target, _action in log:
+            by_time.setdefault(t, []).append(rule_id)
+        for t, rule_ids in by_time.items():
+            assert rule_ids == sorted(rule_ids), (t, rule_ids)
+
+    def test_wildcard_spine_rules_expand_deterministically(self):
+        schedule = FaultSchedule()
+        schedule.spine_down("fattree0.spine*", at=100.0, duration=50.0)
+        log = _fired(schedule)
+        downs = [(r, n) for t, r, n, a in log if a == "spine_down"]
+        assert downs == [(0, "fattree0.spine0"), (0, "fattree0.spine1")]
+
+    def test_same_schedule_same_log_twice(self):
+        schedule_a = FaultSchedule(seed=3)
+        schedule_a.nic_down("rank0.myri10g0", at=100.0, duration=50.0)
+        schedule_a.spine_down("fattree1.spine0", at=100.0, duration=50.0)
+        schedule_b = FaultSchedule(seed=3)
+        schedule_b.nic_down("rank0.myri10g0", at=100.0, duration=50.0)
+        schedule_b.spine_down("fattree1.spine0", at=100.0, duration=50.0)
+        assert _fired(schedule_a) == _fired(schedule_b)

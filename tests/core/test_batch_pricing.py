@@ -36,11 +36,16 @@ def sample_tables(draw):
         )
     )
     sizes = np.cumsum(steps).tolist()
-    times = draw(
-        st.lists(
-            st.floats(min_value=0.0, max_value=1e5, allow_nan=False),
-            min_size=n,
-            max_size=n,
+    # inverse()/inverse_batch() require a non-decreasing curve (blend()
+    # enforces this with a running max); an unsorted draw makes the two
+    # binary searches legitimately disagree.
+    times = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=1e5, allow_nan=False),
+                min_size=n,
+                max_size=n,
+            )
         )
     )
     return SampleTable(sizes=sizes, times=times)

@@ -1,0 +1,214 @@
+"""Fabric fault surface: link/spine failures, adaptive spine re-routing."""
+
+import pytest
+
+from repro.hardware import Machine
+from repro.networks import Nic, Transfer, TransferKind
+from repro.networks.drivers import MxDriver
+from repro.networks.switch import FatTreeSwitch, Switch
+from repro.simtime import Simulator
+from repro.util.errors import ConfigurationError
+
+
+@pytest.fixture
+def sim2():
+    """A second simulator for healthy-vs-faulted timing comparisons."""
+    return Simulator()
+
+
+def make_star(sim, n_nodes=3, latency=0.3):
+    switch = Switch(name="sw", switch_latency=latency)
+    machines = [Machine(sim, f"node{i}") for i in range(n_nodes)]
+    for m in machines:
+        switch.attach(Nic(m, MxDriver(), name="port"))
+    return switch, machines
+
+
+def make_tree(sim, n_nodes=4, pod_size=2, spines=2, latency=0.3, adaptive=True):
+    switch = FatTreeSwitch(
+        name="ft",
+        switch_latency=latency,
+        pod_size=pod_size,
+        spines=spines,
+        adaptive=adaptive,
+    )
+    machines = [Machine(sim, f"node{i}") for i in range(n_nodes)]
+    for m in machines:
+        switch.attach(Nic(m, MxDriver(), name="port"))
+    return switch, machines
+
+
+def rdv(size, dst, msg_id=0):
+    return Transfer(
+        kind=TransferKind.RDV_DATA, size=size, msg_id=msg_id, dst_node=dst
+    )
+
+
+class TestLinkFaults:
+    def test_down_src_link_drops_the_transfer(self, sim):
+        switch, machines = make_star(sim, 2)
+        switch.link_fail("node0")
+        t = rdv(1 << 16, "node1")
+        machines[0].nics[0].submit(t, machines[0].cores[0])
+        sim.run()
+        assert t.dropped
+        assert t.t_delivered is None
+        assert switch.link_dropped_packets == 1
+
+    def test_down_dst_link_drops_the_transfer(self, sim):
+        switch, machines = make_star(sim, 2)
+        switch.link_fail("node1")
+        t = rdv(1 << 16, "node1")
+        machines[0].nics[0].submit(t, machines[0].cores[0])
+        sim.run()
+        assert t.dropped
+        assert switch.link_dropped_packets == 1
+
+    def test_recovered_link_carries_traffic_again(self, sim):
+        switch, machines = make_star(sim, 2)
+        switch.link_fail("node0")
+        switch.link_recover("node0")
+        t = rdv(1 << 16, "node1")
+        machines[0].nics[0].submit(t, machines[0].cores[0])
+        sim.run()
+        assert not t.dropped
+        assert t.t_delivered is not None
+        assert switch.link_dropped_packets == 0
+
+    def test_degraded_link_slows_the_drain(self, sim, sim2):
+        healthy, h_machines = make_star(sim, 2)
+        t_h = rdv(1 << 20, "node1")
+        h_machines[0].nics[0].submit(t_h, h_machines[0].cores[0])
+        sim.run()
+
+        degraded, d_machines = make_star(sim2, 2)
+        # Output-port drain stretches at the destination's link.
+        degraded.link_degrade("node1", bw_factor=0.5)
+        t_d = rdv(1 << 20, "node1")
+        d_machines[0].nics[0].submit(t_d, d_machines[0].cores[0])
+        sim2.run()
+        assert t_d.t_delivered > t_h.t_delivered
+
+    def test_link_restore_returns_to_healthy_timing(self, sim, sim2):
+        healthy, h_machines = make_star(sim, 2)
+        t_h = rdv(1 << 20, "node1")
+        h_machines[0].nics[0].submit(t_h, h_machines[0].cores[0])
+        sim.run()
+
+        restored, r_machines = make_star(sim2, 2)
+        restored.link_degrade("node1", bw_factor=0.5, extra_latency=3.0)
+        restored.link_restore("node1")
+        t_r = rdv(1 << 20, "node1")
+        r_machines[0].nics[0].submit(t_r, r_machines[0].cores[0])
+        sim2.run()
+        assert t_r.t_delivered == t_h.t_delivered
+
+    def test_unknown_link_rejected(self, sim):
+        switch, _ = make_star(sim, 2)
+        with pytest.raises(ConfigurationError, match="no port"):
+            switch.link_fail("nope")
+
+    def test_link_is_up_reflects_state(self, sim):
+        switch, _ = make_star(sim, 2)
+        assert switch.link_is_up("node0")
+        switch.link_fail("node0")
+        assert not switch.link_is_up("node0")
+
+
+class TestSpineFaults:
+    def test_adaptive_reroutes_around_a_dead_spine(self, sim):
+        switch, machines = make_tree(sim, n_nodes=4, pod_size=2, spines=2)
+        base = switch._spine_for(0, 2)
+        switch.spine_fail(base)
+        t = rdv(1 << 16, "node2")
+        machines[0].nics[0].submit(t, machines[0].cores[0])
+        sim.run()
+        assert not t.dropped
+        assert t.t_delivered is not None
+        assert switch.spine_rerouted_packets == 1
+        assert switch.spine_dropped_packets == 0
+
+    def test_static_hash_drops_on_its_dead_spine(self, sim):
+        switch, machines = make_tree(
+            sim, n_nodes=4, pod_size=2, spines=2, adaptive=False
+        )
+        switch.spine_fail(switch._spine_for(0, 2))
+        t = rdv(1 << 16, "node2")
+        machines[0].nics[0].submit(t, machines[0].cores[0])
+        sim.run()
+        assert t.dropped
+        assert switch.spine_dropped_packets == 1
+        assert switch.spine_rerouted_packets == 0
+
+    def test_all_spines_down_serializes_nothing(self, sim):
+        switch, machines = make_tree(sim, n_nodes=4, pod_size=2, spines=2)
+        switch.spine_fail(0)
+        switch.spine_fail(1)
+        t = rdv(1 << 16, "node2")
+        machines[0].nics[0].submit(t, machines[0].cores[0])
+        sim.run()
+        assert t.dropped
+        assert switch.spine_dropped_packets == 1
+
+    def test_recovered_spine_takes_traffic_again(self, sim):
+        switch, machines = make_tree(sim, n_nodes=4, pod_size=2, spines=2)
+        base = switch._spine_for(0, 2)
+        switch.spine_fail(base)
+        switch.spine_recover(base)
+        t = rdv(1 << 16, "node2")
+        machines[0].nics[0].submit(t, machines[0].cores[0])
+        sim.run()
+        assert not t.dropped
+        assert switch.spine_rerouted_packets == 0
+
+    def test_intra_pod_traffic_ignores_spine_state(self, sim):
+        switch, machines = make_tree(sim, n_nodes=4, pod_size=2, spines=2)
+        switch.spine_fail(0)
+        switch.spine_fail(1)
+        t = rdv(1 << 16, "node1")  # same pod as node0
+        machines[0].nics[0].submit(t, machines[0].cores[0])
+        sim.run()
+        assert not t.dropped
+        assert t.t_delivered is not None
+
+    def test_degraded_spine_slows_inter_pod_traffic(self, sim, sim2):
+        healthy, h_machines = make_tree(sim, n_nodes=4, pod_size=2, spines=2)
+        t_h = rdv(1 << 20, "node2")
+        h_machines[0].nics[0].submit(t_h, h_machines[0].cores[0])
+        sim.run()
+
+        # adaptive would just re-route off the slow spine; pin the flow
+        # to the static hash to observe the degrade itself.
+        slow, s_machines = make_tree(
+            sim2, n_nodes=4, pod_size=2, spines=2, adaptive=False
+        )
+        slow.spine_degrade(slow._spine_for(0, 2), bw_factor=0.25)
+        t_s = rdv(1 << 20, "node2")
+        s_machines[0].nics[0].submit(t_s, s_machines[0].cores[0])
+        sim2.run()
+        assert t_s.t_delivered > t_h.t_delivered
+
+    def test_bad_spine_index_rejected(self, sim):
+        switch, _ = make_tree(sim, spines=2)
+        with pytest.raises(ConfigurationError, match="spine"):
+            switch.spine_fail(2)
+
+
+class TestHealthyBitIdentity:
+    def test_adaptive_and_static_identical_without_faults(self, sim, sim2):
+        """With no fault armed, the adaptive selector must pick exactly
+        the static hash — delivery times bit-equal, nothing rerouted."""
+        results = []
+        for s, adaptive in ((sim, True), (sim2, False)):
+            switch, machines = make_tree(
+                s, n_nodes=8, pod_size=2, spines=2, adaptive=adaptive
+            )
+            transfers = [
+                rdv(1 << 18, f"node{(i + 3) % 8}", msg_id=i) for i in range(8)
+            ]
+            for i, t in enumerate(transfers):
+                machines[i].nics[0].submit(t, machines[i].cores[0])
+            s.run()
+            assert switch.spine_rerouted_packets == 0
+            results.append([t.t_delivered for t in transfers])
+        assert results[0] == results[1]
